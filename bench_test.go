@@ -1,0 +1,448 @@
+// Benchmarks regenerating every table and figure of the LAQy paper's
+// evaluation (one Benchmark per artifact; see DESIGN.md §3 for the map),
+// plus ablations of the design choices DESIGN.md §4 calls out.
+//
+// Figure-level runs use laptop-scale data: shapes, not absolute numbers,
+// are the reproduction target. cmd/laqy-bench prints the full series; these
+// benchmarks time the underlying operations so `go test -bench=.` tracks
+// regressions.
+package laqy_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"laqy"
+	"laqy/internal/algebra"
+	"laqy/internal/bench"
+	"laqy/internal/core"
+	"laqy/internal/engine"
+	"laqy/internal/rng"
+	"laqy/internal/sample"
+	"laqy/internal/store"
+)
+
+// benchRows keeps `go test -bench=.` runtimes reasonable while preserving
+// the experiments' shapes; cmd/laqy-bench defaults to 2M rows.
+const benchRows = 300_000
+
+var (
+	benchDataOnce sync.Once
+	benchData     *bench.Data
+	benchDataErr  error
+)
+
+var (
+	benchDBOnce sync.Once
+	benchDB     *laqy.DB
+	benchDBErr  error
+)
+
+// openBenchDB lazily builds a shared DB for the public-API benchmarks.
+func openBenchDB(b *testing.B) *laqy.DB {
+	b.Helper()
+	benchDBOnce.Do(func() {
+		benchDB = laqy.Open(laqy.Config{DefaultK: 512, Seed: 5})
+		benchDBErr = benchDB.LoadSSB(benchRows, 1)
+	})
+	if benchDBErr != nil {
+		b.Fatal(benchDBErr)
+	}
+	return benchDB
+}
+
+func data(b *testing.B) *bench.Data {
+	b.Helper()
+	benchDataOnce.Do(func() {
+		benchData, benchDataErr = bench.NewData(bench.Config{Rows: benchRows, Seed: 1, K: 512})
+	})
+	if benchDataErr != nil {
+		b.Fatal(benchDataErr)
+	}
+	return benchData
+}
+
+// BenchmarkFig03_BuildVsTuplesStrata times stratified-sample construction
+// across the (tuples × strata) grid of Figure 3.
+func BenchmarkFig03_BuildVsTuplesStrata(b *testing.B) {
+	d := data(b)
+	for _, frac := range []int{4, 1} {
+		for _, strata := range []int{50, 450, 4950} {
+			n := benchRows / frac
+			b.Run(fmt.Sprintf("tuples=%d/strata=%d", n, strata), func(b *testing.B) {
+				q := &engine.Query{
+					Fact:   d.Lineorder,
+					Filter: algebra.NewPredicate().WithRange("lo_intkey", 0, int64(n-1)),
+				}
+				schema, qcs := strataSchema(strata)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := engine.RunStratified(q, schema, qcs, 512, uint64(i), 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func strataSchema(strata int) (sample.Schema, int) {
+	switch strata {
+	case 50:
+		return sample.Schema{"lo_quantity", "lo_revenue"}, 1
+	case 450:
+		return sample.Schema{"lo_quantity", "lo_tax", "lo_revenue"}, 2
+	default:
+		return sample.Schema{"lo_quantity", "lo_tax", "lo_discount", "lo_revenue"}, 3
+	}
+}
+
+// BenchmarkFig04_ReservoirCapacity shows k's marginal impact (Figure 4):
+// compare across sub-benchmarks — time barely moves with k.
+func BenchmarkFig04_ReservoirCapacity(b *testing.B) {
+	d := data(b)
+	for _, k := range []int{512, 1024, 2048, 4096} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			q := &engine.Query{Fact: d.Lineorder}
+			schema, qcs := strataSchema(450)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.RunStratified(q, schema, qcs, k, uint64(i), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig06_PredicateUnpredictability times the three predicate
+// strategies of Figure 6 at 10% selectivity: QVS pushdown (cheap),
+// column-in-QCS (expensive, the all-or-none penalty), QCS pushdown.
+func BenchmarkFig06_PredicateUnpredictability(b *testing.B) {
+	d := data(b)
+	sel := int64(float64(benchRows) * 0.10)
+	cases := []struct {
+		name   string
+		filter algebra.Predicate
+		strata int
+	}{
+		{"predQVS_450", algebra.NewPredicate().WithRange("lo_intkey", 0, sel-1), 450},
+		{"predInQCS_4950", algebra.NewPredicate(), 4950},
+		{"predOnQCS", algebra.NewPredicate().WithRange("lo_quantity", 1, 5), 4950},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			q := &engine.Query{Fact: d.Lineorder, Filter: tc.filter}
+			schema, qcs := strataSchema(tc.strata)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.RunStratified(q, schema, qcs, 512, uint64(i), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig08_GroupByVsStratified compares the exact GroupBy with
+// stratified sampling under QCS- and QVS-selectivity (Figures 8a–8c).
+func BenchmarkFig08_GroupByVsStratified(b *testing.B) {
+	d := data(b)
+	schema, qcs := strataSchema(4950)
+	cases := []struct {
+		name   string
+		filter algebra.Predicate
+	}{
+		{"fig8a_QCS_sel50", algebra.NewPredicate().WithRange("lo_quantity", 1, 25)},
+		{"fig8b_QVS_sel50", algebra.NewPredicate().WithRange("lo_intkey", 0, int64(benchRows/2))},
+		{"fig8c_QVS_sel1", algebra.NewPredicate().WithRange("lo_intkey", 0, int64(benchRows/100))},
+	}
+	for _, tc := range cases {
+		q := &engine.Query{Fact: d.Lineorder, Filter: tc.filter}
+		b.Run(tc.name+"/groupby", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.RunGroupBy(q, []string(schema[:qcs]), "lo_revenue", 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/stratified", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.RunStratified(q, schema, qcs, 512, uint64(i), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11to15_Sequences runs the full exploratory sequences behind
+// Figures 11–15 (per-query and cumulative times for Q1/Q2, long/short) and
+// reports the headline online/LAQy speedup as a custom metric.
+func BenchmarkFig11to15_Sequences(b *testing.B) {
+	d := data(b)
+	for _, tc := range []struct {
+		name     string
+		long, q2 bool
+	}{
+		{"fig12a_fig14a_longQ1", true, false},
+		{"fig12b_fig14b_longQ2", true, true},
+		{"fig13a_fig15a_shortQ1", false, false},
+		{"fig13b_fig15b_shortQ2", false, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunSequence(d, tc.long, tc.q2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = r.Speedup()
+			}
+			b.ReportMetric(speedup, "speedup_vs_online")
+		})
+	}
+}
+
+// BenchmarkFig09_SelectivitySimulation times the predicate-only reuse
+// simulation of Figures 9/10 (pure interval algebra, no engine).
+func BenchmarkFig09_SelectivitySimulation(b *testing.B) {
+	d := data(b)
+	for i := 0; i < b.N; i++ {
+		bench.Fig9(d, true)
+		bench.Fig10(d, false)
+	}
+}
+
+// BenchmarkLazySampler_Modes times the three Algorithm 1 paths in
+// isolation: online (cold store), partial (Δ only), offline (no scan).
+func BenchmarkLazySampler_Modes(b *testing.B) {
+	d := data(b)
+	mkReq := func(lo, hi int64) core.Request {
+		pred := algebra.NewPredicate().WithRange("lo_intkey", lo, hi)
+		return core.Request{
+			Query:     &engine.Query{Fact: d.Lineorder, Filter: pred},
+			Predicate: pred,
+			Schema:    sample.Schema{"lo_orderdate", "lo_revenue", "lo_intkey"},
+			QCSWidth:  1,
+			K:         512,
+			Seed:      3,
+		}
+	}
+	half := int64(benchRows / 2)
+	b.Run("online", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l := core.New(store.New(0), 1)
+			if _, err := l.Sample(mkReq(0, half)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("partial", func(b *testing.B) {
+		b.StopTimer()
+		for i := 0; i < b.N; i++ {
+			l := core.New(store.New(0), 1)
+			if _, err := l.Sample(mkReq(0, half)); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			// Δ covers 10% beyond the stored sample.
+			if _, err := l.Sample(mkReq(0, half+int64(benchRows/10))); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+		}
+	})
+	b.Run("offline", func(b *testing.B) {
+		l := core.New(store.New(0), 1)
+		if _, err := l.Sample(mkReq(0, half)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Sample(mkReq(0, half)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_RNG compares the paper's inlined Lehmer generators
+// with math/rand in the admission-control hot path (§6.2).
+func BenchmarkAblation_RNG(b *testing.B) {
+	b.Run("lehmer32", func(b *testing.B) {
+		g := rng.NewLehmer(1)
+		var sink uint32
+		for i := 0; i < b.N; i++ {
+			sink = g.Next()
+		}
+		_ = sink
+	})
+	b.Run("lehmer64", func(b *testing.B) {
+		g := rng.NewLehmer64(1)
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink = g.Next()
+		}
+		_ = sink
+	})
+	b.Run("mathrand", func(b *testing.B) {
+		g := rand.New(rand.NewSource(1))
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink = g.Uint64()
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkAblation_MergePaths times the Algorithm 2 merge cases:
+// proportional (equal k), scaled-proportional (unequal k), and the
+// not-full streaming path.
+func BenchmarkAblation_MergePaths(b *testing.B) {
+	build := func(k int, n int64, seed uint64) *sample.Reservoir {
+		r := sample.NewReservoir(k, 2, rng.NewLehmer64(seed))
+		for v := int64(0); v < n; v++ {
+			r.Consider([]int64{v, v * 2})
+		}
+		return r
+	}
+	b.Run("proportional_equal_k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			r1 := build(1024, 10_000, uint64(i))
+			r2 := build(1024, 10_000, uint64(i)+1)
+			gen := rng.NewLehmer64(uint64(i) + 2)
+			b.StartTimer()
+			sample.Merge(r1, r2, gen)
+		}
+	})
+	b.Run("scaled_unequal_k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			r1 := build(1024, 10_000, uint64(i))
+			r2 := build(512, 10_000, uint64(i)+1)
+			gen := rng.NewLehmer64(uint64(i) + 2)
+			b.StartTimer()
+			sample.Merge(r1, r2, gen)
+		}
+	})
+	b.Run("notfull_stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			r1 := build(1024, 10_000, uint64(i))
+			r2 := build(1024, 512, uint64(i)+1) // not full
+			gen := rng.NewLehmer64(uint64(i) + 2)
+			b.StartTimer()
+			sample.Merge(r1, r2, gen)
+		}
+	})
+}
+
+// BenchmarkAblation_Pushdown quantifies filter pushdown below the sampler
+// (Quickr's rule, which LAQy's Δ-queries rely on): sampling 10% of the
+// input vs sampling everything and discarding afterwards.
+func BenchmarkAblation_Pushdown(b *testing.B) {
+	d := data(b)
+	schema, qcs := strataSchema(450)
+	sel := int64(float64(benchRows) * 0.10)
+	b.Run("pushdown", func(b *testing.B) {
+		q := &engine.Query{
+			Fact:   d.Lineorder,
+			Filter: algebra.NewPredicate().WithRange("lo_intkey", 0, sel-1),
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engine.RunStratified(q, schema, qcs, 512, uint64(i), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sample_then_filter", func(b *testing.B) {
+		q := &engine.Query{Fact: d.Lineorder}
+		// The sample must capture lo_intkey to filter afterwards.
+		fullSchema := sample.Schema{"lo_quantity", "lo_tax", "lo_revenue", "lo_intkey"}
+		keyIdx := fullSchema.Index("lo_intkey")
+		for i := 0; i < b.N; i++ {
+			s, _, err := engine.RunStratified(q, fullSchema, qcs, 512, uint64(i), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Filter(func(tu []int64) bool { return tu[keyIdx] < sel })
+		}
+	})
+}
+
+// BenchmarkAblation_ReservoirLayout compares the decoupled pointer-to-
+// storage reservoir layout (§6.3) against an inline-array layout for the
+// strata hash table, at a small fixed capacity where inlining is feasible.
+func BenchmarkAblation_ReservoirLayout(b *testing.B) {
+	const k, groups, n = 8, 4950, 1_000_000
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	g := rng.NewLehmer64(5)
+	for i := range keys {
+		keys[i] = int64(g.Intn(groups))
+		vals[i] = int64(i)
+	}
+	b.Run("pointer_decoupled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sample.NewStratified(sample.Schema{"g", "v"}, 1, k, rng.NewLehmer64(uint64(i)))
+			tuple := make([]int64, 2)
+			for j := 0; j < n; j++ {
+				tuple[0], tuple[1] = keys[j], vals[j]
+				s.Consider(tuple)
+			}
+		}
+	})
+	b.Run("inline_array", func(b *testing.B) {
+		type inlineRes struct {
+			weight uint64
+			data   [k]int64 // values only; key is the map key
+		}
+		for i := 0; i < b.N; i++ {
+			gen := rng.NewLehmer64(uint64(i))
+			m := make(map[int64]*inlineRes)
+			for j := 0; j < n; j++ {
+				r, ok := m[keys[j]]
+				if !ok {
+					r = &inlineRes{}
+					m[keys[j]] = r
+				}
+				r.weight++
+				if r.weight <= k {
+					r.data[r.weight-1] = vals[j]
+				} else if slot := gen.Uint64n(r.weight); slot < k {
+					r.data[slot] = vals[j]
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkQueryAPI times the end-to-end public API paths (parse, plan,
+// execute) for exact and approximate execution.
+func BenchmarkQueryAPI(b *testing.B) {
+	db := openBenchDB(b)
+	const q = `SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder
+		WHERE lo_intkey BETWEEN 0 AND 99999 GROUP BY lo_orderdate`
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("approx_offline_reuse", func(b *testing.B) {
+		if _, err := db.Query(q + " APPROX"); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q + " APPROX"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,190 @@
+// Command laqy-bench regenerates the tables and figures of the LAQy
+// paper's evaluation (Section 7) at a configurable laptop scale.
+//
+// Usage:
+//
+//	laqy-bench [-rows 2000000] [-k 2000] [-seed 1] [-workers 0] [-exp all]
+//
+// -exp selects a comma-separated set of experiments:
+//
+//	fig3 fig4 fig6 table1 fig8a fig8b fig8c fig9 fig10
+//	fig11 fig12 fig13 fig14 fig15 headline alpha reuse
+//
+// Each experiment prints the same rows/series the paper plots; see
+// EXPERIMENTS.md for paper-vs-measured shape comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"laqy/internal/bench"
+)
+
+func main() {
+	rows := flag.Int("rows", 2_000_000, "lineorder row count (the paper runs 6B at SF1000)")
+	k := flag.Int("k", 2000, "per-stratum reservoir capacity")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	workers := flag.Int("workers", 0, "engine parallelism (0 = all CPUs)")
+	exps := flag.String("exp", "all", "comma-separated experiments to run")
+	csvDir := flag.String("csvdir", "", "also write each experiment as <id>.csv into this directory")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments: fig3 fig4 table1 fig6 fig8a fig8b fig8c alpha reuse drift fig9 fig10")
+		fmt.Println("             fig11 fig12 fig13 fig14 fig15 headline   (or: all)")
+		return
+	}
+
+	if err := run(bench.Config{Rows: *rows, K: *k, Seed: *seed, Workers: *workers}, *exps, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "laqy-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg bench.Config, exps, csvDir string) error {
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	want := map[string]bool{}
+	all := exps == "all"
+	for _, e := range strings.Split(exps, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	sel := func(ids ...string) bool {
+		if all {
+			return true
+		}
+		for _, id := range ids {
+			if want[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	fmt.Printf("generating SSB data: %d lineorder rows (seed %d)...\n", cfg.Rows, cfg.Seed)
+	d, err := bench.NewData(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("done.")
+	fmt.Println()
+
+	type namedExp struct {
+		ids []string
+		run func() error
+	}
+	printTab := func(t *bench.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		t.Fprint(os.Stdout)
+		if csvDir != "" {
+			f, err := os.Create(filepath.Join(csvDir, t.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := t.Fcsv(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}
+
+	experiments := []namedExp{
+		{[]string{"fig3"}, func() error { t, err := bench.Fig3(d); return printTab(t, err) }},
+		{[]string{"fig4"}, func() error { t, err := bench.Fig4(d); return printTab(t, err) }},
+		{[]string{"table1"}, func() error { t, err := bench.Table1(d); return printTab(t, err) }},
+		{[]string{"fig6"}, func() error { t, err := bench.Fig6(d); return printTab(t, err) }},
+		{[]string{"fig8a"}, func() error { t, err := bench.Fig8a(d); return printTab(t, err) }},
+		{[]string{"fig8b"}, func() error { t, err := bench.Fig8b(d); return printTab(t, err) }},
+		{[]string{"fig8c"}, func() error { t, err := bench.Fig8c(d); return printTab(t, err) }},
+		{[]string{"alpha"}, func() error { t, err := bench.Alpha(d); return printTab(t, err) }},
+		{[]string{"reuse"}, func() error { t, err := bench.ReuseSweep(d); return printTab(t, err) }},
+		{[]string{"drift"}, func() error { t, err := bench.Drift(d); return printTab(t, err) }},
+		{[]string{"fig9"}, func() error {
+			if err := printTab(bench.Fig9(d, true), nil); err != nil {
+				return err
+			}
+			return printTab(bench.Fig9(d, false), nil)
+		}},
+		{[]string{"fig10"}, func() error {
+			if err := printTab(bench.Fig10(d, true), nil); err != nil {
+				return err
+			}
+			return printTab(bench.Fig10(d, false), nil)
+		}},
+	}
+	for _, e := range experiments {
+		if sel(e.ids...) {
+			if err := e.run(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Sequence experiments share runs across figures 11–15 and the
+	// headline.
+	needSeq := sel("fig11", "fig12", "fig13", "fig14", "fig15", "headline")
+	if !needSeq {
+		return nil
+	}
+	var results []*bench.SeqResult
+	for _, shape := range []struct{ long, q2 bool }{
+		{true, false}, {true, true}, {false, false}, {false, true},
+	} {
+		fmt.Printf("running %s sequence, %s...\n", seqLabel(shape.long), qLabel(shape.q2))
+		r, err := bench.RunSequence(d, shape.long, shape.q2)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	fmt.Println()
+	for _, r := range results {
+		if r.Long && !r.Q2 && sel("fig11") {
+			if err := printTab(bench.Fig11(r), nil); err != nil {
+				return err
+			}
+		}
+		if (r.Long && sel("fig12")) || (!r.Long && sel("fig13")) {
+			if err := printTab(bench.PerQueryTable(r), nil); err != nil {
+				return err
+			}
+		}
+		if (r.Long && sel("fig14")) || (!r.Long && sel("fig15")) {
+			if err := printTab(bench.CumulativeTable(r), nil); err != nil {
+				return err
+			}
+		}
+	}
+	if sel("headline") {
+		if err := printTab(bench.Headline(results), nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func seqLabel(long bool) string {
+	if long {
+		return "long-running"
+	}
+	return "short-running"
+}
+
+func qLabel(q2 bool) string {
+	if q2 {
+		return "Q2 (join-heavy)"
+	}
+	return "Q1 (scan-heavy)"
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"laqy/internal/bench"
+)
+
+// capture redirects stdout around fn.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out []byte
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(out)
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", errRun, out)
+	}
+	return out
+}
+
+func TestRunSelectedExperiments(t *testing.T) {
+	cfg := bench.Config{Rows: 30_000, K: 32, Seed: 1, Workers: 2}
+	out := capture(t, func() error { return run(cfg, "table1,fig9,alpha", "") })
+	for _, want := range []string{"== table1:", "== fig9a:", "== fig9b:", "== alpha:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Unselected experiments must not run.
+	for _, not := range []string{"== fig3:", "== fig12a:", "== headline:"} {
+		if strings.Contains(out, not) {
+			t.Errorf("output unexpectedly contains %q", not)
+		}
+	}
+}
+
+func TestRunSequenceExperiments(t *testing.T) {
+	cfg := bench.Config{Rows: 20_000, K: 16, Seed: 1, Workers: 2}
+	out := capture(t, func() error { return run(cfg, "headline,fig11", "") })
+	if !strings.Contains(out, "== headline:") || !strings.Contains(out, "== fig11:") {
+		t.Errorf("sequence output incomplete:\n%s", out[:min(len(out), 500)])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	cfg := bench.Config{Rows: 20_000, K: 16, Seed: 1, Workers: 2}
+	capture(t, func() error { return run(cfg, "table1,fig10", dir) })
+	for _, f := range []string{"table1.csv", "fig10a.csv", "fig10b.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !strings.Contains(string(data), ",") {
+			t.Fatalf("%s has no CSV content", f)
+		}
+	}
+}

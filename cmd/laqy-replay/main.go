@@ -1,0 +1,171 @@
+// Command laqy-replay replays a SQL workload against an in-memory SSB
+// dataset and reports per-query reuse behaviour and cumulative cost — the
+// paper's exploratory-workload methodology applied to any query log.
+//
+// Usage:
+//
+//	# replay a query log (one statement per line; '#' comments allowed)
+//	laqy-replay -rows 1000000 -file workload.sql
+//
+//	# generate the paper's long- or short-running sequence as SQL and
+//	# replay it immediately
+//	laqy-replay -rows 1000000 -generate long
+//	laqy-replay -rows 1000000 -generate short -emit    # just print the SQL
+//
+// With -compare, each query also runs against a second engine whose sample
+// store is cleared before every statement (workload-oblivious online
+// sampling), and the tool reports the cumulative speedup.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"laqy"
+	"laqy/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 1_000_000, "lineorder rows to generate")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	k := flag.Int("k", 512, "default per-stratum reservoir capacity")
+	file := flag.String("file", "", "SQL workload file (one statement per line; - for stdin)")
+	generate := flag.String("generate", "", "generate the paper's sequence instead of reading a file: long | short")
+	emit := flag.Bool("emit", false, "with -generate: print the SQL and exit")
+	compare := flag.Bool("compare", false, "also run every query without sample reuse and report the speedup")
+	flag.Parse()
+
+	if err := run(*rows, *seed, *k, *file, *generate, *emit, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "laqy-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rows int, seed uint64, k int, file, generate string, emit, compare bool) error {
+	var queries []string
+	switch {
+	case generate != "":
+		var err error
+		queries, err = generateSequence(generate, rows, seed)
+		if err != nil {
+			return err
+		}
+		if emit {
+			for _, q := range queries {
+				fmt.Println(q + ";")
+			}
+			return nil
+		}
+	case file != "":
+		var err error
+		queries, err = readWorkload(file)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("provide -file or -generate (see -h)")
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("empty workload")
+	}
+
+	fmt.Printf("loading SSB: %d lineorder rows...\n", rows)
+	db := laqy.Open(laqy.Config{DefaultK: k, Seed: seed})
+	if err := db.LoadSSB(rows, seed); err != nil {
+		return err
+	}
+	var oblivious *laqy.DB
+	if compare {
+		oblivious = laqy.Open(laqy.Config{DefaultK: k, Seed: seed})
+		if err := oblivious.LoadSSB(rows, seed); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("replaying %d queries...\n\n", len(queries))
+	fmt.Println("query  mode      scanned   selected  time")
+	var lazyTotal, onlineTotal time.Duration
+	for i, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		lazyTotal += res.Stats.Total
+		fmt.Printf("%5d  %-8s %8d  %9d  %v\n",
+			i, res.Mode, res.Stats.RowsScanned, res.Stats.RowsSelected, res.Stats.Total)
+		if compare {
+			oblivious.ClearSamples()
+			ores, err := oblivious.Query(q)
+			if err != nil {
+				return fmt.Errorf("query %d (oblivious): %w", i, err)
+			}
+			onlineTotal += ores.Stats.Total
+		}
+	}
+
+	stats := db.SampleStoreStats()
+	fmt.Printf("\nsample store: %d samples (%d bytes); reuse: %d full, %d partial, %d misses\n",
+		stats.Samples, stats.Bytes, stats.FullReuses, stats.PartialReuses, stats.Misses)
+	fmt.Printf("cumulative LAQy time: %v\n", lazyTotal)
+	if compare {
+		fmt.Printf("cumulative online time (no reuse): %v\n", onlineTotal)
+		if lazyTotal > 0 {
+			fmt.Printf("speedup: %.1fx\n", float64(onlineTotal)/float64(lazyTotal))
+		}
+	}
+	return nil
+}
+
+// generateSequence renders the paper's exploratory sequences as Q1-shaped
+// SQL over lo_intkey.
+func generateSequence(kind string, rows int, seed uint64) ([]string, error) {
+	cfg := workload.Config{Domain: int64(rows), Seed: seed + 0xA11CE}
+	var steps []workload.Step
+	switch kind {
+	case "long":
+		steps = workload.LongRunning(cfg, 50)
+	case "short":
+		steps = workload.ShortRunning(cfg, 3, 20)
+	default:
+		return nil, fmt.Errorf("unknown sequence %q (long or short)", kind)
+	}
+	out := make([]string, len(steps))
+	for i, s := range steps {
+		out[i] = fmt.Sprintf(
+			"SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder WHERE lo_intkey BETWEEN %d AND %d GROUP BY lo_orderdate APPROX",
+			s.Lo, s.Hi)
+	}
+	return out, nil
+}
+
+// readWorkload loads statements from a file (or stdin with "-"): one per
+// line, blank lines and '#' comments skipped, optional trailing ';'.
+func readWorkload(path string) ([]string, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var out []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(line, ";"))
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out []byte
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(out)
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", errRun, out)
+	}
+	return out
+}
+
+func TestGenerateSequences(t *testing.T) {
+	long, err := generateSequence("long", 100000, 1)
+	if err != nil || len(long) != 50 {
+		t.Fatalf("long: %d queries, %v", len(long), err)
+	}
+	short, err := generateSequence("short", 100000, 1)
+	if err != nil || len(short) != 60 {
+		t.Fatalf("short: %d queries, %v", len(short), err)
+	}
+	if _, err := generateSequence("weird", 100000, 1); err == nil {
+		t.Fatal("unknown sequence must error")
+	}
+	if !strings.Contains(long[0], "BETWEEN") || !strings.Contains(long[0], "APPROX") {
+		t.Fatalf("query shape: %s", long[0])
+	}
+}
+
+func TestReadWorkload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.sql")
+	content := "# comment\nSELECT 1;\n\n  SELECT 2  \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := readWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0] != "SELECT 1" || qs[1] != "SELECT 2" {
+		t.Fatalf("queries = %q", qs)
+	}
+	if _, err := readWorkload(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestRunGeneratedWorkload(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(30_000, 1, 32, "", "long", false, true)
+	})
+	for _, want := range []string{"replaying 50 queries", "partial", "offline", "speedup:", "sample store:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunEmit(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(30_000, 1, 32, "", "short", true, false)
+	})
+	if got := strings.Count(out, "APPROX;"); got != 60 {
+		t.Fatalf("emitted %d statements, want 60", got)
+	}
+}
+
+func TestRunFileWorkload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.sql")
+	sqlText := `SELECT lo_quantity, SUM(lo_revenue) FROM lineorder WHERE lo_intkey BETWEEN 0 AND 4999 GROUP BY lo_quantity APPROX;
+SELECT lo_quantity, SUM(lo_revenue) FROM lineorder WHERE lo_intkey BETWEEN 0 AND 9999 GROUP BY lo_quantity APPROX;
+`
+	if err := os.WriteFile(path, []byte(sqlText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run(20_000, 1, 32, path, "", false, false)
+	})
+	if !strings.Contains(out, "online") || !strings.Contains(out, "partial") {
+		t.Fatalf("expected online→partial progression:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(1000, 1, 32, "", "", false, false); err == nil {
+		t.Fatal("no input must error")
+	}
+	path := filepath.Join(t.TempDir(), "empty.sql")
+	os.WriteFile(path, []byte("# nothing\n"), 0o644)
+	if err := run(1000, 1, 32, path, "", false, false); err == nil {
+		t.Fatal("empty workload must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.sql")
+	os.WriteFile(bad, []byte("not sql\n"), 0o644)
+	if err := run(1000, 1, 32, bad, "", false, false); err == nil {
+		t.Fatal("bad SQL must surface an error")
+	}
+}

@@ -1,0 +1,183 @@
+// Command laqy-shell is an interactive SQL shell over an in-memory SSB
+// dataset, demonstrating LAQy's lazy approximate query processing.
+//
+// Usage:
+//
+//	laqy-shell [-rows 1000000] [-seed 1] [-k 1024]
+//
+// Append APPROX to any aggregation query to run it on a sample; re-run it
+// with a wider BETWEEN range on lo_intkey and watch the mode switch from
+// "online" to "partial" (Δ-sample only) to "offline" (no scan at all).
+//
+// Meta commands: \tables, \stats, \clear, \help, \q
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"laqy"
+)
+
+func main() {
+	rows := flag.Int("rows", 1_000_000, "lineorder rows to generate")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	k := flag.Int("k", 1024, "default per-stratum reservoir capacity")
+	command := flag.String("c", "", "execute one statement and exit (non-interactive)")
+	flag.Parse()
+
+	db := laqy.Open(laqy.Config{DefaultK: *k, Seed: *seed})
+	if *command == "" {
+		fmt.Printf("loading SSB: %d lineorder rows...\n", *rows)
+	}
+	if err := db.LoadSSB(*rows, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "laqy-shell:", err)
+		os.Exit(1)
+	}
+	if *command != "" {
+		execute(db, strings.TrimSuffix(strings.TrimSpace(*command), ";"))
+		return
+	}
+	fmt.Println("ready. Try:")
+	fmt.Println(`  SELECT d_year, SUM(lo_revenue) FROM lineorder, date
+    WHERE lo_orderdate = d_datekey AND lo_intkey BETWEEN 0 AND 100000
+    GROUP BY d_year APPROX`)
+	fmt.Println(`type \help for meta commands.`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("laqy> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if strings.HasPrefix(line, `\`) {
+			if !meta(db, line) {
+				return
+			}
+			prompt()
+			continue
+		}
+		if line != "" {
+			pending.WriteString(line)
+			pending.WriteByte(' ')
+		}
+		// Execute on a ; terminator or a blank line after content.
+		text := strings.TrimSpace(pending.String())
+		if text != "" && (strings.HasSuffix(text, ";") || line == "") {
+			pending.Reset()
+			execute(db, strings.TrimSuffix(text, ";"))
+		}
+		prompt()
+	}
+}
+
+// meta handles backslash commands; returns false to exit.
+func meta(db *laqy.DB, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\d`, `\describe`:
+		if len(fields) < 2 {
+			fmt.Println(`  usage: \d <table>`)
+			return true
+		}
+		cols, err := db.Describe(fields[1])
+		if err != nil {
+			fmt.Println("  error:", err)
+			return true
+		}
+		for _, c := range cols {
+			if c.DictSize > 0 {
+				fmt.Printf("  %-20s %-8s (%d distinct values)\n", c.Name, c.Type, c.DictSize)
+			} else {
+				fmt.Printf("  %-20s %s\n", c.Name, c.Type)
+			}
+		}
+		return true
+	}
+	switch fields[0] {
+	case `\q`, `\quit`, `\exit`:
+		return false
+	case `\tables`:
+		for _, name := range db.Tables() {
+			n, _ := db.NumRows(name)
+			fmt.Printf("  %-10s %10d rows\n", name, n)
+		}
+	case `\stats`:
+		s := db.SampleStoreStats()
+		fmt.Printf("  samples: %d (%d bytes)\n", s.Samples, s.Bytes)
+		fmt.Printf("  reuse: %d full, %d partial, %d misses, %d evictions\n",
+			s.FullReuses, s.PartialReuses, s.Misses, s.Evictions)
+	case `\samples`:
+		infos := db.Samples()
+		if len(infos) == 0 {
+			fmt.Println("  (no cached samples)")
+		}
+		for i, s := range infos {
+			fmt.Printf("  [%d] %s\n      predicate: %s\n      QCS=%v QVS=%v k=%d strata=%d rows=%d weight=%.0f (%d bytes)\n",
+				i, s.Input, s.Predicate, s.QCS, s.QVS, s.K, s.Strata, s.Rows, s.Weight, s.Bytes)
+		}
+	case `\clear`:
+		db.ClearSamples()
+		fmt.Println("  sample store cleared.")
+	case `\help`:
+		fmt.Println(`  \tables   list tables    \d <t>  describe table  \stats  store stats`)
+		fmt.Println(`  \samples  list samples   \clear  drop samples    \q      quit`)
+	default:
+		fmt.Println("  unknown command; try \\help")
+	}
+	return true
+}
+
+func execute(db *laqy.DB, text string) {
+	if up := strings.ToUpper(strings.TrimSpace(text)); strings.HasPrefix(up, "EXPLAIN ") {
+		desc, err := db.Explain(strings.TrimSpace(text)[len("EXPLAIN "):])
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(desc)
+		return
+	}
+	res, err := db.Query(text)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	header := append(append([]string{}, res.GroupColumns...), res.AggColumns...)
+	fmt.Println(strings.Join(header, " | "))
+	limit := len(res.Rows)
+	const maxRows = 40
+	if limit > maxRows {
+		limit = maxRows
+	}
+	for _, row := range res.Rows[:limit] {
+		var cells []string
+		for _, g := range row.Groups {
+			cells = append(cells, g.String())
+		}
+		for _, a := range row.Aggs {
+			if a.Exact {
+				cells = append(cells, fmt.Sprintf("%.0f", a.Value))
+			} else {
+				lo, hi := a.ConfidenceInterval(0.95)
+				cells = append(cells, fmt.Sprintf("%.0f ±[%.0f, %.0f]", a.Value, lo, hi))
+			}
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if len(res.Rows) > limit {
+		fmt.Printf("... (%d more rows)\n", len(res.Rows)-limit)
+	}
+	fmt.Printf("-- %d rows, mode=%s, scanned=%d, selected=%d, total=%v\n",
+		len(res.Rows), res.Mode, res.Stats.RowsScanned, res.Stats.RowsSelected, res.Stats.Total)
+}

@@ -1,0 +1,142 @@
+// Command ssbgen generates Star Schema Benchmark data — the dataset of the
+// LAQy paper's evaluation, including the shuffled unique lo_intkey column —
+// and writes it to disk as CSV or a compact binary column layout.
+//
+// Usage:
+//
+//	ssbgen -rows 1000000 -seed 1 -out ./data -format csv
+//	ssbgen -sf 0.01 -out ./data -format bin
+//
+// The binary format writes one file per column: a little-endian int64
+// vector (dictionary-encoded for string columns, with the dictionary in a
+// sidecar .dict file, one value per line in code order).
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"laqy/internal/ssb"
+	"laqy/internal/storage"
+)
+
+func main() {
+	rows := flag.Int("rows", 0, "lineorder rows (overrides -sf)")
+	sf := flag.Float64("sf", 0.001, "SSB scale factor (SF1 = 6M fact rows)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("out", "ssb-data", "output directory")
+	format := flag.String("format", "csv", "output format: csv or bin")
+	flag.Parse()
+
+	if err := run(*rows, *sf, *seed, *out, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "ssbgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rows int, sf float64, seed uint64, out, format string) error {
+	if format != "csv" && format != "bin" {
+		return fmt.Errorf("unknown format %q (csv or bin)", format)
+	}
+	data, err := ssb.Generate(ssb.Config{ScaleFactor: sf, LineorderRows: rows, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	tables := []*storage.Table{data.Lineorder, data.Date, data.Supplier, data.Part, data.Customer}
+	for _, t := range tables {
+		var err error
+		if format == "csv" {
+			err = writeCSV(out, t)
+		} else {
+			err = writeBinary(out, t)
+		}
+		if err != nil {
+			return fmt.Errorf("table %s: %w", t.Name, err)
+		}
+		fmt.Printf("%-10s %10d rows\n", t.Name, t.NumRows())
+	}
+	return nil
+}
+
+func writeCSV(dir string, t *storage.Table) error {
+	f, err := os.Create(filepath.Join(dir, t.Name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	cols := t.Columns()
+	for i, c := range cols {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(c.Name)
+	}
+	w.WriteByte('\n')
+	for row := 0; row < t.NumRows(); row++ {
+		for i, c := range cols {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			if c.Kind == storage.KindString {
+				w.WriteString(c.StringAt(row))
+			} else {
+				fmt.Fprintf(w, "%d", c.Ints[row])
+			}
+		}
+		w.WriteByte('\n')
+	}
+	return w.Flush()
+}
+
+func writeBinary(dir string, t *storage.Table) error {
+	for _, c := range t.Columns() {
+		path := filepath.Join(dir, fmt.Sprintf("%s.%s.bin", t.Name, c.Name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriterSize(f, 1<<20)
+		buf := make([]byte, 8)
+		for _, v := range c.Ints {
+			binary.LittleEndian.PutUint64(buf, uint64(v))
+			if _, err := w.Write(buf); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if c.Kind == storage.KindString {
+			if err := writeDict(dir, t.Name, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeDict(dir, table string, c *storage.Column) error {
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s.%s.dict", table, c.Name)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for code := 0; code < c.Dict.Size(); code++ {
+		fmt.Fprintln(w, c.Dict.Value(int64(code)))
+	}
+	return w.Flush()
+}

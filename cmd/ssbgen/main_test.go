@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(1000, 0, 1, dir, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range []string{"lineorder", "date", "supplier", "part", "customer"} {
+		path := filepath.Join(dir, table+".csv")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s: only %d lines", table, len(lines))
+		}
+		header := strings.Split(lines[0], ",")
+		for _, line := range lines[1:] {
+			if got := len(strings.Split(line, ",")); got != len(header) {
+				t.Fatalf("%s: row has %d fields, header %d", table, got, len(header))
+			}
+		}
+	}
+	// lineorder row count = header + 1000.
+	data, _ := os.ReadFile(filepath.Join(dir, "lineorder.csv"))
+	if got := strings.Count(string(data), "\n"); got != 1001 {
+		t.Fatalf("lineorder.csv has %d lines", got)
+	}
+	// String columns decode back to values, not codes.
+	supp, _ := os.ReadFile(filepath.Join(dir, "supplier.csv"))
+	if !strings.Contains(string(supp), "AMERICA") {
+		t.Fatal("supplier.csv does not contain decoded region strings")
+	}
+}
+
+func TestRunBinary(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(500, 0, 2, dir, "bin"); err != nil {
+		t.Fatal(err)
+	}
+	// lineorder.lo_intkey.bin holds 500 little-endian int64 forming a
+	// permutation of [0, 500).
+	data, err := os.ReadFile(filepath.Join(dir, "lineorder.lo_intkey.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 500*8 {
+		t.Fatalf("intkey file is %d bytes", len(data))
+	}
+	seen := make([]bool, 500)
+	for i := 0; i < 500; i++ {
+		v := int64(binary.LittleEndian.Uint64(data[i*8:]))
+		if v < 0 || v >= 500 || seen[v] {
+			t.Fatalf("bad intkey %d at row %d", v, i)
+		}
+		seen[v] = true
+	}
+	// The dictionary sidecar lists the 5 regions in code order.
+	f, err := os.Open(filepath.Join(dir, "supplier.s_region.dict"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var values []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		values = append(values, sc.Text())
+	}
+	if len(values) != 5 || values[0] != "AFRICA" {
+		t.Fatalf("dict = %v", values)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(100, 0, 1, t.TempDir(), "xml"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+	if err := run(0, 0, 1, t.TempDir(), "csv"); err == nil {
+		t.Fatal("zero rows with zero SF must error")
+	}
+}

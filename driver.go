@@ -1,0 +1,161 @@
+package laqy
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// database/sql integration: LAQy DBs register under a name and open
+// through the standard library:
+//
+//	db := laqy.Open(laqy.Config{})
+//	db.LoadSSB(1_000_000, 42)
+//	laqy.RegisterDB("analytics", db)
+//
+//	sqlDB, _ := sql.Open("laqy", "analytics")
+//	rows, _ := sqlDB.Query(`SELECT d_year, SUM(lo_revenue) FROM lineorder, date
+//	    WHERE lo_orderdate = d_datekey GROUP BY d_year APPROX`)
+//
+// Group columns scan as string or int64; aggregates scan as float64. The
+// driver is read-only: Exec returns an error.
+
+// sqlDriver implements driver.Driver over a registry of named DBs.
+type sqlDriver struct{}
+
+var (
+	driverRegistry   = map[string]*DB{}
+	driverRegistryMu sync.RWMutex
+	registerOnce     sync.Once
+)
+
+// RegisterDB makes db available to database/sql as the data source name
+// given to sql.Open("laqy", name). Re-registering a name replaces the
+// previous DB (new connections see the new one).
+func RegisterDB(name string, db *DB) {
+	registerOnce.Do(func() { sql.Register("laqy", sqlDriver{}) })
+	driverRegistryMu.Lock()
+	defer driverRegistryMu.Unlock()
+	driverRegistry[name] = db
+}
+
+// Open implements driver.Driver.
+func (sqlDriver) Open(name string) (driver.Conn, error) {
+	driverRegistryMu.RLock()
+	db := driverRegistry[name]
+	driverRegistryMu.RUnlock()
+	if db == nil {
+		return nil, fmt.Errorf("laqy: no DB registered as %q (call laqy.RegisterDB first)", name)
+	}
+	return &sqlConn{db: db}, nil
+}
+
+// sqlConn is one database/sql connection; LAQy DBs are safe for concurrent
+// queries, so connections are stateless handles.
+type sqlConn struct {
+	db *DB
+}
+
+// Prepare implements driver.Conn.
+func (c *sqlConn) Prepare(query string) (driver.Stmt, error) {
+	return &sqlStmt{conn: c, query: query}, nil
+}
+
+// Close implements driver.Conn.
+func (c *sqlConn) Close() error { return nil }
+
+// Begin implements driver.Conn; the engine is read-only, so transactions
+// are refused.
+func (c *sqlConn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("laqy: transactions are not supported (read-only analytical engine)")
+}
+
+// QueryContext implements driver.QueryerContext, the fast path database/sql
+// prefers over Prepare.
+func (c *sqlConn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if len(args) != 0 {
+		return nil, fmt.Errorf("laqy: placeholder arguments are not supported; inline literals")
+	}
+	res, err := c.db.QueryContext(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return newSQLRows(res), nil
+}
+
+// ExecContext implements driver.ExecerContext: always an error (read-only).
+func (c *sqlConn) ExecContext(context.Context, string, []driver.NamedValue) (driver.Result, error) {
+	return nil, fmt.Errorf("laqy: Exec is not supported (read-only analytical engine)")
+}
+
+// sqlStmt supports the Prepare path for drivers/tools that insist on it.
+type sqlStmt struct {
+	conn  *sqlConn
+	query string
+}
+
+func (s *sqlStmt) Close() error  { return nil }
+func (s *sqlStmt) NumInput() int { return 0 }
+
+func (s *sqlStmt) Exec([]driver.Value) (driver.Result, error) {
+	return nil, fmt.Errorf("laqy: Exec is not supported (read-only analytical engine)")
+}
+
+func (s *sqlStmt) Query(args []driver.Value) (driver.Rows, error) {
+	if len(args) != 0 {
+		return nil, fmt.Errorf("laqy: placeholder arguments are not supported; inline literals")
+	}
+	res, err := s.conn.db.Query(s.query)
+	if err != nil {
+		return nil, err
+	}
+	return newSQLRows(res), nil
+}
+
+// sqlRows adapts a Result to driver.Rows.
+type sqlRows struct {
+	cols []string
+	rows []Row
+	next int
+}
+
+func newSQLRows(res *Result) *sqlRows {
+	cols := append(append([]string{}, res.GroupColumns...), res.AggColumns...)
+	return &sqlRows{cols: cols, rows: res.Rows}
+}
+
+// Columns implements driver.Rows.
+func (r *sqlRows) Columns() []string { return r.cols }
+
+// Close implements driver.Rows.
+func (r *sqlRows) Close() error {
+	r.rows = nil
+	return nil
+}
+
+// Next implements driver.Rows: group values surface as string (dictionary
+// columns) or int64; aggregates as float64.
+func (r *sqlRows) Next(dest []driver.Value) error {
+	if r.next >= len(r.rows) {
+		return io.EOF
+	}
+	row := r.rows[r.next]
+	r.next++
+	i := 0
+	for _, g := range row.Groups {
+		if g.IsString {
+			dest[i] = g.Str
+		} else {
+			dest[i] = g.Int
+		}
+		i++
+	}
+	for _, a := range row.Aggs {
+		dest[i] = a.Value
+		i++
+	}
+	return nil
+}

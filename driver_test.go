@@ -1,0 +1,153 @@
+package laqy
+
+import (
+	"context"
+	"database/sql"
+	"testing"
+)
+
+func openSQL(t *testing.T) *sql.DB {
+	t.Helper()
+	db := openSSB(t, 20000)
+	RegisterDB(t.Name(), db)
+	sqlDB, err := sql.Open("laqy", t.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sqlDB.Close() })
+	return sqlDB
+}
+
+func TestDatabaseSQLQuery(t *testing.T) {
+	sqlDB := openSQL(t)
+	rows, err := sqlDB.Query(`SELECT d_year, SUM(lo_revenue), COUNT(*) FROM lineorder, date
+		WHERE lo_orderdate = d_datekey GROUP BY d_year ORDER BY d_year`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"d_year", "SUM(lo_revenue)", "COUNT(*)"}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("columns = %v", cols)
+		}
+	}
+	var total float64
+	count := 0
+	prevYear := int64(0)
+	for rows.Next() {
+		var year int64
+		var sum, cnt float64
+		if err := rows.Scan(&year, &sum, &cnt); err != nil {
+			t.Fatal(err)
+		}
+		if year <= prevYear {
+			t.Fatalf("years not ascending: %d after %d", year, prevYear)
+		}
+		prevYear = year
+		total += cnt
+		count++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 7 || total != 20000 {
+		t.Fatalf("rows = %d, total count = %v", count, total)
+	}
+}
+
+func TestDatabaseSQLStringGroups(t *testing.T) {
+	sqlDB := openSQL(t)
+	rows, err := sqlDB.Query(`SELECT s_region, COUNT(*) FROM lineorder, supplier
+		WHERE lo_suppkey = s_suppkey GROUP BY s_region ORDER BY s_region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var regions []string
+	for rows.Next() {
+		var region string
+		var cnt float64
+		if err := rows.Scan(&region, &cnt); err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, region)
+	}
+	if len(regions) != 5 || regions[0] != "AFRICA" {
+		t.Fatalf("regions = %v", regions)
+	}
+}
+
+func TestDatabaseSQLApprox(t *testing.T) {
+	sqlDB := openSQL(t)
+	var sum float64
+	err := sqlDB.QueryRow(`SELECT SUM(lo_revenue) FROM lineorder
+		WHERE lo_intkey BETWEEN 0 AND 9999 APPROX WITH K 4000`).Scan(&sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exact float64
+	if err := sqlDB.QueryRow(`SELECT SUM(lo_revenue) FROM lineorder
+		WHERE lo_intkey BETWEEN 0 AND 9999`).Scan(&exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact == 0 || sum == 0 {
+		t.Fatal("zero sums")
+	}
+	if rel := (sum - exact) / exact; rel > 0.1 || rel < -0.1 {
+		t.Fatalf("approx %v vs exact %v", sum, exact)
+	}
+}
+
+func TestDatabaseSQLErrors(t *testing.T) {
+	sqlDB := openSQL(t)
+	if _, err := sqlDB.Exec("SELECT SUM(lo_revenue) FROM lineorder"); err == nil {
+		t.Fatal("Exec must be rejected")
+	}
+	if _, err := sqlDB.Query("not sql"); err == nil {
+		t.Fatal("bad SQL must error")
+	}
+	if _, err := sqlDB.Query("SELECT SUM(lo_revenue) FROM lineorder WHERE lo_intkey = ?", 5); err == nil {
+		t.Fatal("placeholders must be rejected")
+	}
+	if _, err := sqlDB.Begin(); err == nil {
+		t.Fatal("transactions must be rejected")
+	}
+	unknown, err := sql.Open("laqy", "no-such-db")
+	if err == nil {
+		if err := unknown.Ping(); err == nil {
+			t.Fatal("unknown DSN must fail on connect")
+		}
+		unknown.Close()
+	}
+}
+
+func TestDatabaseSQLPreparedAndContext(t *testing.T) {
+	sqlDB := openSQL(t)
+	stmt, err := sqlDB.Prepare(`SELECT COUNT(*) FROM lineorder`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	var cnt float64
+	if err := stmt.QueryRow().Scan(&cnt); err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 20000 {
+		t.Fatalf("count = %v", cnt)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sqlDB.QueryContext(ctx, `SELECT COUNT(*) FROM lineorder`); err == nil {
+		t.Fatal("canceled context must error")
+	}
+}
+
+// sqlOpenHelper opens the standard-library handle for a registered name.
+func sqlOpenHelper(name string) (*sql.DB, error) {
+	return sql.Open("laqy", name)
+}

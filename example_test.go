@@ -1,0 +1,109 @@
+package laqy_test
+
+import (
+	"fmt"
+
+	"laqy"
+)
+
+// ExampleDB_Query demonstrates exact and approximate execution of the same
+// aggregation query over a custom table.
+func ExampleDB_Query() {
+	db := laqy.Open(laqy.Config{Workers: 1, Seed: 1})
+
+	n := 100_000
+	vals := make([]int64, n)
+	region := make([]string, n)
+	names := []string{"north", "south"}
+	for i := range vals {
+		vals[i] = int64(i % 1000)
+		region[i] = names[i%2]
+	}
+	if err := db.Register(laqy.NewTable("orders").
+		Int64("amount", vals).
+		String("region", region)); err != nil {
+		panic(err)
+	}
+
+	exact, err := db.Query(`SELECT region, SUM(amount) FROM orders GROUP BY region`)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range exact.Rows {
+		fmt.Printf("%s: %.0f (exact)\n", row.Groups[0], row.Aggs[0].Value)
+	}
+
+	approx, err := db.Query(`SELECT region, SUM(amount) FROM orders GROUP BY region APPROX WITH K 5000`)
+	if err != nil {
+		panic(err)
+	}
+	for i, row := range approx.Rows {
+		relErr := 100 * abs(row.Aggs[0].Value-exact.Rows[i].Aggs[0].Value) / exact.Rows[i].Aggs[0].Value
+		fmt.Printf("%s: within %v%% of exact: %v\n", row.Groups[0], 5.0, relErr < 5)
+	}
+	// Output:
+	// north: 24950000 (exact)
+	// south: 25000000 (exact)
+	// north: within 5% of exact: true
+	// south: within 5% of exact: true
+}
+
+// ExampleDB_Query_lazyReuse shows the mode progression that gives LAQy its
+// speedups: online → partial (Δ-sample only) → offline (no data access).
+func ExampleDB_Query_lazyReuse() {
+	db := laqy.Open(laqy.Config{Workers: 1, Seed: 1, DefaultK: 128})
+	if err := db.LoadSSB(50_000, 42); err != nil {
+		panic(err)
+	}
+	q := func(hi int) string {
+		return fmt.Sprintf(`SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder
+			WHERE lo_intkey BETWEEN 0 AND %d GROUP BY lo_orderdate APPROX`, hi)
+	}
+
+	r1, _ := db.Query(q(9_999))  // cold: full online sample
+	r2, _ := db.Query(q(19_999)) // expanded: Δ-sample [10000, 19999] only
+	r3, _ := db.Query(q(14_999)) // covered: served from the store
+
+	fmt.Println(r1.Mode, r2.Mode, r3.Mode)
+	fmt.Println("offline scan count:", r3.Stats.RowsScanned)
+	// Output:
+	// online partial offline
+	// offline scan count: 0
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ExampleWindowed demonstrates sliding-window approximate aggregation over
+// an event stream: per-slide samples answer any in-horizon window.
+func ExampleWindowed() {
+	w, err := laqy.NewWindowed(laqy.WindowConfig{
+		Columns:    []string{"sensor", "reading"},
+		GroupBy:    1,
+		K:          10_000, // above the stream volume: exact in this demo
+		SlideWidth: 100,
+		Seed:       1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for ts := int64(0); ts < 1000; ts++ {
+		if err := w.Observe(ts, []int64{ts % 2, ts % 10}); err != nil {
+			panic(err)
+		}
+	}
+	groups, err := w.Aggregate(250, 749, "reading", laqy.Count)
+	if err != nil {
+		panic(err)
+	}
+	for _, g := range groups {
+		fmt.Printf("sensor %d: %.0f readings in window\n", g.Key[0], g.Value.Value)
+	}
+	// Output:
+	// sensor 0: 250 readings in window
+	// sensor 1: 250 readings in window
+}

@@ -1,0 +1,61 @@
+// Error bounds: the APPROX ERROR clause in action — the engine commits to
+// a relative-error contract, resizes its sample when the first attempt
+// misses the bound (stderr scales with 1/√k, so the needed capacity is
+// computable from the observed variance), and falls back to exact
+// execution when no practical sample can meet the bound.
+//
+//	go run ./examples/errorbounds
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"laqy"
+)
+
+func main() {
+	db := laqy.Open(laqy.Config{Seed: 17})
+	if err := db.LoadSSB(600_000, 42); err != nil {
+		log.Fatal(err)
+	}
+
+	base := `SELECT d_year, SUM(lo_revenue) FROM lineorder, date
+		WHERE lo_orderdate = d_datekey
+		GROUP BY d_year APPROX WITH K 64`
+
+	fmt.Println("deliberately tiny sample (K=64), increasingly strict bounds:")
+	fmt.Println()
+	for _, bound := range []string{"", " ERROR 10", " ERROR 2", " ERROR 0.01"} {
+		db.ClearSamples() // isolate each contract
+		res, err := db.Query(base + bound)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := bound
+		if label == "" {
+			label = " (no bound)"
+		}
+		var widest float64
+		for _, row := range res.Rows {
+			a := row.Aggs[0]
+			if a.StdErr == 0 || a.Value == 0 {
+				continue
+			}
+			lo, hi := a.ConfidenceInterval(0.95)
+			if w := (hi - lo) / 2 / a.Value; w > widest {
+				widest = w
+			}
+		}
+		fmt.Printf("APPROX%-12s → mode=%-14s rows scanned=%7d  worst ±%.3f%%  (%v)\n",
+			label, res.Mode, res.Stats.RowsScanned, widest*100, res.Stats.Total)
+	}
+
+	fmt.Println()
+	fmt.Println("what happened:")
+	fmt.Println("  no bound     — the K=64 sample is used as-is, wide intervals")
+	fmt.Println("  ERROR 10     — the small sample already meets ±10%: no extra work")
+	fmt.Println("  ERROR 2      — first attempt misses; the engine computes the needed")
+	fmt.Println("                 capacity from the observed variance and rebuilds once")
+	fmt.Println("  ERROR 0.01   — no practical sample meets ±0.01%: honest exact fallback")
+}

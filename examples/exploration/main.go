@@ -1,0 +1,94 @@
+// Exploration: a simulated interactive data-exploration session — the
+// workload the LAQy paper targets. An analyst zooms in and out of a value
+// range over 30 queries; the example runs the whole session twice, once
+// with plain online sampling (clearing the sample store between queries)
+// and once with LAQy's lazy reuse, and prints the per-query behaviour and
+// the cumulative speedup.
+//
+//	go run ./examples/exploration
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"laqy"
+)
+
+// step is one query of the simulated session: a range on lo_intkey.
+type step struct{ lo, hi int }
+
+// session mimics an analyst progressively extending, narrowing, and
+// revisiting a range of interest (the paper's long-running sequence).
+func session(rows int) []step {
+	u := rows / 100 // 1% of the data
+	return []step{
+		{10 * u, 13 * u}, // initial focus
+		{10 * u, 16 * u}, // extend right
+		{8 * u, 16 * u},  // extend left
+		{8 * u, 16 * u},  // re-run (dashboard refresh)
+		{9 * u, 12 * u},  // narrow to a spike
+		{8 * u, 20 * u},  // zoom out
+		{8 * u, 26 * u},  // zoom out further
+		{12 * u, 22 * u}, // interior slice
+		{8 * u, 30 * u},  // widest view
+		{8 * u, 30 * u},  // re-run
+		{60 * u, 64 * u}, // change of focus (cold region)
+		{60 * u, 70 * u}, // extend in the new region
+		{58 * u, 70 * u}, // extend left
+		{8 * u, 30 * u},  // back to the first region (still covered!)
+		{5 * u, 32 * u},  // slightly wider than ever before
+	}
+}
+
+func main() {
+	const rows = 500_000
+	db := laqy.Open(laqy.Config{DefaultK: 512, Seed: 3})
+	if err := db.LoadSSB(rows, 42); err != nil {
+		log.Fatal(err)
+	}
+
+	queryFor := func(s step) string {
+		return fmt.Sprintf(`
+			SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder
+			WHERE lo_intkey BETWEEN %d AND %d
+			GROUP BY lo_orderdate APPROX`, s.lo, s.hi)
+	}
+
+	steps := session(rows)
+
+	// Pass 1: workload-oblivious online sampling — clear the store after
+	// every query so nothing is ever reused.
+	var onlineTotal time.Duration
+	for _, s := range steps {
+		res, err := db.Query(queryFor(s))
+		if err != nil {
+			log.Fatal(err)
+		}
+		onlineTotal += res.Stats.Total
+		db.ClearSamples()
+	}
+
+	// Pass 2: LAQy — the store persists and samples are lazily extended.
+	fmt.Println("query  range                mode      scanned   delta-rows  time")
+	var lazyTotal time.Duration
+	for i, s := range steps {
+		res, err := db.Query(queryFor(s))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lazyTotal += res.Stats.Total
+		fmt.Printf("%5d  [%7d, %7d]   %-8s %8d   %10d  %v\n",
+			i, s.lo, s.hi, res.Mode, res.Stats.RowsScanned, res.Stats.RowsSelected, res.Stats.Total)
+	}
+
+	stats := db.SampleStoreStats()
+	fmt.Printf("\nsample store after the session: %d samples, %d full + %d partial reuses, %d misses\n",
+		stats.Samples, stats.FullReuses, stats.PartialReuses, stats.Misses)
+	fmt.Printf("\nonline sampling total: %v\n", onlineTotal)
+	fmt.Printf("LAQy lazy total:       %v\n", lazyTotal)
+	if lazyTotal > 0 {
+		fmt.Printf("speedup:               %.1fx\n", float64(onlineTotal)/float64(lazyTotal))
+	}
+}

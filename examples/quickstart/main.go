@@ -1,0 +1,96 @@
+// Quickstart: open a LAQy database, load data, and compare exact execution
+// with approximate execution — then re-run a widened query to see lazy
+// sample reuse kick in.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"laqy"
+)
+
+func main() {
+	// An in-memory engine; Seed makes the sampling reproducible.
+	db := laqy.Open(laqy.Config{DefaultK: 1024, Seed: 7})
+
+	// Load the Star Schema Benchmark at a small scale (the paper's
+	// dataset, including the shuffled lo_intkey selectivity-control key).
+	const rows = 500_000
+	if err := db.LoadSSB(rows, 42); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded SSB: %d lineorder rows, tables: %v\n\n", rows, db.Tables())
+
+	// 1. Exact execution: revenue per year.
+	exact, err := db.Query(`
+		SELECT d_year, SUM(lo_revenue)
+		FROM lineorder, date
+		WHERE lo_orderdate = d_datekey AND lo_intkey BETWEEN 0 AND 99999
+		GROUP BY d_year`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact execution: %v\n", exact.Stats.Total)
+
+	// 2. The same query with APPROX: a stratified sample aligned with the
+	// GROUP BY answers it with confidence intervals.
+	approx1, err := db.Query(`
+		SELECT d_year, SUM(lo_revenue)
+		FROM lineorder, date
+		WHERE lo_orderdate = d_datekey AND lo_intkey BETWEEN 0 AND 99999
+		GROUP BY d_year APPROX`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("approx execution: %v (mode=%s)\n\n", approx1.Stats.Total, approx1.Mode)
+
+	fmt.Println("year   exact          approx (95% CI)           rel.err")
+	for i, row := range approx1.Rows {
+		est := row.Aggs[0]
+		want := exact.Rows[i].Aggs[0].Value
+		lo, hi := est.ConfidenceInterval(0.95)
+		fmt.Printf("%s   %12.0f   %12.0f [%.0f, %.0f]   %.2f%%\n",
+			row.Groups[0], want, est.Value, lo, hi,
+			100*abs(est.Value-want)/want)
+	}
+
+	// 3. The analyst widens the range. LAQy does NOT rebuild the sample:
+	// it samples only the new half of the range (Δ-sample) and merges it
+	// with the stored sample — mode switches to "partial".
+	approx2, err := db.Query(`
+		SELECT d_year, SUM(lo_revenue)
+		FROM lineorder, date
+		WHERE lo_orderdate = d_datekey AND lo_intkey BETWEEN 0 AND 199999
+		GROUP BY d_year APPROX`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwidened range: mode=%s, delta selected %d rows (of %d in the range)\n",
+		approx2.Mode, approx2.Stats.RowsSelected, 200_000)
+
+	// 4. Repeating a covered query needs no data access at all.
+	approx3, err := db.Query(`
+		SELECT d_year, SUM(lo_revenue)
+		FROM lineorder, date
+		WHERE lo_orderdate = d_datekey AND lo_intkey BETWEEN 50000 AND 150000
+		GROUP BY d_year APPROX`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subsumed range: mode=%s, rows scanned: %d, total: %v\n",
+		approx3.Mode, approx3.Stats.RowsScanned, approx3.Stats.Total)
+
+	stats := db.SampleStoreStats()
+	fmt.Printf("\nsample store: %d sample(s), %d partial reuse, %d full reuse\n",
+		stats.Samples, stats.PartialReuses, stats.FullReuses)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,118 @@
+// SSB drill-down: the paper's Q2 scenario — approximate analysis over star
+// joins, where the interesting grouping and filtering dimensions only
+// exist after joining the fact table with its dimensions, so the sampler
+// is placed after the joins.
+//
+// The example walks a drill-down an analyst might perform: revenue by
+// brand for one region and category, validated against exact execution,
+// then range expansion (lazy Δ-sampling) and a region switch (no reuse —
+// honest fallback to online sampling).
+//
+//	go run ./examples/ssb
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"laqy"
+)
+
+const rows = 400_000
+
+func main() {
+	db := laqy.Open(laqy.Config{DefaultK: 256, Seed: 11})
+	if err := db.LoadSSB(rows, 42); err != nil {
+		log.Fatal(err)
+	}
+
+	q2 := func(region string, hi int) string {
+		return fmt.Sprintf(`
+			SELECT d_year, SUM(lo_revenue)
+			FROM lineorder, date, supplier, part
+			WHERE lo_orderdate = d_datekey
+			  AND lo_suppkey = s_suppkey
+			  AND lo_partkey = p_partkey
+			  AND s_region = '%s'
+			  AND p_category = 'MFGR#12'
+			  AND lo_intkey BETWEEN 0 AND %d
+			GROUP BY d_year APPROX WITH K 100`, region, hi)
+	}
+	exactQ2 := func(region string, hi int) string {
+		return fmt.Sprintf(`
+			SELECT d_year, SUM(lo_revenue)
+			FROM lineorder, date, supplier, part
+			WHERE lo_orderdate = d_datekey
+			  AND lo_suppkey = s_suppkey
+			  AND lo_partkey = p_partkey
+			  AND s_region = '%s'
+			  AND p_category = 'MFGR#12'
+			  AND lo_intkey BETWEEN 0 AND %d
+			GROUP BY d_year`, region, hi)
+	}
+
+	// Step 1: first look at AMERICA / MFGR#12 over half the key range.
+	fmt.Println("== AMERICA, MFGR#12, first half of the data ==")
+	compare(db, q2("AMERICA", rows/2), exactQ2("AMERICA", rows/2))
+
+	// Step 2: expand to the full range — only the second half is sampled.
+	res, err := db.Query(q2("AMERICA", rows-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== expanded to the full range ==\nmode=%s (Δ-sample merged with the stored sample), delta rows selected: %d\n",
+		res.Mode, res.Stats.RowsSelected)
+
+	// Step 3: the analyst re-renders the dashboard — full reuse, no scan.
+	res, err = db.Query(q2("AMERICA", rows-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== dashboard refresh ==\nmode=%s, rows scanned: %d, time: %v\n",
+		res.Mode, res.Stats.RowsScanned, res.Stats.Total)
+
+	// Step 4: switching the region changes the predicate on a second
+	// column — LAQy honestly falls back to online sampling rather than
+	// biasing the answer.
+	res, err = db.Query(q2("EUROPE", rows-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== region switched to EUROPE ==\nmode=%s (new region: no overlapping sample)\n", res.Mode)
+
+	s := db.SampleStoreStats()
+	fmt.Printf("\nsample store: %d samples | %d full, %d partial reuses, %d misses\n",
+		s.Samples, s.FullReuses, s.PartialReuses, s.Misses)
+}
+
+// compare runs the approximate and exact variants and prints them side by
+// side with the realized relative error.
+func compare(db *laqy.DB, approxSQL, exactSQL string) {
+	a, err := db.Query(approxSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := db.Query(exactSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mode=%s, approx time=%v, exact time=%v\n", a.Mode, a.Stats.Total, e.Stats.Total)
+	fmt.Println("year   approx (95% CI)                exact        rel.err")
+	exactByYear := map[string]float64{}
+	for _, row := range e.Rows {
+		exactByYear[row.Groups[0].String()] = row.Aggs[0].Value
+	}
+	for _, row := range a.Rows {
+		year := row.Groups[0].String()
+		est := row.Aggs[0]
+		lo, hi := est.ConfidenceInterval(0.95)
+		want := exactByYear[year]
+		relErr := math.NaN()
+		if want != 0 {
+			relErr = 100 * math.Abs(est.Value-want) / want
+		}
+		fmt.Printf("%s   %11.0f [%11.0f, %11.0f]   %11.0f   %5.2f%%\n",
+			year, est.Value, lo, hi, want, relErr)
+	}
+}

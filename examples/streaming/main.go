@@ -1,0 +1,96 @@
+// Streaming: LAQy's mergeable samples applied to a live event stream — the
+// sliding-window adaptation the paper sketches in its related-work section.
+//
+// A synthetic order stream (1M events across 3 regions with a mid-stream
+// demand shift) is summarized by per-slide stratified samples; dashboards
+// then ask for revenue over arbitrary sliding windows — including windows
+// strictly in the past — each answered by merging the overlapping slide
+// samples, never by re-scanning the stream.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"laqy"
+)
+
+func main() {
+	w, err := laqy.NewWindowed(laqy.WindowConfig{
+		Columns:    []string{"region", "revenue"},
+		GroupBy:    1,      // stratify per region
+		K:          500,    // 500 sampled orders per region per slide
+		SlideWidth: 60_000, // one slide per minute of event time (ms)
+		MaxSlides:  120,    // retain two hours
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate one hour of orders (ms timestamps). Region 2's demand
+	// doubles in the second half hour.
+	const hour = 3_600_000
+	var exactFirst, exactSecond [3]float64
+	events := 0
+	for ts := int64(0); ts < hour; ts += 3 {
+		region := (ts / 3) % 3
+		revenue := 50 + (ts/7)%200
+		if region == 2 && ts >= hour/2 {
+			revenue *= 2
+		}
+		if err := w.Observe(ts, []int64{region, revenue}); err != nil {
+			log.Fatal(err)
+		}
+		events++
+		if ts < hour/2 {
+			exactFirst[region] += float64(revenue)
+		} else {
+			exactSecond[region] += float64(revenue)
+		}
+	}
+	fmt.Printf("ingested %d events into %d-slide window store (%d sampled tuples max/slide/region)\n\n",
+		events, 120, 500)
+
+	report := func(name string, from, to int64, exact [3]float64) {
+		fmt.Printf("window %s [%d, %d]:\n", name, from, to)
+		groups, err := w.Aggregate(from, to, "revenue", laqy.Sum)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, g := range groups {
+			lo, hi := g.Value.ConfidenceInterval(0.95)
+			fmt.Printf("  region %d: SUM(revenue) ≈ %14.0f  [%14.0f, %14.0f]  (exact %14.0f, err %.2f%%)\n",
+				g.Key[0], g.Value.Value, lo, hi, exact[g.Key[0]],
+				100*abs(g.Value.Value-exact[g.Key[0]])/exact[g.Key[0]])
+		}
+		fmt.Println()
+	}
+
+	report("first half-hour", 0, hour/2-1, exactFirst)
+	report("second half-hour (demand shift)", hour/2, hour-1, exactSecond)
+
+	// A window that slides: the same samples answer every position.
+	fmt.Println("sliding 10-minute windows (region 2 revenue, watching the shift):")
+	const tenMin = 600_000
+	for from := int64(0); from+tenMin <= hour; from += tenMin {
+		groups, err := w.Aggregate(from, from+tenMin-1, "revenue", laqy.Sum)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, g := range groups {
+			if g.Key[0] == 2 {
+				fmt.Printf("  [%7d, %7d]: %14.0f\n", from, from+tenMin-1, g.Value.Value)
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module laqy
+
+go 1.22

@@ -1,0 +1,77 @@
+package algebra
+
+import (
+	"testing"
+)
+
+// decodeSets builds two interval sets from fuzz bytes: each consecutive
+// byte pair (lo, width) becomes an interval, alternating between the sets.
+func decodeSets(data []byte) (Set, Set) {
+	var a, b Set
+	for i := 0; i+1 < len(data); i += 2 {
+		iv := Interval{Lo: int64(data[i]), Hi: int64(data[i]) + int64(data[i+1]%32)}
+		if (i/2)%2 == 0 {
+			a = a.Union(SetOf(iv))
+		} else {
+			b = b.Union(SetOf(iv))
+		}
+	}
+	return a, b
+}
+
+// FuzzSetAlgebra asserts the algebraic laws Δ-sampling relies on for
+// arbitrary interval sets: the delta/covered partition reconstructs the
+// query range, deltas never overlap the covered part, and all results stay
+// canonical.
+func FuzzSetAlgebra(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 5, 10})
+	f.Add([]byte{1, 0, 1, 0, 2, 1})
+	f.Add([]byte{200, 31, 100, 31, 150, 31, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeSets(data)
+		delta := a.Subtract(b)
+		covered := a.Intersect(b)
+		if !delta.Union(covered).Equal(a) {
+			t.Fatalf("partition broken: (%v - %v) ∪ (%v ∩ %v) != %v", a, b, a, b, a)
+		}
+		if !delta.Intersect(b).IsEmpty() {
+			t.Fatalf("delta overlaps the covered range: %v vs %v", delta, b)
+		}
+		if b.Covers(a) != delta.IsEmpty() {
+			t.Fatal("Covers disagrees with Subtract")
+		}
+		for _, s := range []Set{delta, covered, a.Union(b)} {
+			ivs := s.Intervals()
+			for i := range ivs {
+				if ivs[i].IsEmpty() {
+					t.Fatalf("canonical set holds an empty interval: %v", s)
+				}
+				if i > 0 && ivs[i-1].Hi >= ivs[i].Lo-1 {
+					t.Fatalf("set not canonical: %v", s)
+				}
+			}
+		}
+		// Classification is total and consistent for single-column
+		// predicates derived from the sets.
+		if !a.IsEmpty() && !b.IsEmpty() {
+			sp := NewPredicate().With("c", b)
+			qp := NewPredicate().With("c", a)
+			reuse, d := Classify(sp, qp)
+			switch reuse {
+			case ReuseFull:
+				if !b.Covers(a) {
+					t.Fatal("full reuse without coverage")
+				}
+			case ReusePartial:
+				if d == nil || d.Missing.IsEmpty() || d.Covered.IsEmpty() {
+					t.Fatalf("partial reuse with degenerate delta: %+v", d)
+				}
+			case ReuseNone:
+				if b.Overlaps(a) {
+					t.Fatal("overlapping sets classified as no reuse")
+				}
+			}
+		}
+	})
+}

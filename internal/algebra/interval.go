@@ -1,0 +1,288 @@
+// Package algebra implements the predicate algebra LAQy uses to decide
+// sample reuse: closed integer intervals, disjoint interval sets, and
+// conjunctive range predicates with subsumption, overlap, and Δ (delta)
+// computation.
+//
+// The paper's lazy sampler (Algorithm 1) classifies the relation between an
+// incoming query predicate and a materialized sample's predicate into three
+// cases — full subsumption (offline reuse), partial overlap (Δ-sample and
+// merge), and disjointness (online sampling). This package provides exactly
+// those decisions. Intervals are closed integer intervals, which makes the
+// open/half-open ranges appearing in the paper ((2,5], [2,6), ...)
+// representable canonically: (2,5] over the integers is [3,5].
+package algebra
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed integer interval [Lo, Hi]. An interval with Lo > Hi
+// is empty; Empty() returns the canonical empty interval.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Empty returns the canonical empty interval.
+func Empty() Interval { return Interval{Lo: 1, Hi: 0} }
+
+// Full returns the interval covering the whole int64 domain.
+func Full() Interval { return Interval{Lo: math.MinInt64, Hi: math.MaxInt64} }
+
+// Point returns the degenerate interval [v, v].
+func Point(v int64) Interval { return Interval{Lo: v, Hi: v} }
+
+// IsEmpty reports whether the interval contains no integers.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v int64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Count returns the number of integers in the interval, saturating at
+// math.MaxInt64 for ranges too wide to represent.
+func (iv Interval) Count() int64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	// Hi - Lo + 1 can overflow for huge ranges; detect and saturate.
+	w := uint64(iv.Hi) - uint64(iv.Lo)
+	if w >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(w) + 1
+}
+
+// Intersect returns the overlap of two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	r := Interval{Lo: max64(iv.Lo, o.Lo), Hi: min64(iv.Hi, o.Hi)}
+	if r.IsEmpty() {
+		return Empty()
+	}
+	return r
+}
+
+// Overlaps reports whether the two intervals share at least one integer.
+func (iv Interval) Overlaps(o Interval) bool {
+	return !iv.Intersect(o).IsEmpty()
+}
+
+// Covers reports whether iv fully contains o. The empty interval is covered
+// by every interval.
+func (iv Interval) Covers(o Interval) bool {
+	if o.IsEmpty() {
+		return true
+	}
+	if iv.IsEmpty() {
+		return false
+	}
+	return iv.Lo <= o.Lo && o.Hi <= iv.Hi
+}
+
+// Adjacent reports whether the two intervals are disjoint but touch, i.e.
+// their union is a single interval.
+func (iv Interval) Adjacent(o Interval) bool {
+	if iv.IsEmpty() || o.IsEmpty() || iv.Overlaps(o) {
+		return false
+	}
+	if iv.Hi < o.Lo {
+		return iv.Hi != math.MaxInt64 && iv.Hi+1 == o.Lo
+	}
+	return o.Hi != math.MaxInt64 && o.Hi+1 == iv.Lo
+}
+
+// String renders the interval in the paper's closed-range notation.
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "∅"
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Set is an ordered sequence of disjoint, non-adjacent, non-empty intervals.
+// The zero value is the empty set. Sets are immutable: all operations return
+// new sets.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet builds a Set from arbitrary intervals, normalizing them into
+// canonical disjoint sorted form (empty intervals dropped, overlapping and
+// adjacent intervals coalesced).
+func NewSet(ivs ...Interval) Set {
+	var s Set
+	for _, iv := range ivs {
+		s = s.Union(SetOf(iv))
+	}
+	return s
+}
+
+// SetOf wraps a single interval as a Set.
+func SetOf(iv Interval) Set {
+	if iv.IsEmpty() {
+		return Set{}
+	}
+	return Set{ivs: []Interval{iv}}
+}
+
+// Intervals returns the canonical disjoint intervals in ascending order.
+// The returned slice must not be modified.
+func (s Set) Intervals() []Interval { return s.ivs }
+
+// IsEmpty reports whether the set contains no integers.
+func (s Set) IsEmpty() bool { return len(s.ivs) == 0 }
+
+// Contains reports whether v is a member of the set.
+func (s Set) Contains(v int64) bool {
+	// Binary search over the sorted disjoint intervals.
+	lo, hi := 0, len(s.ivs)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		iv := s.ivs[mid]
+		switch {
+		case v < iv.Lo:
+			hi = mid - 1
+		case v > iv.Hi:
+			lo = mid + 1
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the total number of integers in the set, saturating at
+// math.MaxInt64.
+func (s Set) Count() int64 {
+	var total int64
+	for _, iv := range s.ivs {
+		c := iv.Count()
+		if total > math.MaxInt64-c {
+			return math.MaxInt64
+		}
+		total += c
+	}
+	return total
+}
+
+// Union returns the set of integers in s or o.
+func (s Set) Union(o Set) Set {
+	merged := make([]Interval, 0, len(s.ivs)+len(o.ivs))
+	i, j := 0, 0
+	for i < len(s.ivs) || j < len(o.ivs) {
+		var next Interval
+		if j >= len(o.ivs) || (i < len(s.ivs) && s.ivs[i].Lo <= o.ivs[j].Lo) {
+			next = s.ivs[i]
+			i++
+		} else {
+			next = o.ivs[j]
+			j++
+		}
+		if n := len(merged); n > 0 && (merged[n-1].Overlaps(next) || merged[n-1].Adjacent(next)) {
+			merged[n-1].Hi = max64(merged[n-1].Hi, next.Hi)
+		} else {
+			merged = append(merged, next)
+		}
+	}
+	return Set{ivs: merged}
+}
+
+// Intersect returns the set of integers in both s and o.
+func (s Set) Intersect(o Set) Set {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(o.ivs) {
+		if x := s.ivs[i].Intersect(o.ivs[j]); !x.IsEmpty() {
+			out = append(out, x)
+		}
+		if s.ivs[i].Hi < o.ivs[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set{ivs: out}
+}
+
+// Subtract returns the set of integers in s but not in o. This is the Δ
+// (delta) computation of the paper: the part of a query's range not covered
+// by an existing sample, for which a Δ-sample must be built.
+func (s Set) Subtract(o Set) Set {
+	var out []Interval
+	for _, iv := range s.ivs {
+		remaining := []Interval{iv}
+		for _, cut := range o.ivs {
+			var next []Interval
+			for _, r := range remaining {
+				x := r.Intersect(cut)
+				if x.IsEmpty() {
+					next = append(next, r)
+					continue
+				}
+				if r.Lo < x.Lo {
+					next = append(next, Interval{Lo: r.Lo, Hi: x.Lo - 1})
+				}
+				if x.Hi < r.Hi {
+					next = append(next, Interval{Lo: x.Hi + 1, Hi: r.Hi})
+				}
+			}
+			remaining = next
+		}
+		out = append(out, remaining...)
+	}
+	return Set{ivs: out}
+}
+
+// Covers reports whether every integer of o is also in s (predicate
+// subsumption: a sample whose range Covers the query range can be fully
+// reused as an offline sample).
+func (s Set) Covers(o Set) bool {
+	return o.Subtract(s).IsEmpty()
+}
+
+// Overlaps reports whether s and o share at least one integer (the partial
+// reuse condition of Algorithm 1).
+func (s Set) Overlaps(o Set) bool {
+	return !s.Intersect(o).IsEmpty()
+}
+
+// Equal reports whether the two sets contain exactly the same integers.
+func (s Set) Equal(o Set) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != o.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a union of closed intervals.
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "∅"
+	}
+	out := ""
+	for i, iv := range s.ivs {
+		if i > 0 {
+			out += " ∪ "
+		}
+		out += iv.String()
+	}
+	return out
+}

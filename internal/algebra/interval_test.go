@@ -1,0 +1,270 @@
+package algebra
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func iv(lo, hi int64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+func TestIntervalBasics(t *testing.T) {
+	tests := []struct {
+		name  string
+		iv    Interval
+		empty bool
+		count int64
+	}{
+		{"point", iv(5, 5), false, 1},
+		{"range", iv(2, 6), false, 5},
+		{"empty", iv(6, 2), true, 0},
+		{"canonical empty", Empty(), true, 0},
+		{"full", Full(), false, math.MaxInt64},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.iv.IsEmpty(); got != tc.empty {
+				t.Errorf("IsEmpty() = %v, want %v", got, tc.empty)
+			}
+			if got := tc.iv.Count(); got != tc.count {
+				t.Errorf("Count() = %d, want %d", got, tc.count)
+			}
+		})
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	r := iv(2, 6)
+	for _, v := range []int64{2, 3, 6} {
+		if !r.Contains(v) {
+			t.Errorf("[2,6] should contain %d", v)
+		}
+	}
+	for _, v := range []int64{1, 7, -5} {
+		if r.Contains(v) {
+			t.Errorf("[2,6] should not contain %d", v)
+		}
+	}
+	if Empty().Contains(0) {
+		t.Error("empty interval contains 0")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	tests := []struct {
+		a, b, want Interval
+	}{
+		{iv(0, 5), iv(3, 8), iv(3, 5)},
+		{iv(0, 5), iv(6, 8), Empty()},
+		{iv(0, 5), iv(5, 8), iv(5, 5)},
+		{iv(0, 10), iv(3, 4), iv(3, 4)},
+		{Empty(), iv(0, 10), Empty()},
+	}
+	for _, tc := range tests {
+		got := tc.a.Intersect(tc.b)
+		if got.IsEmpty() != tc.want.IsEmpty() || (!got.IsEmpty() && got != tc.want) {
+			t.Errorf("%v ∩ %v = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		// Intersection is commutative.
+		rev := tc.b.Intersect(tc.a)
+		if rev.IsEmpty() != got.IsEmpty() || (!got.IsEmpty() && rev != got) {
+			t.Errorf("intersect not commutative for %v, %v", tc.a, tc.b)
+		}
+	}
+}
+
+func TestIntervalCovers(t *testing.T) {
+	if !iv(0, 10).Covers(iv(2, 6)) {
+		t.Error("[0,10] should cover [2,6]")
+	}
+	if iv(2, 6).Covers(iv(0, 10)) {
+		t.Error("[2,6] should not cover [0,10]")
+	}
+	if !iv(2, 6).Covers(Empty()) {
+		t.Error("everything covers the empty interval")
+	}
+	if Empty().Covers(iv(1, 1)) {
+		t.Error("empty covers nothing non-empty")
+	}
+	if !iv(2, 6).Covers(iv(2, 6)) {
+		t.Error("interval covers itself")
+	}
+}
+
+func TestIntervalAdjacent(t *testing.T) {
+	if !iv(0, 4).Adjacent(iv(5, 9)) {
+		t.Error("[0,4] and [5,9] are adjacent")
+	}
+	if !iv(5, 9).Adjacent(iv(0, 4)) {
+		t.Error("adjacency is symmetric")
+	}
+	if iv(0, 4).Adjacent(iv(6, 9)) {
+		t.Error("[0,4] and [6,9] have a gap")
+	}
+	if iv(0, 5).Adjacent(iv(5, 9)) {
+		t.Error("overlapping intervals are not adjacent")
+	}
+	if iv(0, math.MaxInt64).Adjacent(iv(3, 4)) {
+		t.Error("adjacency at MaxInt64 must not overflow")
+	}
+}
+
+func TestSetNormalization(t *testing.T) {
+	s := NewSet(iv(5, 9), iv(0, 4), iv(20, 30), iv(22, 25), Empty())
+	got := s.Intervals()
+	want := []Interval{iv(0, 9), iv(20, 30)}
+	if len(got) != len(want) {
+		t.Fatalf("normalized to %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("normalized to %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetSubtractPaperExample(t *testing.T) {
+	// Figure 1 of the paper: sample covers C2 < 2 (here [0,1]), query wants
+	// C2 < 6 ([0,5]); the delta is [2,5].
+	sample := SetOf(iv(0, 1))
+	query := SetOf(iv(0, 5))
+	delta := query.Subtract(sample)
+	want := SetOf(iv(2, 5))
+	if !delta.Equal(want) {
+		t.Fatalf("delta = %v, want %v", delta, want)
+	}
+}
+
+func TestSetSubtractSplits(t *testing.T) {
+	// Cutting the middle out of a range yields two intervals.
+	d := SetOf(iv(0, 10)).Subtract(SetOf(iv(4, 6)))
+	want := NewSet(iv(0, 3), iv(7, 10))
+	if !d.Equal(want) {
+		t.Fatalf("got %v, want %v", d, want)
+	}
+}
+
+func TestSetContainsBinarySearch(t *testing.T) {
+	s := NewSet(iv(0, 4), iv(10, 14), iv(20, 24), iv(30, 34))
+	for _, v := range []int64{0, 4, 12, 24, 30, 34} {
+		if !s.Contains(v) {
+			t.Errorf("set should contain %d", v)
+		}
+	}
+	for _, v := range []int64{-1, 5, 9, 15, 25, 35, 100} {
+		if s.Contains(v) {
+			t.Errorf("set should not contain %d", v)
+		}
+	}
+}
+
+func TestSetCount(t *testing.T) {
+	s := NewSet(iv(0, 4), iv(10, 14))
+	if got := s.Count(); got != 10 {
+		t.Fatalf("Count() = %d, want 10", got)
+	}
+	if got := SetOf(Full()).Count(); got != math.MaxInt64 {
+		t.Fatalf("full-set Count() should saturate, got %d", got)
+	}
+}
+
+// randomSet builds a small random interval set for property tests.
+func randomSet(r *rand.Rand) Set {
+	n := r.Intn(4)
+	var s Set
+	for i := 0; i < n; i++ {
+		lo := int64(r.Intn(100))
+		hi := lo + int64(r.Intn(20))
+		s = s.Union(SetOf(iv(lo, hi)))
+	}
+	return s
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, rr *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomSet(rr))
+			vals[1] = reflect.ValueOf(randomSet(rr))
+		},
+	}
+	_ = r
+
+	// (a - b) ∪ (a ∩ b) == a : the delta plus the covered part reconstructs
+	// the query range exactly — the invariant that makes Δ-sampling sound.
+	partition := func(a, b Set) bool {
+		return a.Subtract(b).Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(partition, cfg); err != nil {
+		t.Errorf("partition property: %v", err)
+	}
+
+	// (a - b) ∩ b == ∅ : delta ranges never double-sample covered rows
+	// (the bias hazard discussed in Section 5).
+	disjoint := func(a, b Set) bool {
+		return a.Subtract(b).Intersect(b).IsEmpty()
+	}
+	if err := quick.Check(disjoint, cfg); err != nil {
+		t.Errorf("disjointness property: %v", err)
+	}
+
+	// Union commutes and is idempotent.
+	unionLaws := func(a, b Set) bool {
+		return a.Union(b).Equal(b.Union(a)) && a.Union(a).Equal(a)
+	}
+	if err := quick.Check(unionLaws, cfg); err != nil {
+		t.Errorf("union laws: %v", err)
+	}
+
+	// Covers is consistent with Subtract.
+	coverLaw := func(a, b Set) bool {
+		return a.Covers(b) == b.Subtract(a).IsEmpty()
+	}
+	if err := quick.Check(coverLaw, cfg); err != nil {
+		t.Errorf("cover law: %v", err)
+	}
+
+	// Membership distributes over union and intersection.
+	member := func(a, b Set) bool {
+		for v := int64(-5); v < 130; v += 7 {
+			if a.Union(b).Contains(v) != (a.Contains(v) || b.Contains(v)) {
+				return false
+			}
+			if a.Intersect(b).Contains(v) != (a.Contains(v) && b.Contains(v)) {
+				return false
+			}
+			if a.Subtract(b).Contains(v) != (a.Contains(v) && !b.Contains(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(member, cfg); err != nil {
+		t.Errorf("membership law: %v", err)
+	}
+}
+
+func TestSetCanonicalInvariant(t *testing.T) {
+	// After any operation, intervals must stay sorted, disjoint, and
+	// non-adjacent.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b := randomSet(r), randomSet(r)
+		for _, s := range []Set{a.Union(b), a.Intersect(b), a.Subtract(b)} {
+			ivs := s.Intervals()
+			for j := range ivs {
+				if ivs[j].IsEmpty() {
+					t.Fatalf("canonical set holds empty interval: %v", s)
+				}
+				if j > 0 {
+					if ivs[j-1].Hi >= ivs[j].Lo-1 {
+						t.Fatalf("set not canonical: %v", s)
+					}
+				}
+			}
+		}
+	}
+}

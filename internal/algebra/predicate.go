@@ -1,0 +1,282 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Predicate is a conjunctive range predicate: each named column is
+// constrained to an interval Set, and a row qualifies when every column's
+// value falls inside its set. Columns not mentioned are unconstrained. The
+// zero Predicate accepts all rows.
+//
+// Sample metadata stores the predicate under which the sample was built (the
+// paper's "Query Predicate"); comparing the stored predicate against an
+// incoming query's predicate yields the reuse decision.
+type Predicate struct {
+	cols map[string]Set
+}
+
+// NewPredicate returns a predicate with no constraints.
+func NewPredicate() Predicate { return Predicate{} }
+
+// With returns a copy of p with column constrained to set, intersected with
+// any existing constraint on that column. An empty (all-rejecting) set is
+// kept so that contradictory predicates stay detectable via IsUnsatisfiable.
+func (p Predicate) With(column string, set Set) Predicate {
+	out := Predicate{cols: make(map[string]Set, len(p.cols)+1)}
+	for c, s := range p.cols {
+		out.cols[c] = s
+	}
+	if prev, ok := out.cols[column]; ok {
+		out.cols[column] = prev.Intersect(set)
+	} else {
+		out.cols[column] = set
+	}
+	return out
+}
+
+// WithRange is shorthand for constraining column to the closed range
+// [lo, hi], the shape of the paper's BETWEEN predicates.
+func (p Predicate) WithRange(column string, lo, hi int64) Predicate {
+	return p.With(column, SetOf(Interval{Lo: lo, Hi: hi}))
+}
+
+// WithPoint is shorthand for an equality constraint (column = v), used for
+// dictionary-encoded string predicates such as s_region = 'AMERICA'.
+func (p Predicate) WithPoint(column string, v int64) Predicate {
+	return p.With(column, SetOf(Point(v)))
+}
+
+// Columns returns the constrained column names in sorted order.
+func (p Predicate) Columns() []string {
+	out := make([]string, 0, len(p.cols))
+	for c := range p.cols {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Constraint returns the interval set constraining column and whether the
+// column is constrained at all.
+func (p Predicate) Constraint(column string) (Set, bool) {
+	s, ok := p.cols[column]
+	return s, ok
+}
+
+// IsTrue reports whether the predicate accepts every row.
+func (p Predicate) IsTrue() bool { return len(p.cols) == 0 }
+
+// IsUnsatisfiable reports whether some column's constraint is empty, making
+// the conjunction reject all rows.
+func (p Predicate) IsUnsatisfiable() bool {
+	for _, s := range p.cols {
+		if s.IsEmpty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Matches evaluates the predicate against a row given as column→value.
+// Columns missing from the row are treated as failing their constraint.
+func (p Predicate) Matches(row map[string]int64) bool {
+	for c, s := range p.cols {
+		v, ok := row[c]
+		if !ok || !s.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsumes reports whether every row accepted by q is also accepted by p.
+// A sample built under predicate p can serve a query with predicate q
+// directly (the paper's conditional transition to stricter predicates,
+// §5.2.1) when p.Subsumes(q).
+func (p Predicate) Subsumes(q Predicate) bool {
+	// Every constraint of p must cover q's constraint on that column; if q
+	// leaves a column unconstrained that p constrains, p is narrower there.
+	for c, ps := range p.cols {
+		qs, ok := q.cols[c]
+		if !ok {
+			return false
+		}
+		if !ps.Covers(qs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether some row satisfies both predicates.
+func (p Predicate) Overlaps(q Predicate) bool {
+	for c, ps := range p.cols {
+		if qs, ok := q.cols[c]; ok {
+			if !ps.Overlaps(qs) {
+				return false
+			}
+		}
+	}
+	return !p.IsUnsatisfiable() && !q.IsUnsatisfiable()
+}
+
+// Equal reports whether the predicates constrain the same columns to the
+// same sets.
+func (p Predicate) Equal(q Predicate) bool {
+	if len(p.cols) != len(q.cols) {
+		return false
+	}
+	for c, ps := range p.cols {
+		qs, ok := q.cols[c]
+		if !ok || !ps.Equal(qs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the conjunction of the two predicates.
+func (p Predicate) Intersect(q Predicate) Predicate {
+	out := Predicate{cols: make(map[string]Set, len(p.cols)+len(q.cols))}
+	for c, s := range p.cols {
+		out.cols[c] = s
+	}
+	for c, s := range q.cols {
+		if prev, ok := out.cols[c]; ok {
+			out.cols[c] = prev.Intersect(s)
+		} else {
+			out.cols[c] = s
+		}
+	}
+	return out
+}
+
+// Reuse classifies how a sample built under predicate sample can serve a
+// query with predicate query — the decision at the heart of Algorithm 1.
+type Reuse int
+
+const (
+	// ReuseFull: the sample's predicate subsumes the query's; the sample is
+	// used as an offline sample (tightening may apply).
+	ReuseFull Reuse = iota
+	// ReusePartial: the predicates overlap and differ on exactly one
+	// column, so a Δ-sample over the missing range completes the coverage.
+	ReusePartial
+	// ReuseNone: disjoint predicates, or a mismatch this framework cannot
+	// delta-correct; fall back to online sampling.
+	ReuseNone
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (r Reuse) String() string {
+	switch r {
+	case ReuseFull:
+		return "full"
+	case ReusePartial:
+		return "partial"
+	default:
+		return "none"
+	}
+}
+
+// Delta describes the Δ-sampling work needed to extend a sample to cover a
+// query: build a sample over Missing on Column (with all of the query's
+// other constraints pushed down) and merge it with the existing sample
+// restricted to Covered.
+type Delta struct {
+	// Column is the single column whose range must be extended.
+	Column string
+	// Missing is the part of the query's range on Column not covered by the
+	// sample (the Δ-query predicate).
+	Missing Set
+	// Covered is the part of the query's range on Column already covered by
+	// the sample.
+	Covered Set
+	// Tighten reports that the sample also extends beyond the query range
+	// on Column, so the reused part must be filtered to Covered (combined
+	// tightening and relaxing, §5.2.3).
+	Tighten bool
+}
+
+// Classify determines the reuse relation between a sample predicate and a
+// query predicate, returning the Δ description when partial reuse applies.
+//
+// Partial reuse requires that the two predicates agree on every column
+// except one range column: the paper's Δ-samples correct a single relaxed
+// dimension. Mismatches on two or more columns would produce
+// multi-dimensional deltas whose union is not expressible as a conjunctive
+// predicate and are classified ReuseNone (online sampling).
+func Classify(sample, query Predicate) (Reuse, *Delta) {
+	if sample.Subsumes(query) {
+		return ReuseFull, nil
+	}
+	if !sample.Overlaps(query) {
+		return ReuseNone, nil
+	}
+
+	// Find columns on which the sample fails to cover the query.
+	var mismatched []string
+	allCols := map[string]bool{}
+	for c := range sample.cols {
+		allCols[c] = true
+	}
+	for c := range query.cols {
+		allCols[c] = true
+	}
+	for c := range allCols {
+		ss, sok := sample.cols[c]
+		qs, qok := query.cols[c]
+		switch {
+		case !qok:
+			// Query is unconstrained on c but the sample is constrained:
+			// the sample covers only part of an unbounded range. Treat the
+			// query as the full domain.
+			qs = SetOf(Full())
+			if !ss.Covers(qs) {
+				mismatched = append(mismatched, c)
+			}
+		case !sok:
+			// Sample unconstrained, query constrained: sample covers it.
+		case !ss.Covers(qs):
+			mismatched = append(mismatched, c)
+		}
+	}
+	if len(mismatched) != 1 {
+		return ReuseNone, nil
+	}
+
+	col := mismatched[0]
+	ss := sample.cols[col]
+	qs, qok := query.cols[col]
+	if !qok {
+		qs = SetOf(Full())
+	}
+	missing := qs.Subtract(ss)
+	covered := qs.Intersect(ss)
+	if covered.IsEmpty() || missing.IsEmpty() {
+		// Defensive: Covers already ruled these out, but keep the
+		// classification total.
+		return ReuseNone, nil
+	}
+	return ReusePartial, &Delta{
+		Column:  col,
+		Missing: missing,
+		Covered: covered,
+		Tighten: !qs.Covers(ss),
+	}
+}
+
+// String renders the predicate as a SQL-ish conjunction for diagnostics.
+func (p Predicate) String() string {
+	if p.IsTrue() {
+		return "TRUE"
+	}
+	parts := make([]string, 0, len(p.cols))
+	for _, c := range p.Columns() {
+		parts = append(parts, fmt.Sprintf("%s ∈ %s", c, p.cols[c]))
+	}
+	return strings.Join(parts, " AND ")
+}

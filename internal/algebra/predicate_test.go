@@ -1,0 +1,232 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPredicateBasics(t *testing.T) {
+	p := NewPredicate()
+	if !p.IsTrue() {
+		t.Fatal("zero predicate should be TRUE")
+	}
+	p = p.WithRange("c3", 5, 100)
+	if p.IsTrue() {
+		t.Fatal("constrained predicate is not TRUE")
+	}
+	if !p.Matches(map[string]int64{"c3": 50}) {
+		t.Fatal("50 ∈ [5,100]")
+	}
+	if p.Matches(map[string]int64{"c3": 4}) {
+		t.Fatal("4 ∉ [5,100]")
+	}
+	if p.Matches(map[string]int64{"other": 50}) {
+		t.Fatal("missing column must fail the constraint")
+	}
+}
+
+func TestPredicateWithIntersects(t *testing.T) {
+	p := NewPredicate().WithRange("c", 0, 10).WithRange("c", 5, 20)
+	s, ok := p.Constraint("c")
+	if !ok || !s.Equal(SetOf(iv(5, 10))) {
+		t.Fatalf("repeated With should intersect; got %v", s)
+	}
+	contradiction := NewPredicate().WithRange("c", 0, 3).WithRange("c", 5, 9)
+	if !contradiction.IsUnsatisfiable() {
+		t.Fatal("contradictory constraints should be unsatisfiable")
+	}
+}
+
+func TestPredicateSubsumes(t *testing.T) {
+	wide := NewPredicate().WithRange("c3", 0, 100)
+	narrow := NewPredicate().WithRange("c3", 10, 20)
+	if !wide.Subsumes(narrow) {
+		t.Fatal("[0,100] subsumes [10,20]")
+	}
+	if narrow.Subsumes(wide) {
+		t.Fatal("[10,20] does not subsume [0,100]")
+	}
+	// A predicate constraining an extra column is narrower, not wider.
+	extra := wide.WithPoint("c1", 3)
+	if extra.Subsumes(wide) {
+		t.Fatal("extra constraint cannot subsume the unconstrained query")
+	}
+	if !NewPredicate().Subsumes(extra) {
+		t.Fatal("TRUE subsumes everything")
+	}
+}
+
+func TestPredicateOverlaps(t *testing.T) {
+	a := NewPredicate().WithRange("x", 0, 10)
+	b := NewPredicate().WithRange("x", 5, 15)
+	c := NewPredicate().WithRange("x", 20, 30)
+	if !a.Overlaps(b) {
+		t.Fatal("[0,10] overlaps [5,15]")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("[0,10] does not overlap [20,30]")
+	}
+	// Constraints on different columns still overlap (conjunction of
+	// independent dimensions).
+	d := NewPredicate().WithRange("y", 0, 5)
+	if !a.Overlaps(d) {
+		t.Fatal("independent columns overlap")
+	}
+}
+
+func TestClassifyFullReuse(t *testing.T) {
+	sample := NewPredicate().WithRange("key", 0, 100)
+	query := NewPredicate().WithRange("key", 20, 50)
+	r, d := Classify(sample, query)
+	if r != ReuseFull || d != nil {
+		t.Fatalf("got %v, %v; want full reuse", r, d)
+	}
+}
+
+func TestClassifyPartialReuseFigure1(t *testing.T) {
+	// Paper Figure 1: sample built with C2 ∈ [0,1] (C2 < 2); query asks
+	// C2 ∈ [0,5] (C2 < 6). Delta should be [2,5], covered [0,1], no
+	// tightening needed.
+	sample := NewPredicate().WithRange("C2", 0, 1)
+	query := NewPredicate().WithRange("C2", 0, 5)
+	r, d := Classify(sample, query)
+	if r != ReusePartial {
+		t.Fatalf("got %v, want partial", r)
+	}
+	if d.Column != "C2" {
+		t.Fatalf("delta column = %q", d.Column)
+	}
+	if !d.Missing.Equal(SetOf(iv(2, 5))) {
+		t.Fatalf("missing = %v, want [2,5]", d.Missing)
+	}
+	if !d.Covered.Equal(SetOf(iv(0, 1))) {
+		t.Fatalf("covered = %v, want [0,1]", d.Covered)
+	}
+	if d.Tighten {
+		t.Fatal("no tightening expected: query covers the sample range")
+	}
+}
+
+func TestClassifyCombinedTightenRelax(t *testing.T) {
+	// Section 5.2.3: sample on [0,10], query on [5,20]. Reuse [5,10]
+	// (tighten) and delta-sample [11,20] (relax).
+	sample := NewPredicate().WithRange("key", 0, 10)
+	query := NewPredicate().WithRange("key", 5, 20)
+	r, d := Classify(sample, query)
+	if r != ReusePartial {
+		t.Fatalf("got %v, want partial", r)
+	}
+	if !d.Missing.Equal(SetOf(iv(11, 20))) {
+		t.Fatalf("missing = %v", d.Missing)
+	}
+	if !d.Covered.Equal(SetOf(iv(5, 10))) {
+		t.Fatalf("covered = %v", d.Covered)
+	}
+	if !d.Tighten {
+		t.Fatal("tightening expected: sample extends below the query range")
+	}
+}
+
+func TestClassifyDisjoint(t *testing.T) {
+	sample := NewPredicate().WithRange("key", 0, 10)
+	query := NewPredicate().WithRange("key", 50, 60)
+	r, d := Classify(sample, query)
+	if r != ReuseNone || d != nil {
+		t.Fatalf("disjoint ranges must not reuse; got %v", r)
+	}
+}
+
+func TestClassifyTwoColumnMismatch(t *testing.T) {
+	// Mismatch on two columns cannot be corrected by a single Δ-sample.
+	sample := NewPredicate().WithRange("a", 0, 10).WithRange("b", 0, 10)
+	query := NewPredicate().WithRange("a", 5, 20).WithRange("b", 5, 20)
+	r, _ := Classify(sample, query)
+	if r != ReuseNone {
+		t.Fatalf("two-column mismatch should be ReuseNone, got %v", r)
+	}
+}
+
+func TestClassifySampleConstrainedQueryUnconstrained(t *testing.T) {
+	// The sample was built under a filter the query does not have: the
+	// sample covers only part of the full domain on that column.
+	sample := NewPredicate().WithRange("key", 0, 10)
+	query := NewPredicate()
+	r, d := Classify(sample, query)
+	if r != ReusePartial {
+		t.Fatalf("got %v, want partial (delta = full domain minus [0,10])", r)
+	}
+	if d.Column != "key" {
+		t.Fatalf("column = %q", d.Column)
+	}
+	if d.Missing.Contains(5) || !d.Missing.Contains(11) || !d.Missing.Contains(-1) {
+		t.Fatalf("missing = %v", d.Missing)
+	}
+}
+
+func TestClassifyMatchingExtraColumns(t *testing.T) {
+	// Sample and query agree on a dimension filter and differ only on the
+	// range key: partial reuse still applies (the Q2 join scenario).
+	sample := NewPredicate().WithPoint("region", 3).WithRange("key", 0, 100)
+	query := NewPredicate().WithPoint("region", 3).WithRange("key", 50, 200)
+	r, d := Classify(sample, query)
+	if r != ReusePartial {
+		t.Fatalf("got %v, want partial", r)
+	}
+	if d.Column != "key" || !d.Missing.Equal(SetOf(iv(101, 200))) {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestClassifyRandomizedConsistency(t *testing.T) {
+	// For random single-column range pairs, Classify must agree with a
+	// brute-force row-level oracle on a sampled domain.
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		sLo := int64(r.Intn(50))
+		sHi := sLo + int64(r.Intn(30))
+		qLo := int64(r.Intn(50))
+		qHi := qLo + int64(r.Intn(30))
+		sample := NewPredicate().WithRange("k", sLo, sHi)
+		query := NewPredicate().WithRange("k", qLo, qHi)
+		rel, d := Classify(sample, query)
+
+		switch rel {
+		case ReuseFull:
+			if !(sLo <= qLo && qHi <= sHi) {
+				t.Fatalf("full reuse claimed for sample [%d,%d] query [%d,%d]", sLo, sHi, qLo, qHi)
+			}
+		case ReusePartial:
+			// Every query row must be in exactly one of covered/missing.
+			for v := qLo; v <= qHi; v++ {
+				inC, inM := d.Covered.Contains(v), d.Missing.Contains(v)
+				if inC == inM {
+					t.Fatalf("row %d in covered=%v missing=%v", v, inC, inM)
+				}
+				if inC != (v >= sLo && v <= sHi) {
+					t.Fatalf("covered wrong at %d", v)
+				}
+			}
+		case ReuseNone:
+			if sLo <= qHi && qLo <= sHi {
+				t.Fatalf("overlapping single-column ranges classified none: s=[%d,%d] q=[%d,%d]", sLo, sHi, qLo, qHi)
+			}
+		}
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	if got := NewPredicate().String(); got != "TRUE" {
+		t.Fatalf("String() = %q", got)
+	}
+	p := NewPredicate().WithRange("b", 0, 1).WithRange("a", 2, 3)
+	// Columns render in sorted order for deterministic output.
+	if got := p.String(); got != "a ∈ [2,3] AND b ∈ [0,1]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestReuseString(t *testing.T) {
+	if ReuseFull.String() != "full" || ReusePartial.String() != "partial" || ReuseNone.String() != "none" {
+		t.Fatal("Reuse.String() mismatch")
+	}
+}

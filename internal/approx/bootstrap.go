@@ -1,0 +1,69 @@
+package approx
+
+import (
+	"fmt"
+	"sort"
+
+	"laqy/internal/rng"
+	"laqy/internal/sample"
+)
+
+// Bootstrap computes a percentile-bootstrap confidence interval for an
+// aggregate over a reservoir: the reservoir is resampled with replacement
+// B times, the estimator is recomputed on each replicate, and the interval
+// is the (α/2, 1−α/2) percentile range of the replicates.
+//
+// The CLT intervals of FromReservoir are cheaper and usually adequate; the
+// bootstrap is the standard alternative when the estimator's sampling
+// distribution is suspect — heavily skewed values, small supports, or
+// non-linear aggregates — at the cost of B passes over the sample. It
+// makes no normality assumption.
+func Bootstrap(r *sample.Reservoir, col int, kind AggKind, replicates int,
+	confidence float64, gen *rng.Lehmer64) (lo, hi float64, err error) {
+
+	if replicates < 10 {
+		return 0, 0, fmt.Errorf("approx: %d bootstrap replicates (need ≥ 10)", replicates)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("approx: confidence %v outside (0,1)", confidence)
+	}
+	n := r.Len()
+	if n == 0 {
+		return 0, 0, fmt.Errorf("approx: bootstrap over an empty reservoir")
+	}
+	switch kind {
+	case Sum, Count, Avg:
+	default:
+		return 0, 0, fmt.Errorf("approx: bootstrap supports SUM/COUNT/AVG, not %v", kind)
+	}
+
+	w := r.Weight()
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = float64(r.Tuple(i)[col])
+	}
+	stats := make([]float64, replicates)
+	for b := 0; b < replicates; b++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += vals[gen.Intn(n)]
+		}
+		mean := sum / float64(n)
+		switch kind {
+		case Sum:
+			stats[b] = w * mean
+		case Count:
+			stats[b] = w
+		case Avg:
+			stats[b] = mean
+		}
+	}
+	sort.Float64s(stats)
+	alpha := 1 - confidence
+	loIdx := int(alpha / 2 * float64(replicates))
+	hiIdx := int((1 - alpha/2) * float64(replicates))
+	if hiIdx >= replicates {
+		hiIdx = replicates - 1
+	}
+	return stats[loIdx], stats[hiIdx], nil
+}

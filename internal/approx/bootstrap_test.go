@@ -1,0 +1,112 @@
+package approx
+
+import (
+	"testing"
+
+	"laqy/internal/sample"
+)
+
+func TestBootstrapMatchesCLTOnUniformData(t *testing.T) {
+	// For well-behaved (uniform) data with decent support, the percentile
+	// bootstrap and the CLT interval should roughly agree.
+	r := sample.NewReservoir(500, 1, newGen(1))
+	for v := int64(0); v < 100000; v++ {
+		r.Consider([]int64{v})
+	}
+	est := FromReservoir(r, 0, Sum)
+	cltLo, cltHi := est.ConfidenceInterval(0.95)
+
+	bootLo, bootHi, err := Bootstrap(r, 0, Sum, 2000, 0.95, newGen(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cltWidth := cltHi - cltLo
+	bootWidth := bootHi - bootLo
+	if bootWidth < cltWidth*0.7 || bootWidth > cltWidth*1.3 {
+		t.Fatalf("bootstrap width %.3g vs CLT width %.3g", bootWidth, cltWidth)
+	}
+	// Both intervals contain the point estimate.
+	if bootLo > est.Value || bootHi < est.Value {
+		t.Fatalf("bootstrap interval [%.3g, %.3g] excludes the estimate %.3g", bootLo, bootHi, est.Value)
+	}
+}
+
+func TestBootstrapCoverage(t *testing.T) {
+	// 95% bootstrap intervals should contain the true sum in roughly 95%
+	// of independent trials.
+	const n, k, trials = 20000, 300, 120
+	trueSum := float64(n) * float64(n-1) / 2
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		r := sample.NewReservoir(k, 1, newGen(uint64(trial+50)))
+		for v := int64(0); v < n; v++ {
+			r.Consider([]int64{v})
+		}
+		lo, hi, err := Bootstrap(r, 0, Sum, 400, 0.95, newGen(uint64(trial+5000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo <= trueSum && trueSum <= hi {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.85 {
+		t.Fatalf("bootstrap 95%% CI covered the truth in %.1f%% of trials", rate*100)
+	}
+}
+
+func TestBootstrapSkewedData(t *testing.T) {
+	// Heavily skewed values (a few huge outliers): the bootstrap interval
+	// is asymmetric around the estimate, which the CLT interval cannot be.
+	r := sample.NewReservoir(5000, 1, newGen(7))
+	for v := int64(0); v < 5000; v++ {
+		x := int64(1)
+		if v%100 == 0 {
+			x = 10_000
+		}
+		r.Consider([]int64{x})
+	}
+	est := FromReservoir(r, 0, Avg)
+	lo, hi, err := Bootstrap(r, 0, Avg, 2000, 0.95, newGen(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > est.Value || hi < est.Value {
+		t.Fatalf("interval [%v, %v] excludes %v", lo, hi, est.Value)
+	}
+	if hi <= lo {
+		t.Fatal("degenerate interval")
+	}
+}
+
+func TestBootstrapCountIsExact(t *testing.T) {
+	r := sample.NewReservoir(10, 1, newGen(9))
+	for v := int64(0); v < 1000; v++ {
+		r.Consider([]int64{v})
+	}
+	lo, hi, err := Bootstrap(r, 0, Count, 100, 0.95, newGen(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 1000 || hi != 1000 {
+		t.Fatalf("COUNT bootstrap = [%v, %v], want exact weight", lo, hi)
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	r := sample.NewReservoir(10, 1, newGen(11))
+	if _, _, err := Bootstrap(r, 0, Sum, 100, 0.95, newGen(12)); err == nil {
+		t.Fatal("empty reservoir must error")
+	}
+	r.Consider([]int64{1})
+	if _, _, err := Bootstrap(r, 0, Sum, 5, 0.95, newGen(12)); err == nil {
+		t.Fatal("too few replicates must error")
+	}
+	if _, _, err := Bootstrap(r, 0, Sum, 100, 1.5, newGen(12)); err == nil {
+		t.Fatal("bad confidence must error")
+	}
+	if _, _, err := Bootstrap(r, 0, Min, 100, 0.95, newGen(12)); err == nil {
+		t.Fatal("MIN bootstrap must be rejected")
+	}
+}

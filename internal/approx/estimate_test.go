@@ -1,0 +1,269 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"laqy/internal/rng"
+	"laqy/internal/sample"
+)
+
+func newGen(seed uint64) *rng.Lehmer64 { return rng.NewLehmer64(seed) }
+
+func TestZQuantile(t *testing.T) {
+	// Known standard normal quantiles.
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.025, -1.959964},
+		{0.84134, 0.999998}, // Φ(1) ≈ 0.84134
+	}
+	for _, c := range cases {
+		if got := zQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("zQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestZQuantilePanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("zQuantile(%v) should panic", p)
+				}
+			}()
+			zQuantile(p)
+		}()
+	}
+}
+
+func TestExactReservoirEstimates(t *testing.T) {
+	// A not-full reservoir holds its whole subpopulation: estimates are
+	// exact with zero standard error (fpc = 0).
+	r := sample.NewReservoir(1000, 1, newGen(1))
+	var exactSum float64
+	for v := int64(0); v < 100; v++ {
+		r.Consider([]int64{v})
+		exactSum += float64(v)
+	}
+	sum := FromReservoir(r, 0, Sum)
+	if sum.Value != exactSum || sum.StdErr != 0 {
+		t.Fatalf("Sum = %+v, want exact %v with zero stderr", sum, exactSum)
+	}
+	cnt := FromReservoir(r, 0, Count)
+	if cnt.Value != 100 || cnt.StdErr != 0 {
+		t.Fatalf("Count = %+v", cnt)
+	}
+	avg := FromReservoir(r, 0, Avg)
+	if math.Abs(avg.Value-49.5) > 1e-9 {
+		t.Fatalf("Avg = %+v", avg)
+	}
+	if mn := FromReservoir(r, 0, Min); mn.Value != 0 {
+		t.Fatalf("Min = %+v", mn)
+	}
+	if mx := FromReservoir(r, 0, Max); mx.Value != 99 {
+		t.Fatalf("Max = %+v", mx)
+	}
+}
+
+func TestEmptyReservoirEstimate(t *testing.T) {
+	r := sample.NewReservoir(10, 1, newGen(2))
+	e := FromReservoir(r, 0, Sum)
+	if e.Value != 0 || e.Support != 0 || e.StdErr != 0 {
+		t.Fatalf("empty estimate = %+v", e)
+	}
+}
+
+func TestSumEstimateUnbiased(t *testing.T) {
+	// Average of SUM estimates over many independent samples should be
+	// close to the true sum.
+	const n, k, trials = 50000, 500, 60
+	trueSum := float64(n) * float64(n-1) / 2
+	acc := 0.0
+	for trial := 0; trial < trials; trial++ {
+		r := sample.NewReservoir(k, 1, newGen(uint64(trial+10)))
+		for v := int64(0); v < n; v++ {
+			r.Consider([]int64{v})
+		}
+		acc += FromReservoir(r, 0, Sum).Value
+	}
+	got := acc / trials
+	if RelativeError(got, trueSum) > 0.01 {
+		t.Fatalf("mean SUM estimate %.0f vs true %.0f (rel err %.3f)", got, trueSum, RelativeError(got, trueSum))
+	}
+}
+
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	// A 95% CI should contain the true value in roughly 95% of trials.
+	const n, k, trials = 20000, 400, 200
+	trueSum := float64(n) * float64(n-1) / 2
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		r := sample.NewReservoir(k, 1, newGen(uint64(trial+999)))
+		for v := int64(0); v < n; v++ {
+			r.Consider([]int64{v})
+		}
+		lo, hi := FromReservoir(r, 0, Sum).ConfidenceInterval(0.95)
+		if lo <= trueSum && trueSum <= hi {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.88 || rate > 1.0 {
+		t.Fatalf("95%% CI covered the truth in %.1f%% of trials", rate*100)
+	}
+}
+
+func TestConfidenceIntervalValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("confidence 1.5 should panic")
+		}
+	}()
+	Estimate{Value: 1, StdErr: 1}.ConfidenceInterval(1.5)
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	e := Estimate{Value: 100, StdErr: 5}
+	b := e.RelativeErrorBound(0.95)
+	if math.Abs(b-5*1.959964/100) > 1e-4 {
+		t.Fatalf("bound = %v", b)
+	}
+	if (Estimate{Value: 0, StdErr: 1}).RelativeErrorBound(0.95) != math.Inf(1) {
+		t.Fatal("zero value with error should be +Inf bound")
+	}
+	if (Estimate{Value: 0, StdErr: 0}).RelativeErrorBound(0.95) != 0 {
+		t.Fatal("exact estimate bound should be 0")
+	}
+}
+
+func buildStratified(seed uint64, n int64, groups int64, k int) *sample.Stratified {
+	s := sample.NewStratified(sample.Schema{"g", "v"}, 1, k, newGen(seed))
+	for v := int64(0); v < n; v++ {
+		s.Consider([]int64{v % groups, v})
+	}
+	return s
+}
+
+func TestGroupEstimatesCounts(t *testing.T) {
+	s := buildStratified(1, 10000, 4, 100)
+	ests := GroupEstimates(s, 1, Count)
+	if len(ests) != 4 {
+		t.Fatalf("%d group estimates", len(ests))
+	}
+	for key, e := range ests {
+		if e.Value != 2500 {
+			t.Fatalf("group %v count = %v, want exact 2500", key, e.Value)
+		}
+	}
+}
+
+func TestGroupEstimatesSumAccuracy(t *testing.T) {
+	const n, groups, k = 100000, 5, 1000
+	s := buildStratified(2, n, groups, k)
+	ests := GroupEstimates(s, 1, Sum)
+	for key, e := range ests {
+		g := key[0]
+		// True sum of {v : v ≡ g mod 5, 0 <= v < n}: 20000 terms g, g+5, ...
+		count := int64(n / groups)
+		trueSum := float64(count)*float64(g) + 5*float64(count*(count-1)/2)
+		if RelativeError(e.Value, trueSum) > 0.10 {
+			t.Fatalf("group %d SUM = %.0f, true %.0f", g, e.Value, trueSum)
+		}
+		if e.StdErr <= 0 {
+			t.Fatalf("group %d has zero stderr on a sampled estimate", g)
+		}
+	}
+}
+
+func TestTotalEstimate(t *testing.T) {
+	const n = 50000
+	s := buildStratified(3, n, 10, 500)
+	trueSum := float64(n) * float64(n-1) / 2
+
+	total := TotalEstimate(s, 1, Sum)
+	if RelativeError(total.Value, trueSum) > 0.05 {
+		t.Fatalf("total SUM = %.0f, true %.0f", total.Value, trueSum)
+	}
+	if total.Weight != n {
+		t.Fatalf("total weight = %v", total.Weight)
+	}
+
+	cnt := TotalEstimate(s, 1, Count)
+	if cnt.Value != n {
+		t.Fatalf("total COUNT = %v", cnt.Value)
+	}
+
+	avg := TotalEstimate(s, 1, Avg)
+	if RelativeError(avg.Value, float64(n-1)/2) > 0.05 {
+		t.Fatalf("total AVG = %v, want ~%v", avg.Value, float64(n-1)/2)
+	}
+
+	mn := TotalEstimate(s, 1, Min)
+	mx := TotalEstimate(s, 1, Max)
+	if mn.Value > 1000 || mx.Value < n-1000 {
+		t.Fatalf("extrema: min=%v max=%v", mn.Value, mx.Value)
+	}
+}
+
+func TestSupportFailures(t *testing.T) {
+	// Group 0 has many tuples; group 1 has only 3.
+	s := sample.NewStratified(sample.Schema{"g", "v"}, 1, 100, newGen(4))
+	for v := int64(0); v < 1000; v++ {
+		s.Consider([]int64{0, v})
+	}
+	for v := int64(0); v < 3; v++ {
+		s.Consider([]int64{1, v})
+	}
+	fails := SupportFailures(s, MinSupport)
+	if len(fails) != 1 || fails[0][0] != 1 {
+		t.Fatalf("SupportFailures = %v", fails)
+	}
+	if got := SupportFailures(s, 1); len(got) != 0 {
+		t.Fatalf("minSupport=1 should pass everywhere, got %v", got)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(110, 100) != 0.1 {
+		t.Fatal("rel err of 110 vs 100 should be 0.1")
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Fatal("0 vs 0 should be 0")
+	}
+	if !math.IsInf(RelativeError(5, 0), 1) {
+		t.Fatal("nonzero vs zero should be +Inf")
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	for k, want := range map[AggKind]string{Sum: "SUM", Count: "COUNT", Avg: "AVG", Min: "MIN", Max: "MAX"} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}
+
+func TestEstimateAfterMergeMatchesTruth(t *testing.T) {
+	// End-to-end soundness of the paper's pipeline: estimate from a merged
+	// (delta + offline) sample tracks the exact answer over the union.
+	const k = 800
+	offline := sample.NewReservoir(k, 1, newGen(50))
+	var trueSum float64
+	for v := int64(0); v < 30000; v++ {
+		offline.Consider([]int64{v})
+		trueSum += float64(v)
+	}
+	delta := sample.NewReservoir(k, 1, newGen(51))
+	for v := int64(30000); v < 50000; v++ {
+		delta.Consider([]int64{v})
+		trueSum += float64(v)
+	}
+	merged := sample.Merge(offline, delta, newGen(52))
+	e := FromReservoir(merged, 0, Sum)
+	if RelativeError(e.Value, trueSum) > 0.10 {
+		t.Fatalf("merged estimate %.0f vs true %.0f", e.Value, trueSum)
+	}
+}

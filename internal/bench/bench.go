@@ -1,0 +1,158 @@
+// Package bench is the experiment harness regenerating every table and
+// figure of the LAQy paper's evaluation (Section 7). Each experiment
+// returns a Table whose rows mirror the series the paper plots; the
+// cmd/laqy-bench binary prints them, and bench_test.go exposes each as a
+// testing.B benchmark.
+//
+// The paper runs at SSB SF1000 (≈6B fact rows) on a 48-thread server; this
+// harness runs the same parameter sweeps at a configurable laptop scale.
+// Absolute times differ; the shapes — who wins, by what factor, where the
+// crossovers fall — are the reproduction target (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"laqy/internal/ssb"
+	"laqy/internal/storage"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Rows is the lineorder row count (the paper's 6B at SF1000).
+	Rows int
+	// Seed drives data generation and sampling.
+	Seed uint64
+	// Workers is the engine parallelism (0 = all CPUs).
+	Workers int
+	// K is the per-stratum reservoir capacity (the paper uses 2000).
+	K int
+}
+
+// DefaultConfig is the laptop-scale default used by cmd/laqy-bench.
+func DefaultConfig() Config {
+	return Config{Rows: 2_000_000, Seed: 1, K: 2000}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rows == 0 {
+		c.Rows = 2_000_000
+	}
+	if c.K == 0 {
+		c.K = 2000
+	}
+	return c
+}
+
+// Data is the generated dataset shared by the experiments.
+type Data struct {
+	Cfg Config
+	SSB *ssb.Dataset
+	// Lineorder is the fact table (alias into SSB).
+	Lineorder *storage.Table
+}
+
+// NewData generates the SSB dataset at the configured scale.
+func NewData(cfg Config) (*Data, error) {
+	cfg = cfg.withDefaults()
+	d, err := ssb.Generate(ssb.Config{LineorderRows: cfg.Rows, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Data{Cfg: cfg, SSB: d, Lineorder: d.Lineorder}, nil
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	// ID is the paper artifact it regenerates, e.g. "fig6".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows are the result rows.
+	Rows [][]string
+}
+
+// Append adds a row of stringified cells.
+func (t *Table) Append(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// ms renders a duration in milliseconds with two decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6)
+}
+
+// pct renders a fraction as a percentage.
+func pct(f float64) string {
+	return fmt.Sprintf("%.2f%%", f*100)
+}
+
+// Fcsv renders the table as CSV (header + rows), for plotting pipelines.
+func (t *Table) Fcsv(w io.Writer) error {
+	write := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			// Cells are numeric or simple labels; quote only if needed.
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

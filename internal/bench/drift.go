@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"laqy/internal/algebra"
+	"laqy/internal/core"
+	"laqy/internal/engine"
+	"laqy/internal/sample"
+	"laqy/internal/store"
+	"laqy/internal/workload"
+)
+
+// Drift is the concept-drift extension experiment (the paper's Section 8
+// discussion): the analyst's window of interest slides steadily across the
+// key domain. A full-match-only cache almost never hits (every query's
+// range is new), while LAQy pays a bounded Δ — stepFraction of the window
+// — per query, demonstrating the "fast transitions between old and new
+// concepts" the paper argues query-granularity reuse enables.
+func Drift(d *Data) (*Table, error) {
+	t := &Table{
+		ID:    "drift",
+		Title: "drifting focus window: per-strategy cumulative cost (ms)",
+		Header: []string{"queries", "online", "fullmatch", "laqy",
+			"laqy offline/partial/online"},
+	}
+	const n = 30
+	steps := workload.Drifting(workload.Config{Domain: int64(d.Cfg.Rows), Seed: d.Cfg.Seed + 0xD81F},
+		n, 0.10, 0.25)
+	schema := sample.Schema{"lo_orderdate", "lo_revenue", "lo_intkey"}
+	k := d.seqK()
+
+	lazy := core.New(store.New(0), d.Cfg.Seed+1)
+	fullMatch := core.New(store.New(0), d.Cfg.Seed+2)
+	var onlineCum, fmCum, lazyCum time.Duration
+	var modes [3]int // offline, partial, online
+
+	for i, step := range steps {
+		pred := algebra.NewPredicate().WithRange("lo_intkey", step.Lo, step.Hi)
+		q := &engine.Query{Fact: d.Lineorder, Filter: pred}
+
+		if _, st, err := engine.RunStratified(q, schema, 1, k, d.Cfg.Seed+uint64(i), d.Cfg.Workers); err != nil {
+			return nil, err
+		} else {
+			onlineCum += st.Wall
+		}
+		req := core.Request{
+			Query: q, Predicate: pred, Schema: schema, QCSWidth: 1,
+			K: k, Seed: d.Cfg.Seed + uint64(1000+i), Workers: d.Cfg.Workers,
+		}
+		fmReq := req
+		fmReq.DisablePartial = true
+		fm, err := fullMatch.Sample(fmReq)
+		if err != nil {
+			return nil, err
+		}
+		fmCum += fm.Total
+		res, err := lazy.Sample(req)
+		if err != nil {
+			return nil, err
+		}
+		lazyCum += res.Total
+		switch res.Mode {
+		case core.ModeOffline:
+			modes[0]++
+		case core.ModePartial:
+			modes[1]++
+		default:
+			modes[2]++
+		}
+		if (i+1)%10 == 0 {
+			t.Append(fmt.Sprint(i+1), ms(onlineCum), ms(fmCum), ms(lazyCum),
+				fmt.Sprintf("%d/%d/%d", modes[0], modes[1], modes[2]))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,413 @@
+// Package core implements LAQy's lazy sampler — the paper's primary
+// contribution (Algorithm 1 and Section 5).
+//
+// Given a logical sampler request (a star query, the predicate of
+// interest, the columns to capture and the per-stratum capacity), the lazy
+// sampler consults the sample store and takes one of three paths:
+//
+//   - full reuse ("offline"): a stored sample's predicate subsumes the
+//     query's; the stored sample answers the query, tightened by the query
+//     predicate when it is strictly narrower (§5.2.1), with per-stratum
+//     support checks guarding the error bounds;
+//   - partial reuse ("lazy"): a stored sample overlaps the query predicate
+//     on exactly one column; only the missing range is Δ-sampled — with the
+//     Δ-predicate pushed below the sampler, shrinking its input — and merged
+//     with the stored sample (Algorithms 2 and 3), after which the store
+//     entry is updated to cover the union (§5.2.2, §5.2.3);
+//   - no reuse ("online"): no overlapping sample exists; a regular online
+//     sample is built and stored for future reuse.
+//
+// In all paths the sample finally used is distributed as if it had been
+// built online for the query's exact predicate, so approximation
+// guarantees are preserved while the sampling work is proportional only to
+// the workload's novelty.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"laqy/internal/algebra"
+	"laqy/internal/engine"
+	"laqy/internal/expr"
+	"laqy/internal/rng"
+	"laqy/internal/sample"
+	"laqy/internal/store"
+)
+
+// Mode identifies which path of Algorithm 1 served a request.
+type Mode int
+
+const (
+	// ModeOnline built a full online sample (no reuse).
+	ModeOnline Mode = iota
+	// ModePartial built only a Δ-sample and merged (lazy sampling).
+	ModePartial
+	// ModeOffline fully reused a stored sample (no data scan at all).
+	ModeOffline
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeOnline:
+		return "online"
+	case ModePartial:
+		return "partial"
+	case ModeOffline:
+		return "offline"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Request describes a logical sampler (the striped circle of Figure 7).
+type Request struct {
+	// Query is the star query whose qualifying rows the sampler consumes.
+	// Query.Filter holds the fact-side predicate; dimension predicates
+	// live in the joins.
+	Query *engine.Query
+	// Predicate is the full predicate of interest for sample matching: the
+	// fact-side range constraints plus dimension constraints as dictionary
+	// codes. It is the sample-store matching key, so it must describe
+	// every predicate that shapes the sampler's input.
+	Predicate algebra.Predicate
+	// Schema lists the columns to capture, QCS (stratification) columns
+	// first. The predicate's range column should be captured (in QVS) to
+	// allow future tightening.
+	Schema sample.Schema
+	// QCSWidth is the number of leading stratification columns.
+	QCSWidth int
+	// K is the per-stratum reservoir capacity.
+	K int
+	// Seed drives sampling randomness for reproducible experiments.
+	Seed uint64
+	// Workers is the engine parallelism (<= 0 for default).
+	Workers int
+	// MinSupport, when > 0, enforces the conservative per-stratum support
+	// check of §5.2.3 on tightened samples: if any stratum of a tightened
+	// sample falls below it, the request falls back to online sampling.
+	MinSupport int
+	// DisablePartial turns off Δ-sampling: partially overlapping samples
+	// are treated as misses, reproducing the full-match-only reuse of
+	// prior caching systems (Taster [28]) as an experimental baseline for
+	// the paper's Issue #2.
+	DisablePartial bool
+	// Oversample is the paper's oversampling factor α ≥ 1 (§5.2.3):
+	// reservoirs are created with capacity ⌈α·K⌉, trading space for a
+	// higher chance of surviving the support check under future predicate
+	// tightening. Values below 1 (including the zero value) mean no
+	// oversampling. Figure 4 shows the extra capacity has a marginal
+	// effect on build time.
+	Oversample float64
+}
+
+// effectiveK returns the reservoir capacity after applying α.
+func (r *Request) effectiveK() int {
+	if r.Oversample <= 1 {
+		return r.K
+	}
+	return int(float64(r.K)*r.Oversample + 0.999999)
+}
+
+// Result reports how a request was served.
+type Result struct {
+	// Sample is the logical sample answering the request; its distribution
+	// matches an online sample built under Request.Predicate.
+	Sample *sample.Stratified
+	// Mode is the Algorithm 1 path taken.
+	Mode Mode
+	// Missing is the Δ-range sampled (empty for full reuse and equal to
+	// the full constraint for online sampling on the delta column).
+	Missing algebra.Set
+	// DeltaColumn is the column the Δ-range applies to ("" when not
+	// applicable).
+	DeltaColumn string
+	// Stats is the engine breakdown of the Δ/online execution (zero for
+	// full reuse — the paper's "dip below the memory bandwidth wall").
+	Stats engine.Stats
+	// MergeTime is the time spent merging the Δ-sample with the stored one
+	// and tightening (Figure 11's merge share).
+	MergeTime time.Duration
+	// Total is the end-to-end wall time of the request.
+	Total time.Duration
+	// SupportFallback reports that a reuse opportunity was abandoned
+	// because a tightened stratum lacked support (§5.2.3).
+	SupportFallback bool
+}
+
+// LazySampler binds a sample store to an execution engine.
+type LazySampler struct {
+	store *store.Store
+	gen   *rng.Lehmer64
+}
+
+// New creates a lazy sampler over the given store. seed drives merge
+// randomness (per-request sampling randomness comes from Request.Seed).
+func New(st *store.Store, seed uint64) *LazySampler {
+	return &LazySampler{store: st, gen: rng.NewLehmer64(seed)}
+}
+
+// Store returns the underlying sample store.
+func (l *LazySampler) Store() *store.Store { return l.store }
+
+// InputSignature canonically identifies a logical sampler input: the fact
+// table plus the join structure (dimension tables and key pairs). Filters
+// are deliberately excluded — they belong to the predicate, where the
+// relaxed matching rules apply — so two queries differing only in
+// predicates share the signature and can reuse each other's samples.
+func InputSignature(q *engine.Query) string {
+	var b strings.Builder
+	b.WriteString(q.Fact.Name)
+	for _, j := range q.Joins {
+		fmt.Fprintf(&b, "⋈%s(%s=%s)", j.Dim.Name, j.FactKey, j.DimKey)
+	}
+	return b.String()
+}
+
+// Sample serves a logical sampler request per Algorithm 1.
+func (l *LazySampler) Sample(req Request) (*Result, error) {
+	start := time.Now()
+	if err := validate(&req); err != nil {
+		return nil, err
+	}
+	input := InputSignature(req.Query)
+
+	match := l.store.Lookup(input, req.Schema, req.QCSWidth, req.effectiveK(), req.Predicate)
+	switch {
+	case match == nil:
+		// No overlapping sample: pure online sampling (S_lazy ← S).
+		res, err := l.online(req, input, start)
+		return res, err
+
+	case match.Reuse == algebra.ReuseFull:
+		res, err := l.offline(req, match, start)
+		if err != nil || !res.SupportFallback {
+			return res, err
+		}
+		// Conservative support fallback: full online sampling.
+		onlineRes, err := l.online(req, input, start)
+		if err != nil {
+			return nil, err
+		}
+		onlineRes.SupportFallback = true
+		return onlineRes, nil
+
+	default: // partial reuse: Δ-sample + merge
+		if req.DisablePartial {
+			// Full-match-only baseline: a partial overlap is a miss.
+			return l.online(req, input, start)
+		}
+		return l.partial(req, input, match, start)
+	}
+}
+
+func validate(req *Request) error {
+	if req.Query == nil {
+		return fmt.Errorf("core: nil query")
+	}
+	if req.QCSWidth < 0 || req.QCSWidth > len(req.Schema) || req.QCSWidth > sample.MaxQCS {
+		return fmt.Errorf("core: QCS width %d with %d captured columns", req.QCSWidth, len(req.Schema))
+	}
+	if req.K <= 0 {
+		return fmt.Errorf("core: reservoir capacity %d", req.K)
+	}
+	return nil
+}
+
+// online builds a full online sample for the request and stores it.
+func (l *LazySampler) online(req Request, input string, start time.Time) (*Result, error) {
+	sam, stats, err := engine.RunStratifiedExprs(req.Query, engine.ExprsFromNames(req.Schema), req.QCSWidth, req.effectiveK(), req.Seed, req.Workers)
+	if err != nil {
+		return nil, err
+	}
+	_, err = l.store.Put(store.Meta{
+		Input:     input,
+		Predicate: req.Predicate,
+		Schema:    req.Schema,
+		QCSWidth:  req.QCSWidth,
+		K:         req.effectiveK(),
+	}, sam)
+	if err != nil {
+		return nil, err
+	}
+	missing := algebra.Set{}
+	col := ""
+	if cols := req.Predicate.Columns(); len(cols) > 0 {
+		// Report the first range constraint as the "missing" range for
+		// selectivity accounting: online sampling processes it all.
+		col = cols[0]
+		missing, _ = req.Predicate.Constraint(col)
+	}
+	return &Result{
+		Sample:      sam,
+		Mode:        ModeOnline,
+		Missing:     missing,
+		DeltaColumn: col,
+		Stats:       stats,
+		Total:       time.Since(start),
+	}, nil
+}
+
+// offline serves a request from a fully subsuming stored sample, tightening
+// when the query predicate is strictly narrower.
+func (l *LazySampler) offline(req Request, match *store.Match, start time.Time) (*Result, error) {
+	res := &Result{Mode: ModeOffline}
+
+	mergeStart := time.Now()
+	sam := match.Sample
+	tightenPred := tighteningPredicate(match.Meta.Predicate, req.Predicate)
+	if !tightenPred.IsTrue() {
+		matcher, err := expr.TupleMatcher(tightenPred, match.Meta.Schema)
+		if err != nil {
+			// The sample did not capture a column we must tighten on;
+			// treat as a support failure → online fallback.
+			res.SupportFallback = true
+			return res, nil
+		}
+		sam = sam.Filter(matcher)
+		repairStats, ok, err := l.checkSupport(req, match.Meta.Schema, match.Sample, sam)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			res.SupportFallback = true
+			return res, nil
+		}
+		res.Stats = repairStats
+	}
+	res.Sample = sam
+	res.MergeTime = time.Since(mergeStart)
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+// partial is the lazy path: Δ-sample only the missing range, merge with
+// the stored sample, update the store to cover the union, and answer the
+// query from the merged sample (tightened if the stored sample extends
+// beyond the query range).
+func (l *LazySampler) partial(req Request, input string, match *store.Match, start time.Time) (*Result, error) {
+	meta, delta := match.Meta, match.Delta
+
+	// Build the Δ-query: the request predicate with the delta column
+	// restricted to the missing range, pushed down into the engine query.
+	deltaQuery, err := applyDelta(req.Query, delta.Column, delta.Missing)
+	if err != nil {
+		return nil, err
+	}
+	deltaSample, stats, err := engine.RunStratifiedExprs(deltaQuery, engine.ExprsFromNames(meta.Schema), req.QCSWidth, meta.K, req.Seed, req.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge Δ with a clone of the stored sample (Algorithm 3) and expand
+	// the stored entry's coverage to the union of predicates. The clone
+	// keeps published samples immutable: concurrent readers holding the
+	// old snapshot stay valid, and Update swaps the pointer atomically
+	// under the store lock. Two racing partial merges on one entry both
+	// answer correctly; the later Update wins and the other Δ is simply
+	// not retained.
+	mergeStart := time.Now()
+	merged, err := sample.MergeStratified(match.Sample.Clone(), deltaSample, l.gen.Split(l.gen.Next()))
+	if err != nil {
+		return nil, err
+	}
+	storedSet, _ := meta.Predicate.Constraint(delta.Column)
+	newPred := replaceConstraint(meta.Predicate, delta.Column, storedSet.Union(delta.Missing))
+	l.store.Update(match.Entry, merged, newPred)
+
+	// The logical sample for the query: tighten when the merged sample is
+	// wider than the request.
+	answer := merged
+	supportFallback := false
+	tightenPred := tighteningPredicate(newPred, req.Predicate)
+	if !tightenPred.IsTrue() {
+		matcher, merr := expr.TupleMatcher(tightenPred, meta.Schema)
+		if merr != nil {
+			supportFallback = true
+		} else {
+			answer = merged.Filter(matcher)
+			repairStats, ok, rerr := l.checkSupport(req, meta.Schema, merged, answer)
+			if rerr != nil {
+				return nil, rerr
+			}
+			if !ok {
+				supportFallback = true
+			} else {
+				stats.Add(repairStats)
+			}
+		}
+	}
+	mergeTime := time.Since(mergeStart)
+
+	if supportFallback {
+		res, err := l.online(req, input, start)
+		if err != nil {
+			return nil, err
+		}
+		res.SupportFallback = true
+		return res, nil
+	}
+	return &Result{
+		Sample:      answer,
+		Mode:        ModePartial,
+		Missing:     delta.Missing,
+		DeltaColumn: delta.Column,
+		Stats:       stats,
+		MergeTime:   mergeTime,
+		Total:       time.Since(start),
+	}, nil
+}
+
+// applyDelta clones q, restricting the delta column's predicate to the
+// missing range: on the fact filter when the column belongs to the fact
+// table, or on the owning dimension's join filter otherwise (the filter
+// pushdown below the Δ-sampler of Figure 7, step 3).
+func applyDelta(q *engine.Query, col string, missing algebra.Set) (*engine.Query, error) {
+	out := &engine.Query{Fact: q.Fact, Filter: q.Filter, Joins: append([]engine.Join(nil), q.Joins...), Ctx: q.Ctx}
+	if q.Fact.Column(col) != nil {
+		out.Filter = out.Filter.With(col, missing)
+		return out, nil
+	}
+	for i := range out.Joins {
+		if out.Joins[i].Dim.Column(col) != nil {
+			out.Joins[i].Filter = out.Joins[i].Filter.With(col, missing)
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("core: delta column %q not found in query tables", col)
+}
+
+// tighteningPredicate returns the conjuncts of query that stored rows may
+// violate: for every column where the sample's coverage is not contained in
+// the query's constraint, the query constraint must be re-applied to the
+// sample's tuples. An all-TRUE result means the sample can be used as-is.
+func tighteningPredicate(samplePred, queryPred algebra.Predicate) algebra.Predicate {
+	out := algebra.NewPredicate()
+	for _, c := range queryPred.Columns() {
+		qs, _ := queryPred.Constraint(c)
+		ss, ok := samplePred.Constraint(c)
+		if !ok {
+			ss = algebra.SetOf(algebra.Full())
+		}
+		if !qs.Covers(ss) {
+			out = out.With(c, qs)
+		}
+	}
+	return out
+}
+
+// replaceConstraint returns pred with the constraint on col replaced by
+// set (not intersected — used to expand coverage after a Δ-merge).
+func replaceConstraint(pred algebra.Predicate, col string, set algebra.Set) algebra.Predicate {
+	out := algebra.NewPredicate()
+	for _, c := range pred.Columns() {
+		if c == col {
+			continue
+		}
+		s, _ := pred.Constraint(c)
+		out = out.With(c, s)
+	}
+	return out.With(col, set)
+}

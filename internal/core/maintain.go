@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"laqy/internal/algebra"
+	"laqy/internal/engine"
+	"laqy/internal/sample"
+	"laqy/internal/store"
+)
+
+// MaintainResult reports one incremental maintenance pass.
+type MaintainResult struct {
+	// Maintained counts the samples extended with the appended rows.
+	Maintained int
+	// RowsConsidered is the number of appended rows scanned per sample.
+	RowsConsidered int64
+}
+
+// Maintain incrementally extends every stored sample whose logical input
+// matches q with the fact rows [fromRow, NumRows): for each matching
+// entry, the appended rows are filtered by the entry's predicate, sampled
+// into a fresh stratified sample, and merged with the stored one
+// (Algorithm 3) — reservoir sampling's update-friendliness applied to base
+// data growth, so offline samples stay fresh without rebuilds (the
+// maintenance concern of the paper's Issue #3, cf. Birler et al. [4]).
+//
+// q supplies the query shape (fact table and join structure) for the
+// input; its Filter is ignored — each entry's own predicate is applied.
+// Entries over other inputs are untouched.
+func (l *LazySampler) Maintain(q *engine.Query, fromRow int, seed uint64, workers int) (*MaintainResult, error) {
+	if q == nil || q.Fact == nil {
+		return nil, fmt.Errorf("core: nil maintenance query")
+	}
+	if fromRow < 0 || fromRow > q.Fact.NumRows() {
+		return nil, fmt.Errorf("core: maintenance from row %d of %d", fromRow, q.Fact.NumRows())
+	}
+	input := InputSignature(q)
+	res := &MaintainResult{RowsConsidered: int64(q.Fact.NumRows() - fromRow)}
+	if fromRow == q.Fact.NumRows() {
+		return res, nil
+	}
+	for i, m := range l.store.List() {
+		if m.Meta.Input != input {
+			continue
+		}
+		mq, err := routePredicate(q, m.Meta.Predicate)
+		if err != nil {
+			return nil, fmt.Errorf("core: maintaining %q: %w", input, err)
+		}
+		mq.ScanFrom = fromRow
+		deltaSample, _, err := engine.RunStratifiedExprs(mq, engine.ExprsFromNames(m.Meta.Schema), m.Meta.QCSWidth, m.Meta.K,
+			seed+uint64(i)*0x9E37, workers)
+		if err != nil {
+			return nil, err
+		}
+		merged, err := sample.MergeStratified(m.Sample.Clone(), deltaSample, l.gen.Split(l.gen.Next()))
+		if err != nil {
+			return nil, err
+		}
+		l.store.Update(m.Entry, merged, m.Meta.Predicate)
+		res.Maintained++
+	}
+	return res, nil
+}
+
+// Invalidate removes every stored sample whose input involves the named
+// table (as fact or joined dimension) — the conservative response when a
+// table changes in a way maintenance cannot repair (deletes, updates, or
+// dimension changes).
+func (l *LazySampler) Invalidate(table string) int {
+	return l.store.RemoveWhere(func(m store.Meta) bool {
+		return inputMentionsTable(m.Input, table)
+	})
+}
+
+// inputMentionsTable reports whether an input signature references the
+// table as its fact (prefix) or one of its join dimensions ("⋈name(").
+func inputMentionsTable(signature, table string) bool {
+	return signature == table ||
+		strings.HasPrefix(signature, table+"⋈") ||
+		strings.Contains(signature, "⋈"+table+"(")
+}
+
+// routePredicate clones q and pushes each of pred's column constraints to
+// its owning table: fact columns into the scan filter, dimension columns
+// into the owning join's filter.
+func routePredicate(q *engine.Query, pred algebra.Predicate) (*engine.Query, error) {
+	out := &engine.Query{Fact: q.Fact, Filter: algebra.NewPredicate(), Joins: append([]engine.Join(nil), q.Joins...), Ctx: q.Ctx}
+	for i := range out.Joins {
+		out.Joins[i].Filter = algebra.NewPredicate()
+	}
+	for _, col := range pred.Columns() {
+		set, _ := pred.Constraint(col)
+		if q.Fact.Column(col) != nil {
+			out.Filter = out.Filter.With(col, set)
+			continue
+		}
+		routed := false
+		for i := range out.Joins {
+			if out.Joins[i].Dim.Column(col) != nil {
+				out.Joins[i].Filter = out.Joins[i].Filter.With(col, set)
+				routed = true
+				break
+			}
+		}
+		if !routed {
+			return nil, fmt.Errorf("core: predicate column %q not found in query tables", col)
+		}
+	}
+	return out, nil
+}
+
+// InvalidateJoins removes samples whose input joins the named table with
+// others, keeping pure scan-level samples over the table itself (those are
+// maintainable via Maintain).
+func (l *LazySampler) InvalidateJoins(table string) int {
+	return l.store.RemoveWhere(func(m store.Meta) bool {
+		return m.Input != table && inputMentionsTable(m.Input, table)
+	})
+}

@@ -1,0 +1,439 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"laqy/internal/algebra"
+	"laqy/internal/approx"
+	"laqy/internal/sample"
+	"laqy/internal/storage"
+)
+
+// buildFact creates a small fact table:
+//
+//	f_key:   0..n-1 (unique)
+//	f_group: key % groups
+//	f_dimfk: key % dimRows (foreign key into the dimension)
+//	f_val:   key * 3
+func buildFact(n, groups, dimRows int) *storage.Table {
+	key := make([]int64, n)
+	grp := make([]int64, n)
+	fk := make([]int64, n)
+	val := make([]int64, n)
+	for i := 0; i < n; i++ {
+		key[i] = int64(i)
+		grp[i] = int64(i % groups)
+		fk[i] = int64(i % dimRows)
+		val[i] = int64(i * 3)
+	}
+	return storage.MustNewTable("fact",
+		&storage.Column{Name: "f_key", Kind: storage.KindInt64, Ints: key},
+		&storage.Column{Name: "f_group", Kind: storage.KindInt64, Ints: grp},
+		&storage.Column{Name: "f_dimfk", Kind: storage.KindInt64, Ints: fk},
+		&storage.Column{Name: "f_val", Kind: storage.KindInt64, Ints: val},
+	)
+}
+
+// buildDim creates a dimension with d_key 0..n-1, d_attr = key % 4.
+func buildDim(n int) *storage.Table {
+	key := make([]int64, n)
+	attr := make([]int64, n)
+	for i := 0; i < n; i++ {
+		key[i] = int64(i)
+		attr[i] = int64(i % 4)
+	}
+	return storage.MustNewTable("dim",
+		&storage.Column{Name: "d_key", Kind: storage.KindInt64, Ints: key},
+		&storage.Column{Name: "d_attr", Kind: storage.KindInt64, Ints: attr},
+	)
+}
+
+func TestRunGroupByExact(t *testing.T) {
+	const n, groups = 10000, 7
+	fact := buildFact(n, groups, 10)
+	q := &Query{Fact: fact}
+	res, stats, err := RunGroupBy(q, []string{"f_group"}, "f_val", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumGroups() != groups {
+		t.Fatalf("NumGroups = %d, want %d", res.NumGroups(), groups)
+	}
+	if stats.RowsScanned != n || stats.RowsSelected != n {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Oracle per group.
+	wantSum := make([]float64, groups)
+	wantCount := make([]int64, groups)
+	for i := 0; i < n; i++ {
+		g := i % groups
+		wantSum[g] += float64(i * 3)
+		wantCount[g]++
+	}
+	for g := 0; g < groups; g++ {
+		var key GroupKey
+		key[0] = int64(g)
+		if got, ok := res.Value(key, approx.Sum); !ok || got != wantSum[g] {
+			t.Fatalf("group %d sum = %v, want %v", g, got, wantSum[g])
+		}
+		if got, _ := res.Value(key, approx.Count); got != float64(wantCount[g]) {
+			t.Fatalf("group %d count = %v", g, got)
+		}
+		if got, _ := res.Value(key, approx.Avg); got != wantSum[g]/float64(wantCount[g]) {
+			t.Fatalf("group %d avg = %v", g, got)
+		}
+	}
+}
+
+func TestRunGroupByWithFilter(t *testing.T) {
+	fact := buildFact(1000, 4, 10)
+	q := &Query{
+		Fact:   fact,
+		Filter: algebra.NewPredicate().WithRange("f_key", 100, 299),
+	}
+	res, stats, err := RunGroupBy(q, []string{"f_group"}, "f_val", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsSelected != 200 {
+		t.Fatalf("RowsSelected = %d, want 200", stats.RowsSelected)
+	}
+	var total float64
+	for _, k := range res.Keys() {
+		v, _ := res.Value(k, approx.Sum)
+		total += v
+	}
+	var want float64
+	for i := 100; i <= 299; i++ {
+		want += float64(i * 3)
+	}
+	if total != want {
+		t.Fatalf("filtered sum = %v, want %v", total, want)
+	}
+}
+
+func TestRunGroupByJoin(t *testing.T) {
+	// Filter the dimension to d_attr == 1 (keys 1, 5, 9, ... of 20) and
+	// group by the dimension attribute.
+	fact := buildFact(8000, 4, 20)
+	dim := buildDim(20)
+	q := &Query{
+		Fact: fact,
+		Joins: []Join{{
+			Dim:     dim,
+			FactKey: "f_dimfk",
+			DimKey:  "d_key",
+			Filter:  algebra.NewPredicate().WithPoint("d_attr", 1),
+		}},
+	}
+	res, stats, err := RunGroupBy(q, []string{"d_attr"}, "f_val", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle.
+	var wantCount int64
+	var wantSum float64
+	for i := 0; i < 8000; i++ {
+		if (i%20)%4 == 1 {
+			wantCount++
+			wantSum += float64(i * 3)
+		}
+	}
+	if stats.RowsSelected != wantCount {
+		t.Fatalf("RowsSelected = %d, want %d", stats.RowsSelected, wantCount)
+	}
+	if res.NumGroups() != 1 {
+		t.Fatalf("NumGroups = %d, want 1", res.NumGroups())
+	}
+	var key GroupKey
+	key[0] = 1
+	if got, ok := res.Value(key, approx.Sum); !ok || got != wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestRunGroupByValidation(t *testing.T) {
+	fact := buildFact(10, 2, 2)
+	q := &Query{Fact: fact}
+	// Zero group columns is a global aggregate over one implicit group.
+	res, _, err := RunGroupBy(q, nil, "f_val", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero GroupKey
+	if got, ok := res.Value(zero, approx.Count); !ok || got != 10 {
+		t.Fatalf("global count = %v", got)
+	}
+	if _, _, err := RunGroupBy(q, []string{"a", "b", "c", "d", "e"}, "f_val", 1); err == nil {
+		t.Fatal("too many group columns must error")
+	}
+	if _, _, err := RunGroupBy(q, []string{"missing"}, "f_val", 1); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestRunStratified(t *testing.T) {
+	const n, groups, k = 50000, 10, 100
+	fact := buildFact(n, groups, 10)
+	q := &Query{Fact: fact}
+	sam, stats, err := RunStratified(q, sample.Schema{"f_group", "f_val"}, 1, k, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sam.NumStrata() != groups {
+		t.Fatalf("NumStrata = %d, want %d", sam.NumStrata(), groups)
+	}
+	if sam.TotalWeight() != n {
+		t.Fatalf("TotalWeight = %v, want %d", sam.TotalWeight(), n)
+	}
+	if stats.Merge <= 0 {
+		t.Fatal("merge time not recorded")
+	}
+	sam.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
+		if r.Weight() != float64(n/groups) {
+			t.Fatalf("stratum %v weight = %v, want %d", key, r.Weight(), n/groups)
+		}
+		if r.Len() != k {
+			t.Fatalf("stratum %v len = %d, want %d", key, r.Len(), k)
+		}
+		// Tuples must belong to the stratum.
+		for i := 0; i < r.Len(); i++ {
+			tu := r.Tuple(i)
+			if (tu[1]/3)%int64(groups) != key[0] {
+				t.Fatalf("tuple %v in stratum %v", tu, key)
+			}
+		}
+	})
+}
+
+func TestRunStratifiedEstimatesMatchExact(t *testing.T) {
+	const n, groups, k = 100000, 5, 2000
+	fact := buildFact(n, groups, 10)
+	q := &Query{Fact: fact}
+	sam, _, err := RunStratified(q, sample.Schema{"f_group", "f_val"}, 1, k, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _, err := RunGroupBy(q, []string{"f_group"}, "f_val", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := approx.GroupEstimates(sam, 1, approx.Sum)
+	for key, e := range ests {
+		want, ok := exact.Value(key, approx.Sum)
+		if !ok {
+			t.Fatalf("group %v missing from exact result", key)
+		}
+		if approx.RelativeError(e.Value, want) > 0.10 {
+			t.Fatalf("group %v estimate %.0f vs exact %.0f", key, e.Value, want)
+		}
+	}
+}
+
+func TestRunStratifiedWithJoinQCS(t *testing.T) {
+	// The Q2 shape: sampler after the join, stratifying on a dimension
+	// attribute that only exists post-join.
+	fact := buildFact(20000, 4, 20)
+	dim := buildDim(20)
+	q := &Query{
+		Fact:  fact,
+		Joins: []Join{{Dim: dim, FactKey: "f_dimfk", DimKey: "d_key"}},
+	}
+	sam, _, err := RunStratified(q, sample.Schema{"d_attr", "f_val", "f_key"}, 1, 50, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sam.NumStrata() != 4 {
+		t.Fatalf("NumStrata = %d, want 4 (d_attr values)", sam.NumStrata())
+	}
+	if sam.TotalWeight() != 20000 {
+		t.Fatalf("TotalWeight = %v", sam.TotalWeight())
+	}
+}
+
+func TestRunReservoir(t *testing.T) {
+	fact := buildFact(30000, 4, 10)
+	q := &Query{
+		Fact:   fact,
+		Filter: algebra.NewPredicate().WithRange("f_key", 0, 9999),
+	}
+	res, stats, err := RunReservoir(q, []string{"f_val"}, 500, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight() != 10000 {
+		t.Fatalf("Weight = %v, want 10000", res.Weight())
+	}
+	if res.Len() != 500 {
+		t.Fatalf("Len = %d", res.Len())
+	}
+	if stats.RowsSelected != 10000 {
+		t.Fatalf("RowsSelected = %d", stats.RowsSelected)
+	}
+	// Estimate the mean of f_val over [0, 9999]: true mean = 3*4999.5.
+	e := approx.FromReservoir(res, 0, approx.Avg)
+	if approx.RelativeError(e.Value, 3*4999.5) > 0.10 {
+		t.Fatalf("avg estimate = %v", e.Value)
+	}
+}
+
+func TestRunScan(t *testing.T) {
+	fact := buildFact(10000, 4, 10)
+	q := &Query{Fact: fact}
+	sum, stats, err := RunScan(q, "f_val", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 * 9999 * 10000 / 2
+	if sum != want {
+		t.Fatalf("scan sum = %v, want %v", sum, want)
+	}
+	if stats.RowsScanned != 10000 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRunScanWithUnknownFilterColumn(t *testing.T) {
+	fact := buildFact(100, 4, 10)
+	q := &Query{
+		Fact:   fact,
+		Filter: algebra.NewPredicate().WithRange("nope", 0, 1),
+	}
+	if _, _, err := RunScan(q, "f_val", 1); err == nil {
+		t.Fatal("unknown filter column must error")
+	}
+}
+
+func TestJoinErrorPaths(t *testing.T) {
+	fact := buildFact(100, 4, 10)
+	dim := buildDim(10)
+	for _, q := range []*Query{
+		{Fact: fact, Joins: []Join{{Dim: dim, FactKey: "missing", DimKey: "d_key"}}},
+		{Fact: fact, Joins: []Join{{Dim: dim, FactKey: "f_dimfk", DimKey: "missing"}}},
+		{Fact: fact, Joins: []Join{{Dim: dim, FactKey: "f_dimfk", DimKey: "d_key",
+			Filter: algebra.NewPredicate().WithRange("missing", 0, 1)}}},
+	} {
+		if _, _, err := RunScan(q, "f_val", 1); err == nil {
+			t.Fatal("bad join spec must error")
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Scan: 10, Process: 20, Merge: 5, Wall: 40, RowsScanned: 100, RowsSelected: 50, Workers: 2}
+	b := Stats{Scan: 1, Process: 2, Merge: 3, Wall: 4, RowsScanned: 10, RowsSelected: 5, Workers: 4}
+	a.Add(b)
+	if a.Scan != 11 || a.Process != 22 || a.Merge != 8 || a.Wall != 44 ||
+		a.RowsScanned != 110 || a.RowsSelected != 55 || a.Workers != 4 {
+		t.Fatalf("Add result = %+v", a)
+	}
+}
+
+func TestWorkerCountOne(t *testing.T) {
+	fact := buildFact(5000, 3, 10)
+	q := &Query{Fact: fact}
+	sam, _, err := RunStratified(q, sample.Schema{"f_group", "f_val"}, 1, 10, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sam.TotalWeight() != 5000 {
+		t.Fatalf("single worker weight = %v", sam.TotalWeight())
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers must be >= 1")
+	}
+}
+
+func TestQueryCancellation(t *testing.T) {
+	fact := buildFact(500000, 4, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the run must abort promptly
+	q := &Query{Fact: fact, Ctx: ctx}
+	if _, _, err := RunGroupBy(q, []string{"f_group"}, "f_val", 2); err == nil {
+		t.Fatal("canceled context must abort the run")
+	} else if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A live context runs normally.
+	q2 := &Query{Fact: fact, Ctx: context.Background()}
+	if _, _, err := RunGroupBy(q2, []string{"f_group"}, "f_val", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Deadline expiry aborts a stratified run too.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	q3 := &Query{Fact: fact, Ctx: dctx}
+	if _, _, err := RunStratified(q3, sample.Schema{"f_group", "f_val"}, 1, 10, 1, 2); err == nil {
+		t.Fatal("expired deadline must abort")
+	}
+}
+
+func TestEmptyAndTinyTables(t *testing.T) {
+	// Zero-row fact table: everything runs and returns empty results.
+	empty := storage.MustNewTable("empty",
+		&storage.Column{Name: "g", Kind: storage.KindInt64},
+		&storage.Column{Name: "v", Kind: storage.KindInt64},
+	)
+	q := &Query{Fact: empty}
+	res, stats, err := RunGroupBy(q, []string{"g"}, "v", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumGroups() != 0 || stats.RowsScanned != 0 {
+		t.Fatalf("empty table: groups=%d scanned=%d", res.NumGroups(), stats.RowsScanned)
+	}
+	sam, _, err := RunStratified(q, sample.Schema{"g", "v"}, 1, 10, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sam.NumStrata() != 0 || sam.TotalWeight() != 0 {
+		t.Fatal("empty table produced strata")
+	}
+	// Single-row table.
+	one := storage.MustNewTable("one",
+		&storage.Column{Name: "g", Kind: storage.KindInt64, Ints: []int64{7}},
+		&storage.Column{Name: "v", Kind: storage.KindInt64, Ints: []int64{42}},
+	)
+	res2, _, err := RunGroupBy(&Query{Fact: one}, []string{"g"}, "v", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key GroupKey
+	key[0] = 7
+	if got, ok := res2.Value(key, approx.Sum); !ok || got != 42 {
+		t.Fatalf("single row sum = %v", got)
+	}
+	// More workers than morsels must not deadlock or double-count.
+	res3, _, err := RunGroupBy(&Query{Fact: one}, []string{"g"}, "v", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res3.Value(key, approx.Count); got != 1 {
+		t.Fatalf("over-parallel count = %v", got)
+	}
+}
+
+func TestScanFromBeyondEnd(t *testing.T) {
+	fact := buildFact(100, 2, 2)
+	q := &Query{Fact: fact, ScanFrom: 100}
+	_, stats, err := RunGroupBy(q, []string{"f_group"}, "f_val", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsScanned != 0 || stats.RowsSelected != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	q2 := &Query{Fact: fact, ScanFrom: 50}
+	_, stats2, err := RunGroupBy(q2, []string{"f_group"}, "f_val", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.RowsScanned != 50 || stats2.RowsSelected != 50 {
+		t.Fatalf("half scan stats = %+v", stats2)
+	}
+}

@@ -1,0 +1,378 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"laqy/internal/expr"
+	"laqy/internal/rng"
+	"laqy/internal/sample"
+	"laqy/internal/storage"
+)
+
+// Stats is the per-phase execution breakdown the paper's Figure 11 plots.
+//
+// Scan and Process are per-worker CPU time totals divided by the worker
+// count — an estimate of the wall-clock share of each phase under even load
+// — while Merge and Wall are measured wall-clock durations.
+type Stats struct {
+	// Scan is the time spent evaluating the scan filter (predicate over
+	// fact columns producing selection vectors).
+	Scan time.Duration
+	// Process is the time spent past the scan: join probes, gathers, and
+	// sink work (aggregation or reservoir admission).
+	Process time.Duration
+	// Merge is the time to fold per-worker partial states (and, for LAQy,
+	// to merge Δ-samples with stored ones; the caller adds that share).
+	Merge time.Duration
+	// Wall is the end-to-end execution wall time.
+	Wall time.Duration
+	// RowsScanned is the number of fact rows considered by the scan.
+	RowsScanned int64
+	// RowsSelected is the number of rows surviving filter and joins.
+	RowsSelected int64
+	// Workers is the parallelism used.
+	Workers int
+}
+
+// Add accumulates another query's stats (used for cumulative sequences).
+func (s *Stats) Add(o Stats) {
+	s.Scan += o.Scan
+	s.Process += o.Process
+	s.Merge += o.Merge
+	s.Wall += o.Wall
+	s.RowsScanned += o.RowsScanned
+	s.RowsSelected += o.RowsSelected
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+}
+
+// rowSink consumes gathered post-join rows. cols is aligned with the
+// "needed columns" order of the run; n is the row count. Each worker owns
+// one sink; no synchronization inside consume.
+type rowSink interface {
+	consume(cols [][]int64, n int)
+}
+
+// DefaultWorkers returns the engine's default parallelism.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// runPipeline drives the morsel-parallel scan→filter→join→gather→sink
+// pipeline. exprs lists the values gathered for the sinks — plain columns
+// or computed expressions (one sink per worker). It returns the per-phase
+// stats; merging sink partials is the caller's job (timed into Stats.Merge
+// by the callers below).
+func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (Stats, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if len(sinks) != workers {
+		return Stats{}, fmt.Errorf("engine: %d sinks for %d workers", len(sinks), workers)
+	}
+	sources, err := q.resolveExprs(exprs)
+	if err != nil {
+		return Stats{}, err
+	}
+	filter, err := expr.Compile(q.Filter, q.resolveFact)
+	if err != nil {
+		return Stats{}, err
+	}
+	joinTables, err := buildJoinTables(q)
+	if err != nil {
+		return Stats{}, err
+	}
+
+	morsels := storage.MorselsRange(q.ScanFrom, q.Fact.NumRows(), 0)
+	var next atomic.Int64
+	var scanNanos, processNanos, selected atomic.Int64
+	var canceled atomic.Bool
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sink := sinks[w]
+			sel := make([]int32, 0, storage.DefaultMorselSize)
+			dimRows := make([][]int32, len(joinTables))
+			for j := range dimRows {
+				dimRows[j] = make([]int32, storage.DefaultMorselSize)
+			}
+			gathered := make([][]int64, len(sources))
+			for c := range gathered {
+				gathered[c] = make([]int64, storage.DefaultMorselSize)
+			}
+			scratch := make([]int64, storage.DefaultMorselSize)
+			var localScan, localProcess, localSelected int64
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= len(morsels) {
+					break
+				}
+				if q.Ctx != nil && q.Ctx.Err() != nil {
+					canceled.Store(true)
+					break
+				}
+				mo := morsels[m]
+
+				t0 := time.Now()
+				sel = filter.SelectInto(mo.Start, mo.End, sel[:0])
+				t1 := time.Now()
+				localScan += t1.Sub(t0).Nanoseconds()
+
+				n := len(sel)
+				for j := range joinTables {
+					n = joinTables[j].probe(sel[:n], dimRows, j)
+				}
+				if n > 0 {
+					for c := range sources {
+						sources[c].gather(gathered[c][:n], scratch, sel, dimRows, n)
+					}
+					sink.consume(gathered, n)
+				}
+				localProcess += time.Since(t1).Nanoseconds()
+				localSelected += int64(n)
+			}
+			scanNanos.Add(localScan)
+			processNanos.Add(localProcess)
+			selected.Add(localSelected)
+		}(w)
+	}
+	wg.Wait()
+	if canceled.Load() {
+		return Stats{}, q.Ctx.Err()
+	}
+
+	rowsScanned := int64(q.Fact.NumRows() - q.ScanFrom)
+	if rowsScanned < 0 {
+		rowsScanned = 0
+	}
+	return Stats{
+		Scan:         time.Duration(scanNanos.Load() / int64(workers)),
+		Process:      time.Duration(processNanos.Load() / int64(workers)),
+		Wall:         time.Since(start),
+		RowsScanned:  rowsScanned,
+		RowsSelected: selected.Load(),
+		Workers:      workers,
+	}, nil
+}
+
+// stratifiedSink feeds gathered rows into a per-worker stratified sample.
+type stratifiedSink struct {
+	sam   *sample.Stratified
+	tuple []int64
+}
+
+func (s *stratifiedSink) consume(cols [][]int64, n int) {
+	for i := 0; i < n; i++ {
+		for c := range cols {
+			s.tuple[c] = cols[c][i]
+		}
+		s.sam.Consider(s.tuple)
+	}
+}
+
+// RunStratified executes q and builds a stratified sample over the
+// qualifying rows: schema lists the captured columns with the first
+// qcsWidth being the stratification (QCS) columns, k is the per-stratum
+// reservoir capacity. Per-worker partial samples are merged (Algorithm 3)
+// into the returned sample; the merge time is reported in Stats.Merge.
+func RunStratified(q *Query, schema sample.Schema, qcsWidth, k int, seed uint64, workers int) (*sample.Stratified, Stats, error) {
+	return RunStratifiedExprs(q, Cols(schema), qcsWidth, k, seed, workers)
+}
+
+// RunStratifiedExprs is RunStratified with computed capture expressions:
+// the sample schema takes each expression's Name, so computed aggregates
+// (e.g. lo_extendedprice*lo_discount) are sampled as materialized values.
+func RunStratifiedExprs(q *Query, exprs []ColumnExpr, qcsWidth, k int, seed uint64, workers int) (*sample.Stratified, Stats, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	schema := make(sample.Schema, len(exprs))
+	for i, e := range exprs {
+		schema[i] = e.Name
+	}
+	root := rng.NewLehmer64(seed)
+	sinks := make([]rowSink, workers)
+	partials := make([]*sample.Stratified, workers)
+	for w := 0; w < workers; w++ {
+		partials[w] = sample.NewStratified(schema, qcsWidth, k, root.Split(uint64(w)))
+		sinks[w] = &stratifiedSink{sam: partials[w], tuple: make([]int64, len(schema))}
+	}
+	stats, err := runPipeline(q, exprs, workers, sinks)
+	if err != nil {
+		return nil, stats, err
+	}
+	mergeStart := time.Now()
+	merged, err := treeMergeStratified(partials, root.Split(1<<32))
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Merge = time.Since(mergeStart)
+	return merged, stats, nil
+}
+
+// treeMergeStratified folds per-worker partial samples pairwise in
+// parallel (log-depth), the exchange-collection step of the paper's §6.3:
+// reservoirs carry their full state, so partials merge independently.
+func treeMergeStratified(partials []*sample.Stratified, gen *rng.Lehmer64) (*sample.Stratified, error) {
+	round := uint64(0)
+	for len(partials) > 1 {
+		half := (len(partials) + 1) / 2
+		next := make([]*sample.Stratified, half)
+		errs := make([]error, half)
+		var wg sync.WaitGroup
+		for i := 0; i < half; i++ {
+			j := i + half
+			if j >= len(partials) {
+				next[i] = partials[i]
+				continue
+			}
+			wg.Add(1)
+			go func(i, j int, g *rng.Lehmer64) {
+				defer wg.Done()
+				next[i], errs[i] = sample.MergeStratified(partials[i], partials[j], g)
+			}(i, j, gen.Split(round<<32|uint64(i)))
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		partials = next
+		round++
+	}
+	if len(partials) == 0 {
+		return nil, fmt.Errorf("engine: no partial samples to merge")
+	}
+	return partials[0], nil
+}
+
+// reservoirSink feeds gathered rows into a per-worker simple reservoir.
+type reservoirSink struct {
+	res   *sample.Reservoir
+	tuple []int64
+}
+
+func (s *reservoirSink) consume(cols [][]int64, n int) {
+	for i := 0; i < n; i++ {
+		for c := range cols {
+			s.tuple[c] = cols[c][i]
+		}
+		s.res.Consider(s.tuple)
+	}
+}
+
+// RunReservoir executes q and builds a simple (unstratified) reservoir
+// sample of capacity k capturing the listed columns — the paper's
+// "reservoir aggregation function used with a reduction" (§6.2).
+func RunReservoir(q *Query, cols []string, k int, seed uint64, workers int) (*sample.Reservoir, Stats, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	root := rng.NewLehmer64(seed)
+	sinks := make([]rowSink, workers)
+	partials := make([]*sample.Reservoir, workers)
+	for w := 0; w < workers; w++ {
+		partials[w] = sample.NewReservoir(k, len(cols), root.Split(uint64(w)))
+		sinks[w] = &reservoirSink{res: partials[w], tuple: make([]int64, len(cols))}
+	}
+	stats, err := runPipeline(q, Cols(cols), workers, sinks)
+	if err != nil {
+		return nil, stats, err
+	}
+	mergeStart := time.Now()
+	merged := partials[0]
+	mergeGen := root.Split(1 << 33)
+	for w := 1; w < workers; w++ {
+		merged = sample.Merge(merged, partials[w], mergeGen.Split(uint64(w)))
+	}
+	stats.Merge = time.Since(mergeStart)
+	return merged, stats, nil
+}
+
+// RunGroupBy executes q as an exact group-by aggregation on aggCol grouped
+// by groupCols — the optimized exact baseline sharing stratified sampling's
+// access pattern (Figure 8).
+func RunGroupBy(q *Query, groupCols []string, aggCol string, workers int) (*GroupResult, Stats, error) {
+	return RunGroupByMulti(q, groupCols, []string{aggCol}, workers)
+}
+
+// RunGroupByMulti is RunGroupBy over several value columns at once, each
+// aggregated independently (read results with ValueAt).
+func RunGroupByMulti(q *Query, groupCols, aggCols []string, workers int) (*GroupResult, Stats, error) {
+	return RunGroupByExprs(q, groupCols, Cols(aggCols), workers)
+}
+
+// RunGroupByExprs is RunGroupByMulti with computed aggregate expressions.
+func RunGroupByExprs(q *Query, groupCols []string, aggExprs []ColumnExpr, workers int) (*GroupResult, Stats, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if len(groupCols) > sample.MaxQCS {
+		return nil, Stats{}, fmt.Errorf("engine: %d group columns (max %d)", len(groupCols), sample.MaxQCS)
+	}
+	if len(aggExprs) == 0 {
+		return nil, Stats{}, fmt.Errorf("engine: no aggregate columns")
+	}
+	needed := append(Cols(groupCols), aggExprs...)
+	sinks := make([]rowSink, workers)
+	partials := make([]*groupBySink, workers)
+	for w := 0; w < workers; w++ {
+		partials[w] = newGroupBySink(len(groupCols), len(aggExprs))
+		sinks[w] = partials[w]
+	}
+	stats, err := runPipeline(q, needed, workers, sinks)
+	if err != nil {
+		return nil, stats, err
+	}
+	mergeStart := time.Now()
+	result := mergeGroupBySinks(partials)
+	stats.Merge = time.Since(mergeStart)
+	return result, stats, nil
+}
+
+// scanSink folds the selected rows of one column into a running sum: the
+// cheapest possible consumer, making RunScan a pure scan-at-memory-
+// bandwidth baseline (the "scan" series of Figures 14 and 15).
+type scanSink struct {
+	sum float64
+}
+
+func (s *scanSink) consume(cols [][]int64, n int) {
+	acc := int64(0)
+	col := cols[0]
+	for i := 0; i < n; i++ {
+		acc += col[i]
+	}
+	s.sum += float64(acc)
+}
+
+// RunScan executes q computing only SUM(col) over the qualifying rows —
+// the exact-scan floor that approximation methods try to dip below.
+func RunScan(q *Query, col string, workers int) (float64, Stats, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	sinks := make([]rowSink, workers)
+	partials := make([]*scanSink, workers)
+	for w := 0; w < workers; w++ {
+		partials[w] = &scanSink{}
+		sinks[w] = partials[w]
+	}
+	stats, err := runPipeline(q, Cols([]string{col}), workers, sinks)
+	if err != nil {
+		return 0, stats, err
+	}
+	total := 0.0
+	for _, p := range partials {
+		total += p.sum
+	}
+	return total, stats, nil
+}

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"sort"
+
+	"laqy/internal/approx"
+	"laqy/internal/sample"
+)
+
+// GroupKey identifies a group of an exact aggregation; it reuses the
+// stratified sample's key representation so exact results and sample-based
+// estimates are directly comparable per group.
+type GroupKey = sample.StratumKey
+
+// aggState accumulates all supported aggregates at once; the caller picks
+// which to read. Sums use float64 to avoid overflow on large synthetic
+// inputs; inputs are integers so precision is ample at benchmark scales.
+type aggState struct {
+	sum        float64
+	count      int64
+	minv, maxv int64
+}
+
+func (a *aggState) update(v int64) {
+	if a.count == 0 {
+		a.minv, a.maxv = v, v
+	} else {
+		if v < a.minv {
+			a.minv = v
+		}
+		if v > a.maxv {
+			a.maxv = v
+		}
+	}
+	a.sum += float64(v)
+	a.count++
+}
+
+func (a *aggState) merge(b *aggState) {
+	if b.count == 0 {
+		return
+	}
+	if a.count == 0 {
+		*a = *b
+		return
+	}
+	a.sum += b.sum
+	a.count += b.count
+	if b.minv < a.minv {
+		a.minv = b.minv
+	}
+	if b.maxv > a.maxv {
+		a.maxv = b.maxv
+	}
+}
+
+// GroupResult is the exact answer of a group-by aggregation query: the
+// baseline LAQy's approximate answers are compared against, and the engine
+// operation whose access pattern stratified sampling shares (Figure 8).
+// Each group carries one aggState per requested value column.
+type GroupResult struct {
+	groupWidth int
+	valueCols  int
+	groups     map[GroupKey][]aggState
+}
+
+// NumGroups returns the number of distinct groups.
+func (r *GroupResult) NumGroups() int { return len(r.groups) }
+
+// Keys returns the group keys in deterministic sorted order.
+func (r *GroupResult) Keys() []GroupKey {
+	out := make([]GroupKey, 0, len(r.groups))
+	for k := range r.groups {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for c := 0; c < sample.MaxQCS; c++ {
+			if out[i][c] != out[j][c] {
+				return out[i][c] < out[j][c]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Value returns the requested aggregate of the first value column for a
+// group and whether the group exists.
+func (r *GroupResult) Value(key GroupKey, kind approx.AggKind) (float64, bool) {
+	return r.ValueAt(key, 0, kind)
+}
+
+// ValueAt returns the requested aggregate of the col-th value column for a
+// group and whether the group exists.
+func (r *GroupResult) ValueAt(key GroupKey, col int, kind approx.AggKind) (float64, bool) {
+	states, ok := r.groups[key]
+	if !ok || col < 0 || col >= len(states) || states[col].count == 0 {
+		return 0, false
+	}
+	a := &states[col]
+	switch kind {
+	case approx.Sum:
+		return a.sum, true
+	case approx.Count:
+		return float64(a.count), true
+	case approx.Avg:
+		return a.sum / float64(a.count), true
+	case approx.Min:
+		return float64(a.minv), true
+	case approx.Max:
+		return float64(a.maxv), true
+	default:
+		return 0, false
+	}
+}
+
+// groupBySink is the per-worker exact aggregation state. Layout contract:
+// the first groupWidth gathered columns are the grouping key, the
+// remaining are the aggregated value columns.
+type groupBySink struct {
+	groupWidth int
+	valueCols  int
+	groups     map[GroupKey][]aggState
+}
+
+func newGroupBySink(groupWidth, valueCols int) *groupBySink {
+	return &groupBySink{
+		groupWidth: groupWidth,
+		valueCols:  valueCols,
+		groups:     make(map[GroupKey][]aggState),
+	}
+}
+
+func (s *groupBySink) consume(cols [][]int64, n int) {
+	for i := 0; i < n; i++ {
+		var key GroupKey
+		for c := 0; c < s.groupWidth; c++ {
+			key[c] = cols[c][i]
+		}
+		states, ok := s.groups[key]
+		if !ok {
+			states = make([]aggState, s.valueCols)
+			s.groups[key] = states
+		}
+		for v := 0; v < s.valueCols; v++ {
+			states[v].update(cols[s.groupWidth+v][i])
+		}
+	}
+}
+
+// mergeGroupBySinks folds per-worker partial aggregations into one result.
+func mergeGroupBySinks(sinks []*groupBySink) *GroupResult {
+	out := &GroupResult{groups: make(map[GroupKey][]aggState)}
+	for _, s := range sinks {
+		out.groupWidth = s.groupWidth
+		out.valueCols = s.valueCols
+		for k, st := range s.groups {
+			if existing, ok := out.groups[k]; ok {
+				for v := range existing {
+					existing[v].merge(&st[v])
+				}
+			} else {
+				out.groups[k] = st
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"laqy/internal/algebra"
+	"laqy/internal/approx"
+	"laqy/internal/storage"
+)
+
+// TestRandomizedQueriesAgainstOracle cross-checks the vectorized parallel
+// engine against a naive row-at-a-time reference implementation on random
+// star queries: random fact data, random predicates on fact and dimension
+// columns, random group columns. Any divergence in group sets, counts, or
+// sums is a bug in the scan/filter/join/aggregate pipeline.
+func TestRandomizedQueriesAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	const nFact, nDim = 20000, 64
+
+	// Fact: key (unique), a (0..19), b (0..99), fk (0..nDim-1), val.
+	key := make([]int64, nFact)
+	a := make([]int64, nFact)
+	bcol := make([]int64, nFact)
+	fk := make([]int64, nFact)
+	val := make([]int64, nFact)
+	for i := 0; i < nFact; i++ {
+		key[i] = int64(i)
+		a[i] = int64(r.Intn(20))
+		bcol[i] = int64(r.Intn(100))
+		fk[i] = int64(r.Intn(nDim))
+		val[i] = int64(r.Intn(10000) - 5000)
+	}
+	fact := storage.MustNewTable("fact",
+		&storage.Column{Name: "key", Kind: storage.KindInt64, Ints: key},
+		&storage.Column{Name: "a", Kind: storage.KindInt64, Ints: a},
+		&storage.Column{Name: "b", Kind: storage.KindInt64, Ints: bcol},
+		&storage.Column{Name: "fk", Kind: storage.KindInt64, Ints: fk},
+		&storage.Column{Name: "val", Kind: storage.KindInt64, Ints: val},
+	)
+	// Dim: dkey (unique), attr (0..7).
+	dkey := make([]int64, nDim)
+	attr := make([]int64, nDim)
+	for i := 0; i < nDim; i++ {
+		dkey[i] = int64(i)
+		attr[i] = int64(r.Intn(8))
+	}
+	dim := storage.MustNewTable("dim",
+		&storage.Column{Name: "dkey", Kind: storage.KindInt64, Ints: dkey},
+		&storage.Column{Name: "attr", Kind: storage.KindInt64, Ints: attr},
+	)
+
+	for trial := 0; trial < 40; trial++ {
+		// Random predicate shape.
+		pred := algebra.NewPredicate()
+		if r.Intn(2) == 0 {
+			lo := int64(r.Intn(nFact))
+			pred = pred.WithRange("key", lo, lo+int64(r.Intn(nFact)))
+		}
+		if r.Intn(2) == 0 {
+			lo := int64(r.Intn(15))
+			pred = pred.WithRange("a", lo, lo+int64(r.Intn(8)))
+		}
+		useJoin := r.Intn(2) == 0
+		var dimFilter algebra.Predicate
+		if useJoin && r.Intn(2) == 0 {
+			dimFilter = algebra.NewPredicate().WithRange("attr", 0, int64(r.Intn(8)))
+		}
+		groupCols := [][]string{{"a"}, {"b"}, {"a", "b"}}[r.Intn(3)]
+		if useJoin && r.Intn(2) == 0 {
+			groupCols = []string{"attr"}
+		}
+
+		q := &Query{Fact: fact, Filter: pred}
+		if useJoin {
+			q.Joins = []Join{{Dim: dim, FactKey: "fk", DimKey: "dkey", Filter: dimFilter}}
+		}
+		got, _, err := RunGroupBy(q, groupCols, "val", 3)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Row-at-a-time oracle.
+		type acc struct {
+			sum        float64
+			count      int64
+			minv, maxv int64
+		}
+		oracle := map[GroupKey]*acc{}
+		for i := 0; i < nFact; i++ {
+			row := map[string]int64{"key": key[i], "a": a[i], "b": bcol[i]}
+			if !pred.IsTrue() && !pred.Matches(row) {
+				continue
+			}
+			dimRow := int(fk[i])
+			if useJoin {
+				if !dimFilter.IsTrue() && !dimFilter.Matches(map[string]int64{"attr": attr[dimRow]}) {
+					continue
+				}
+			}
+			var k GroupKey
+			for c, col := range groupCols {
+				switch col {
+				case "a":
+					k[c] = a[i]
+				case "b":
+					k[c] = bcol[i]
+				case "attr":
+					k[c] = attr[dimRow]
+				}
+			}
+			st, ok := oracle[k]
+			if !ok {
+				st = &acc{minv: val[i], maxv: val[i]}
+				oracle[k] = st
+			}
+			st.sum += float64(val[i])
+			st.count++
+			if val[i] < st.minv {
+				st.minv = val[i]
+			}
+			if val[i] > st.maxv {
+				st.maxv = val[i]
+			}
+		}
+
+		if got.NumGroups() != len(oracle) {
+			t.Fatalf("trial %d: %d groups, oracle %d (pred=%v join=%v group=%v)",
+				trial, got.NumGroups(), len(oracle), pred, useJoin, groupCols)
+		}
+		for k, want := range oracle {
+			if v, ok := got.Value(k, approx.Sum); !ok || v != want.sum {
+				t.Fatalf("trial %d group %v: sum %v, oracle %v", trial, k, v, want.sum)
+			}
+			if v, _ := got.Value(k, approx.Count); v != float64(want.count) {
+				t.Fatalf("trial %d group %v: count %v, oracle %d", trial, k, v, want.count)
+			}
+			if v, _ := got.Value(k, approx.Min); v != float64(want.minv) {
+				t.Fatalf("trial %d group %v: min %v, oracle %d", trial, k, v, want.minv)
+			}
+			if v, _ := got.Value(k, approx.Max); v != float64(want.maxv) {
+				t.Fatalf("trial %d group %v: max %v, oracle %d", trial, k, v, want.maxv)
+			}
+		}
+
+		// The stratified sampler over the same query must see exactly the
+		// qualifying rows (weights are exact even when values are sampled).
+		schema := append(append([]string{}, groupCols...), "val")
+		sam, _, err := RunStratified(q, schema, len(groupCols), 64, uint64(trial), 3)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sam.NumStrata() != len(oracle) {
+			t.Fatalf("trial %d: sampler saw %d strata, oracle %d", trial, sam.NumStrata(), len(oracle))
+		}
+		var totalWeight float64
+		var totalRows int64
+		for k, want := range oracle {
+			res := sam.Stratum(k)
+			if res == nil {
+				t.Fatalf("trial %d: stratum %v missing", trial, k)
+			}
+			if res.Weight() != float64(want.count) {
+				t.Fatalf("trial %d stratum %v: weight %v, oracle %d", trial, k, res.Weight(), want.count)
+			}
+			totalWeight += res.Weight()
+			totalRows += want.count
+		}
+		if totalWeight != float64(totalRows) {
+			t.Fatalf("trial %d: total weight %v vs %d rows", trial, totalWeight, totalRows)
+		}
+	}
+}

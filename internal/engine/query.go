@@ -1,0 +1,100 @@
+// Package engine is the in-memory, vectorized, morsel-parallel analytical
+// engine LAQy runs inside — the reproduction of the paper's Proteus
+// substrate (Section 6).
+//
+// Queries are star joins over a fact table: the fact table is scanned in
+// morsels by parallel workers, filtered with compiled vectorized
+// predicates, probed against pre-built dimension hash tables, and fed into
+// a sink — an exact group-by aggregation, a simple reservoir sampler, or a
+// stratified sampler (the paper's "reservoir aggregation function" inside a
+// group-by, §6.2). Per-worker partial states merge at the end, mirroring
+// sample collection after an exchange operator [14].
+//
+// The engine reports a per-phase wall-clock breakdown (scan, process,
+// merge) because the paper's Figure 11 decomposes cumulative query time
+// into exactly those phases.
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"laqy/internal/algebra"
+	"laqy/internal/storage"
+)
+
+// Join describes one dimension join of a star query: fact.FactKey =
+// dim.DimKey, with an optional filter over dimension columns applied at
+// hash-table build time.
+type Join struct {
+	// Dim is the dimension table.
+	Dim *storage.Table
+	// FactKey is the fact-side join column name.
+	FactKey string
+	// DimKey is the dimension-side join column name.
+	DimKey string
+	// Filter restricts the dimension rows entering the hash table
+	// (e.g. s_region = 'AMERICA'); constraint values are dictionary codes
+	// for string columns.
+	Filter algebra.Predicate
+}
+
+// Query is a star query over a fact table: scan + filter + joins. What
+// happens to the joined rows is decided by the sink passed to Run.
+type Query struct {
+	// Fact is the fact table.
+	Fact *storage.Table
+	// Filter is the predicate over fact columns, evaluated during the scan.
+	Filter algebra.Predicate
+	// Joins are the dimension joins, probed in order.
+	Joins []Join
+	// ScanFrom skips fact rows before this index — used to scan only
+	// appended rows during incremental sample maintenance.
+	ScanFrom int
+	// Ctx, when non-nil, cancels the scan: workers stop at the next morsel
+	// boundary and the run returns the context's error. A nil Ctx never
+	// cancels.
+	Ctx context.Context
+}
+
+// columnSource locates a column needed downstream: either a fact column or
+// a column of the j-th join's dimension table.
+type columnSource struct {
+	vec     []int64
+	joinIdx int // -1 for fact columns
+}
+
+// resolveColumns maps each requested name to its source, searching the fact
+// table first and then each dimension in join order. SSB-style prefixes
+// (lo_, d_, s_, p_) make names unambiguous; the first match wins.
+func (q *Query) resolveColumns(names []string) ([]columnSource, error) {
+	out := make([]columnSource, len(names))
+	for i, name := range names {
+		if c := q.Fact.Column(name); c != nil {
+			out[i] = columnSource{vec: c.Ints, joinIdx: -1}
+			continue
+		}
+		found := false
+		for j, jn := range q.Joins {
+			if c := jn.Dim.Column(name); c != nil {
+				out[i] = columnSource{vec: c.Ints, joinIdx: j}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("engine: column %q not found in fact table %q or its joined dimensions",
+				name, q.Fact.Name)
+		}
+	}
+	return out, nil
+}
+
+// resolveFact returns the named fact column vector, or nil; this is the
+// resolver handed to expr.Compile for the scan filter.
+func (q *Query) resolveFact(name string) []int64 {
+	if c := q.Fact.Column(name); c != nil {
+		return c.Ints
+	}
+	return nil
+}

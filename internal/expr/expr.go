@@ -1,0 +1,159 @@
+// Package expr compiles the declarative predicates of package algebra into
+// executable, vectorized filters over column vectors and into per-tuple
+// matchers over sample schemas.
+//
+// The engine evaluates predicates chunk-at-a-time into selection vectors;
+// the common single-interval constraint (BETWEEN) compiles to a two-compare
+// loop, standing in for the specialized code Proteus would JIT-generate for
+// the same predicate.
+package expr
+
+import (
+	"fmt"
+
+	"laqy/internal/algebra"
+	"laqy/internal/sample"
+)
+
+// compiledCol is one conjunct of a compiled filter: a column vector plus
+// its constraint, with the single-interval fast path precomputed.
+type compiledCol struct {
+	vec    []int64
+	set    algebra.Set
+	lo, hi int64
+	single bool // constraint is one interval: lo <= v <= hi
+}
+
+// Filter is a compiled conjunctive range predicate bound to a set of column
+// vectors. It is immutable and safe for concurrent use by parallel scan
+// workers.
+type Filter struct {
+	cols []compiledCol
+}
+
+// Compile binds predicate p to column vectors via resolve, which maps a
+// column name to its data vector (or nil if unknown). An unsatisfiable
+// predicate compiles successfully and selects nothing.
+func Compile(p algebra.Predicate, resolve func(name string) []int64) (*Filter, error) {
+	f := &Filter{}
+	for _, name := range p.Columns() {
+		set, _ := p.Constraint(name)
+		vec := resolve(name)
+		if vec == nil {
+			return nil, fmt.Errorf("expr: unknown column %q in predicate", name)
+		}
+		cc := compiledCol{vec: vec, set: set}
+		if ivs := set.Intervals(); len(ivs) == 1 {
+			cc.single, cc.lo, cc.hi = true, ivs[0].Lo, ivs[0].Hi
+		}
+		f.cols = append(f.cols, cc)
+	}
+	return f, nil
+}
+
+// Trivial reports whether the filter accepts every row.
+func (f *Filter) Trivial() bool { return len(f.cols) == 0 }
+
+// SelectInto appends the qualifying row indices of [start, end) to sel and
+// returns the extended slice. Callers reuse sel across chunks to avoid
+// allocation in the scan hot loop.
+func (f *Filter) SelectInto(start, end int, sel []int32) []int32 {
+	if f.Trivial() {
+		for i := start; i < end; i++ {
+			sel = append(sel, int32(i))
+		}
+		return sel
+	}
+	// First conjunct scans the range directly; the rest refine sel.
+	first := f.cols[0]
+	base := len(sel)
+	if first.single {
+		vec, lo, hi := first.vec, first.lo, first.hi
+		for i := start; i < end; i++ {
+			if v := vec[i]; v >= lo && v <= hi {
+				sel = append(sel, int32(i))
+			}
+		}
+	} else {
+		for i := start; i < end; i++ {
+			if first.set.Contains(first.vec[i]) {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	for _, cc := range f.cols[1:] {
+		out := sel[base:base]
+		if cc.single {
+			vec, lo, hi := cc.vec, cc.lo, cc.hi
+			for _, idx := range sel[base:] {
+				if v := vec[idx]; v >= lo && v <= hi {
+					out = append(out, idx)
+				}
+			}
+		} else {
+			for _, idx := range sel[base:] {
+				if cc.set.Contains(cc.vec[idx]) {
+					out = append(out, idx)
+				}
+			}
+		}
+		sel = sel[:base+len(out)]
+	}
+	return sel
+}
+
+// Matches evaluates the filter for a single row index (used off the hot
+// path, e.g. in validation code).
+func (f *Filter) Matches(i int) bool {
+	for _, cc := range f.cols {
+		v := cc.vec[i]
+		if cc.single {
+			if v < cc.lo || v > cc.hi {
+				return false
+			}
+		} else if !cc.set.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// TupleMatcher compiles predicate p against a sample schema, returning a
+// per-tuple matcher used to tighten stored samples (§5.2.1): the tuple
+// layout is the sample's column order. Columns constrained by p but absent
+// from the schema yield an error — such a sample cannot be tightened
+// because the filter column was not captured.
+func TupleMatcher(p algebra.Predicate, schema sample.Schema) (func(tuple []int64) bool, error) {
+	type conjunct struct {
+		idx    int
+		set    algebra.Set
+		lo, hi int64
+		single bool
+	}
+	var cs []conjunct
+	for _, name := range p.Columns() {
+		set, _ := p.Constraint(name)
+		idx := schema.Index(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("expr: predicate column %q not captured by sample schema %v", name, schema)
+		}
+		c := conjunct{idx: idx, set: set}
+		if ivs := set.Intervals(); len(ivs) == 1 {
+			c.single, c.lo, c.hi = true, ivs[0].Lo, ivs[0].Hi
+		}
+		cs = append(cs, c)
+	}
+	return func(tuple []int64) bool {
+		for _, c := range cs {
+			v := tuple[c.idx]
+			if c.single {
+				if v < c.lo || v > c.hi {
+					return false
+				}
+			} else if !c.set.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}

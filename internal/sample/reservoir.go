@@ -1,0 +1,301 @@
+// Package sample implements LAQy's sampling operators: reservoir sampling,
+// weighted reservoir merging (the paper's Algorithm 2), stratified reservoir
+// sampling, and stratified sample merging (Algorithm 3).
+//
+// A Reservoir is a fixed-capacity uniform sample of a stream together with
+// the running count of considered elements (its weight). The weight is what
+// makes reservoirs mergeable: a reservoir {R, w} represents w input tuples,
+// and two independent reservoirs {R1,w1}, {R2,w2} over disjoint inputs can
+// be combined into a reservoir {Rm, w1+w2} that is distributed as if the
+// union of the original inputs had been sampled directly — without touching
+// the original data. This property (Chao [7], mergeable summaries [1]) is
+// the mechanism behind LAQy's lazy Δ-samples.
+//
+// Sampled tuples are stored in row-major flat []int64 buffers with a fixed
+// per-sample schema (the QCS and QVS columns), mirroring the paper's design
+// of decoupling reservoir storage from the admission-control state.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"laqy/internal/rng"
+)
+
+// Schema lists the column names captured by a sample, QCS columns first.
+// The tuple width equals len(Schema).
+type Schema []string
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, n := range s {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two schemas list the same columns in the same order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reservoir is a uniform fixed-capacity sample of a tuple stream.
+//
+// The admission-control state (weight, capacity, RNG) is small and hot; the
+// tuple storage is a separately allocated flat buffer reached through a
+// slice header, reproducing the paper's pointer-decoupled layout (§6.3).
+type Reservoir struct {
+	k      int     // capacity in tuples
+	width  int     // ints per tuple
+	weight float64 // number of tuples considered (importance weight)
+	data   []int64 // row-major tuple storage, len = min(n, k) * width
+	gen    *rng.Lehmer64
+}
+
+// NewReservoir creates an empty reservoir with capacity k for tuples of the
+// given width, drawing randomness from gen. gen must not be shared across
+// concurrently used reservoirs.
+func NewReservoir(k, width int, gen *rng.Lehmer64) *Reservoir {
+	if k <= 0 {
+		panic(fmt.Sprintf("sample: reservoir capacity %d", k))
+	}
+	if width <= 0 {
+		panic(fmt.Sprintf("sample: tuple width %d", width))
+	}
+	return &Reservoir{k: k, width: width, gen: gen}
+}
+
+// K returns the reservoir capacity.
+func (r *Reservoir) K() int { return r.k }
+
+// Width returns the tuple width.
+func (r *Reservoir) Width() int { return r.width }
+
+// Weight returns the total importance weight of the input the reservoir
+// represents. For a reservoir fed tuple-by-tuple this is the number of
+// considered tuples; after merges it is the sum of the merged weights.
+func (r *Reservoir) Weight() float64 { return r.weight }
+
+// Len returns the number of tuples currently stored.
+func (r *Reservoir) Len() int { return len(r.data) / r.width }
+
+// Full reports whether the reservoir has reached capacity, i.e. admission
+// has entered the probabilistic regime.
+func (r *Reservoir) Full() bool { return r.Len() == r.k }
+
+// Tuple returns the i-th stored tuple as a subslice of the storage buffer.
+// The returned slice aliases internal storage and must not be retained
+// across Consider calls.
+func (r *Reservoir) Tuple(i int) []int64 {
+	return r.data[i*r.width : (i+1)*r.width]
+}
+
+// Consider offers one tuple to the reservoir, performing the admission
+// control step of Algorithm R: the n-th considered tuple is admitted with
+// probability k/n, replacing a uniformly chosen victim.
+func (r *Reservoir) Consider(tuple []int64) {
+	if len(tuple) != r.width {
+		panic(fmt.Sprintf("sample: tuple width %d, reservoir width %d", len(tuple), r.width))
+	}
+	r.weight++
+	if len(r.data) < r.k*r.width {
+		r.data = append(r.data, tuple...)
+		return
+	}
+	// Probabilistic admission: admit with probability k/weight.
+	n := uint64(r.weight)
+	if slot := r.gen.Uint64n(n); slot < uint64(r.k) {
+		copy(r.data[int(slot)*r.width:], tuple)
+	}
+}
+
+// considerWeighted offers a tuple carrying an importance weight w, using
+// A-Chao weighted reservoir admission: the tuple is admitted with
+// probability k*w/W where W is the running weight sum. This is the
+// "weighted reservoir sampling" primitive of the paper's Section 5.1.
+func (r *Reservoir) considerWeighted(tuple []int64, w float64) {
+	r.weight += w
+	if len(r.data) < r.k*r.width {
+		r.data = append(r.data, tuple...)
+		return
+	}
+	p := float64(r.k) * w / r.weight
+	if p >= 1 || r.gen.Float64() < p {
+		slot := r.gen.Intn(r.k)
+		copy(r.data[slot*r.width:], tuple)
+	}
+}
+
+// Clone returns a deep copy of the reservoir sharing no storage, with its
+// own RNG substream so the copies evolve independently.
+func (r *Reservoir) Clone() *Reservoir {
+	out := &Reservoir{k: r.k, width: r.width, weight: r.weight, gen: r.gen.Split(0x5C)}
+	out.data = append([]int64(nil), r.data...)
+	return out
+}
+
+// Filter returns a new reservoir holding only tuples accepted by keep,
+// implementing the paper's conditional transition to stricter predicates
+// (§5.2.1): the surviving tuples are a uniform sample of the qualifying
+// subpopulation, and the represented weight is rescaled by the observed
+// qualifying fraction (an estimate, exact only in expectation).
+func (r *Reservoir) Filter(keep func(tuple []int64) bool) *Reservoir {
+	out := &Reservoir{k: r.k, width: r.width, gen: r.gen.Split(0xF1)}
+	n := r.Len()
+	kept := 0
+	for i := 0; i < n; i++ {
+		t := r.Tuple(i)
+		if keep(t) {
+			out.data = append(out.data, t...)
+			kept++
+		}
+	}
+	if n > 0 {
+		out.weight = r.weight * float64(kept) / float64(n)
+	}
+	return out
+}
+
+// SupportOK reports whether the reservoir holds at least minSupport tuples,
+// the per-stratum support check of §5.2.3 guarding error bounds after
+// predicate tightening.
+func (r *Reservoir) SupportOK(minSupport int) bool { return r.Len() >= minSupport }
+
+// Merge combines two reservoirs over disjoint inputs into a reservoir
+// distributed as a direct sample of the combined input, implementing the
+// paper's Algorithm 2. Inputs may be nil (the "only single reservoir
+// defined" case). The result's weight is the sum of the input weights. The
+// inputs are consumed: they must not be used afterwards, as the merge may
+// reuse their storage.
+//
+// Case selection follows the paper:
+//   - a nil input returns the other (DefinedReservoir);
+//   - a not-full input holds its entire subpopulation verbatim, so its
+//     tuples are streamed into the other reservoir's admission control
+//     (ReservoirSampling);
+//   - two full reservoirs of equal capacity merge slot-by-slot, each slot
+//     taken from R1 with probability w1/(w1+w2) (ProportionalSampling);
+//   - two full reservoirs of different capacities merge by weighted
+//     reservoir sampling where each tuple of Ri carries importance wi/ki
+//     (ScaledPropSampling).
+func Merge(r1, r2 *Reservoir, gen *rng.Lehmer64) *Reservoir {
+	// DefinedReservoir: single input defined.
+	if r1 == nil {
+		return r2
+	}
+	if r2 == nil {
+		return r1
+	}
+	if r1.width != r2.width {
+		panic(fmt.Sprintf("sample: merging width %d with width %d", r1.width, r2.width))
+	}
+
+	// ReservoirSampling: a not-full reservoir is its whole subpopulation.
+	if !r1.Full() || !r2.Full() {
+		return mergeNotFull(r1, r2)
+	}
+	if r1.k == r2.k {
+		return mergeProportional(r1, r2, gen)
+	}
+	return mergeScaledProportional(r1, r2, gen)
+}
+
+// mergeNotFull handles the case where at least one reservoir is not full.
+// The not-full reservoir's tuples are streamed into the other reservoir's
+// admission control carrying their per-tuple importance weight (weight/len,
+// which is 1 for a reservoir that never entered the probabilistic regime
+// but may differ after a Filter), continuing weighted reservoir sampling on
+// the combined stream.
+func mergeNotFull(r1, r2 *Reservoir) *Reservoir {
+	full, partial := r1, r2
+	if !r1.Full() {
+		full, partial = r2, r1
+	}
+	if !full.Full() && full.k < partial.k {
+		// Both partial: keep the larger capacity as the accumulator.
+		full, partial = partial, full
+	}
+	n := partial.Len()
+	if n == 0 {
+		full.weight += partial.weight
+		return full
+	}
+	perTuple := partial.weight / float64(n)
+	for i := 0; i < n; i++ {
+		full.considerWeighted(partial.Tuple(i), perTuple)
+	}
+	return full
+}
+
+// mergeProportional merges two full, equal-capacity reservoirs by the
+// per-slot proportional rule: slot i of the result is slot i of r1 with
+// probability w1/(w1+w2), else slot i of r2. Because each slot of a full
+// reservoir is marginally a uniform draw from its subpopulation, the result
+// is marginally a uniform draw from the weighted union.
+func mergeProportional(r1, r2 *Reservoir, gen *rng.Lehmer64) *Reservoir {
+	w1, w2 := r1.weight, r2.weight
+	p1 := w1 / (w1 + w2)
+	out := r1 // reuse r1's storage
+	for i := 0; i < out.k; i++ {
+		if gen.Float64() >= p1 {
+			copy(out.data[i*out.width:], r2.Tuple(i))
+		}
+	}
+	out.weight = w1 + w2
+	out.gen = gen
+	return out
+}
+
+// mergeScaledProportional merges two full reservoirs of different
+// capacities using weighted reservoir sampling (Efraimidis–Spirakis
+// priority sampling): each tuple of Ri carries importance weight wi/ki (the
+// number of input tuples it represents), and the min(k1,k2) highest-priority
+// tuples form the merged reservoir. The scaled weight factor wi/ki is the
+// paper's k_scaled/w bias adjustment.
+func mergeScaledProportional(r1, r2 *Reservoir, gen *rng.Lehmer64) *Reservoir {
+	kOut := r1.k
+	if r2.k < kOut {
+		kOut = r2.k
+	}
+	type cand struct {
+		src  *Reservoir
+		idx  int
+		prio float64
+	}
+	cands := make([]cand, 0, r1.Len()+r2.Len())
+	add := func(r *Reservoir) {
+		perTuple := r.weight / float64(r.Len())
+		for i := 0; i < r.Len(); i++ {
+			u := gen.Float64()
+			if u == 0 {
+				u = math.SmallestNonzeroFloat64
+			}
+			// E–S key: u^(1/w); larger keys win.
+			cands = append(cands, cand{src: r, idx: i, prio: math.Pow(u, 1/perTuple)})
+		}
+	}
+	add(r1)
+	add(r2)
+	sort.Slice(cands, func(i, j int) bool { return cands[i].prio > cands[j].prio })
+	if kOut > len(cands) {
+		kOut = len(cands)
+	}
+	out := &Reservoir{k: kOut, width: r1.width, weight: r1.weight + r2.weight, gen: gen}
+	out.data = make([]int64, 0, kOut*out.width)
+	for _, c := range cands[:kOut] {
+		out.data = append(out.data, c.src.Tuple(c.idx)...)
+	}
+	return out
+}

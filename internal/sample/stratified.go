@@ -1,0 +1,198 @@
+package sample
+
+import (
+	"fmt"
+	"sort"
+
+	"laqy/internal/rng"
+)
+
+// MaxQCS is the maximum number of stratification columns. The paper's
+// evaluation uses up to 3 (|QCS| up to 4950 strata); Microsoft's production
+// study [18] reports 90% of column sets have ≤6 columns. Four keeps the key
+// comparable and register-friendly.
+const MaxQCS = 4
+
+// StratumKey identifies a stratum: the tuple of QCS column values. Unused
+// trailing slots are zero; the per-sample QCS width disambiguates.
+type StratumKey [MaxQCS]int64
+
+// Stratified is a stratified reservoir sample: one reservoir per distinct
+// QCS value combination, implemented — as in the paper's engine
+// integration (§6.2) — as a group-by whose aggregation function is
+// reservoir sampling.
+//
+// The hash table maps each stratum key to the admission-control state and a
+// pointer to the reservoir storage (the decoupled layout of §6.3), so the
+// per-tuple random access touches a small table even when reservoirs are
+// large. A Stratified is not safe for concurrent use; parallel builds use
+// one instance per worker and merge.
+type Stratified struct {
+	schema   Schema
+	qcsWidth int
+	k        int
+	strata   map[StratumKey]*Reservoir
+	gen      *rng.Lehmer64
+	weight   float64 // total tuples considered across all strata
+}
+
+// NewStratified creates an empty stratified sample capturing the columns of
+// schema, of which the first qcsWidth are the stratification (QCS) columns;
+// k is the per-stratum reservoir capacity. A qcsWidth of zero degenerates
+// to a single stratum — grouping without a key, i.e. a simple reservoir
+// sample, exactly the degenerate case the paper notes for Algorithm 3.
+func NewStratified(schema Schema, qcsWidth, k int, gen *rng.Lehmer64) *Stratified {
+	if qcsWidth < 0 || qcsWidth > MaxQCS || qcsWidth > len(schema) {
+		panic(fmt.Sprintf("sample: qcsWidth %d with schema of %d columns", qcsWidth, len(schema)))
+	}
+	return &Stratified{
+		schema:   schema,
+		qcsWidth: qcsWidth,
+		k:        k,
+		strata:   make(map[StratumKey]*Reservoir),
+		gen:      gen,
+	}
+}
+
+// Schema returns the captured columns, QCS columns first.
+func (s *Stratified) Schema() Schema { return s.schema }
+
+// QCSWidth returns the number of stratification columns.
+func (s *Stratified) QCSWidth() int { return s.qcsWidth }
+
+// K returns the per-stratum reservoir capacity.
+func (s *Stratified) K() int { return s.k }
+
+// NumStrata returns the number of materialized strata.
+func (s *Stratified) NumStrata() int { return len(s.strata) }
+
+// TotalWeight returns the total number of tuples considered (the
+// represented input size).
+func (s *Stratified) TotalWeight() float64 { return s.weight }
+
+// key extracts the stratum key from a tuple laid out per the schema.
+func (s *Stratified) key(tuple []int64) StratumKey {
+	var k StratumKey
+	copy(k[:], tuple[:s.qcsWidth])
+	return k
+}
+
+// Consider offers one tuple (laid out per the schema) to the sample: the
+// stratum is located — or allocated and initialized on first sight, the
+// constant per-stratum cost visible in the paper's Figure 3 — and the tuple
+// goes through that stratum's reservoir admission control.
+func (s *Stratified) Consider(tuple []int64) {
+	k := s.key(tuple)
+	res, ok := s.strata[k]
+	if !ok {
+		res = NewReservoir(s.k, len(s.schema), s.gen.Split(uint64(len(s.strata))))
+		s.strata[k] = res
+	}
+	res.Consider(tuple)
+	s.weight++
+}
+
+// Stratum returns the reservoir for key, or nil.
+func (s *Stratified) Stratum(key StratumKey) *Reservoir { return s.strata[key] }
+
+// Keys returns all stratum keys in deterministic (sorted) order.
+func (s *Stratified) Keys() []StratumKey {
+	out := make([]StratumKey, 0, len(s.strata))
+	for k := range s.strata {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for c := 0; c < MaxQCS; c++ {
+			if out[i][c] != out[j][c] {
+				return out[i][c] < out[j][c]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// ForEach visits every stratum in deterministic order.
+func (s *Stratified) ForEach(fn func(key StratumKey, r *Reservoir)) {
+	for _, k := range s.Keys() {
+		fn(k, s.strata[k])
+	}
+}
+
+// Filter returns a new stratified sample whose reservoirs hold only tuples
+// accepted by keep, with weights rescaled per stratum (predicate
+// tightening, §5.2.1). Strata whose reservoirs become empty are dropped.
+func (s *Stratified) Filter(keep func(tuple []int64) bool) *Stratified {
+	out := &Stratified{
+		schema:   s.schema,
+		qcsWidth: s.qcsWidth,
+		k:        s.k,
+		strata:   make(map[StratumKey]*Reservoir, len(s.strata)),
+		gen:      s.gen.Split(0xFE),
+	}
+	for k, r := range s.strata {
+		f := r.Filter(keep)
+		if f.Len() > 0 {
+			out.strata[k] = f
+			out.weight += f.Weight()
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy sharing no storage with s.
+func (s *Stratified) Clone() *Stratified {
+	out := &Stratified{
+		schema:   s.schema,
+		qcsWidth: s.qcsWidth,
+		k:        s.k,
+		strata:   make(map[StratumKey]*Reservoir, len(s.strata)),
+		gen:      s.gen.Split(0xC1),
+		weight:   s.weight,
+	}
+	for k, r := range s.strata {
+		out.strata[k] = r.Clone()
+	}
+	return out
+}
+
+// MergeStratified combines two stratified samples over disjoint inputs into
+// one distributed as a direct stratified sample of the combined input — the
+// paper's Algorithm 3: a group-by over the union of strata whose
+// aggregation function is the reservoir merge of Algorithm 2. The inputs
+// are consumed.
+//
+// Both samples must share the schema and QCS width. Per-stratum capacities
+// may differ (Algorithm 2 handles the scaled case). MergeStratified also
+// serves the engine's exchange step: per-worker partial samples merge into
+// the final sample the same way Δ-samples merge with stored ones.
+func MergeStratified(a, b *Stratified, gen *rng.Lehmer64) (*Stratified, error) {
+	if a == nil {
+		return b, nil
+	}
+	if b == nil {
+		return a, nil
+	}
+	if !a.schema.Equal(b.schema) {
+		return nil, fmt.Errorf("sample: merging stratified samples with schemas %v and %v", a.schema, b.schema)
+	}
+	if a.qcsWidth != b.qcsWidth {
+		return nil, fmt.Errorf("sample: merging QCS widths %d and %d", a.qcsWidth, b.qcsWidth)
+	}
+	// Accumulate into the sample with more strata to reduce map churn.
+	dst, src := a, b
+	if len(b.strata) > len(a.strata) {
+		dst, src = b, a
+	}
+	i := uint64(0)
+	for k, r := range src.strata {
+		if existing, ok := dst.strata[k]; ok {
+			dst.strata[k] = Merge(existing, r, gen.Split(i))
+		} else {
+			dst.strata[k] = r
+		}
+		i++
+	}
+	dst.weight = a.weight + b.weight
+	return dst, nil
+}

@@ -1,0 +1,143 @@
+package sql
+
+import "laqy/internal/approx"
+
+// SelectItem is one output expression: a bare column (which must appear in
+// GROUP BY) or an aggregate over a column or a binary arithmetic
+// expression (Column == "" means COUNT(*)).
+type SelectItem struct {
+	// Agg is the aggregate kind; IsAgg distinguishes plain columns.
+	Agg approx.AggKind
+	// IsAgg reports whether the item is an aggregate call.
+	IsAgg bool
+	// Column is the referenced column name ("" for COUNT(*)).
+	Column string
+	// Op, when nonzero ('*', '+', '-'), makes the aggregate argument the
+	// expression Column <Op> (RightColumn | RightLit) — e.g. the SSB
+	// revenue expression SUM(lo_extendedprice*lo_discount).
+	Op byte
+	// RightColumn is the right operand column (when RightIsLit is false).
+	RightColumn string
+	// RightLit is the literal right operand.
+	RightLit int64
+	// RightIsLit selects the literal right operand.
+	RightIsLit bool
+	// Alias is the output label given with AS ("" = default label).
+	Alias string
+}
+
+// CompareOp enumerates predicate comparison operators.
+type CompareOp int
+
+const (
+	OpEq CompareOp = iota
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String implements fmt.Stringer.
+func (o CompareOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// Literal is an integer or string constant.
+type Literal struct {
+	IsString bool
+	Str      string
+	Int      int64
+}
+
+// Condition is one conjunct of the WHERE clause. Exactly one of the shapes
+// is populated:
+//
+//   - column-vs-column equality (a join condition): RightColumn != ""
+//   - comparison against a literal: Op + Lit
+//   - BETWEEN: IsBetween with Lo/Hi
+//   - IN list: In != nil
+type Condition struct {
+	Column      string
+	RightColumn string
+	Op          CompareOp
+	Lit         Literal
+	IsBetween   bool
+	Lo, Hi      Literal
+	In          []Literal
+}
+
+// HavingCond is one HAVING conjunct: a comparison between an aggregate
+// (which must appear in the select list) and a numeric literal.
+type HavingCond struct {
+	Agg         approx.AggKind
+	Column      string
+	Op          byte // expression operator inside the aggregate (0 = none)
+	RightColumn string
+	RightLit    int64
+	RightIsLit  bool
+	// Cmp is the comparison against Value.
+	Cmp   CompareOp
+	Value int64
+}
+
+// OrderItem is one ORDER BY key: a grouping column or an aggregate that
+// also appears in the select list.
+type OrderItem struct {
+	// IsAgg selects ordering by an aggregate value.
+	IsAgg bool
+	// Agg and Column identify the aggregate (when IsAgg) or the grouping
+	// column; the expression fields mirror SelectItem for ordering by a
+	// computed aggregate.
+	Agg         approx.AggKind
+	Column      string
+	Op          byte
+	RightColumn string
+	RightLit    int64
+	RightIsLit  bool
+	// Desc orders descending.
+	Desc bool
+}
+
+// ExplicitJoin is a JOIN <table> ON <a> = <b> clause.
+type ExplicitJoin struct {
+	Table string
+	Left  string
+	Right string
+}
+
+// Statement is a parsed SELECT statement.
+type Statement struct {
+	Select  []SelectItem
+	From    []string
+	Joins   []ExplicitJoin
+	Where   []Condition
+	GroupBy []string
+	// Approx requests sampling-based execution (the APPROX clause).
+	Approx bool
+	// ApproxK is the per-stratum reservoir capacity (APPROX WITH K n);
+	// zero means the engine default.
+	ApproxK int
+	// ApproxError is the requested relative error bound as a fraction
+	// (APPROX ERROR 5 → 0.05); zero means no bound.
+	ApproxError float64
+	// ApproxConfidence is the confidence level for the bound (APPROX
+	// ERROR 5 CONFIDENCE 99 → 0.99); zero means the 0.95 default.
+	ApproxConfidence float64
+	// Having lists the HAVING conjuncts.
+	Having []HavingCond
+	// OrderBy lists the result ordering keys (empty = group-key order).
+	OrderBy []OrderItem
+	// Limit caps the number of result rows (0 = no limit).
+	Limit int
+}

@@ -1,0 +1,84 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"laqy/internal/ssb"
+)
+
+// FuzzParse asserts the parser's contract on arbitrary input: it returns a
+// statement or an error, and never panics. Run with `go test -fuzz
+// FuzzParse ./internal/sql` for continuous fuzzing; the seed corpus runs in
+// normal test mode.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT SUM(x) FROM t",
+		"SELECT a, SUM(b*c) FROM t WHERE k BETWEEN 1 AND 2 GROUP BY a ORDER BY SUM(b*c) DESC LIMIT 3 APPROX WITH K 10 ERROR 5 CONFIDENCE 99",
+		"SELECT COUNT(*) FROM t JOIN d ON a = b WHERE s = 'x' AND v IN (1,2)",
+		"select sum(x) from t where a <= -5;",
+		"SELECT ((((",
+		"SELECT SUM(x FROM",
+		"'unterminated",
+		"SELECT \x00\xff FROM t",
+		strings.Repeat("(", 1000),
+		"SELECT SUM(x) FROM t WHERE a BETWEEN 'lo' AND 'hi'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err == nil && stmt == nil {
+			t.Fatal("nil statement without error")
+		}
+		if err != nil && stmt != nil {
+			t.Fatal("statement returned alongside an error")
+		}
+	})
+}
+
+// FuzzPlan asserts the planner's contract: any statement the parser
+// accepts either plans cleanly or returns an error — never panics — even
+// against a real catalog.
+func FuzzPlan(f *testing.F) {
+	d, err := ssb.Generate(ssb.Config{LineorderRows: 500, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	catalog := d.Catalog()
+	seeds := []string{
+		"SELECT SUM(lo_revenue) FROM lineorder",
+		"SELECT d_year, SUM(lo_revenue) FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year",
+		"SELECT s_region, COUNT(*) FROM lineorder, supplier WHERE lo_suppkey = s_suppkey GROUP BY s_region HAVING COUNT(*) > 1 ORDER BY COUNT(*) DESC LIMIT 2 APPROX WITH K 8",
+		"SELECT SUM(lo_extendedprice*lo_discount) AS x FROM lineorder WHERE lo_quantity < 25",
+		"SELECT SUM(nope) FROM lineorder",
+		"SELECT SUM(lo_revenue) FROM lineorder, supplier",
+		"SELECT lo_quantity FROM lineorder",
+		"SELECT SUM(lo_revenue) FROM date, supplier WHERE d_datekey = s_suppkey",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		plan, err := PlanStatement(stmt, catalog)
+		if err == nil && plan == nil {
+			t.Fatal("nil plan without error")
+		}
+		if plan != nil {
+			// A returned plan must be internally consistent.
+			if plan.QCSWidth() != len(plan.GroupBy) {
+				t.Fatal("QCS width mismatch")
+			}
+			if plan.Approx && len(plan.Schema) <= len(plan.GroupBy) {
+				t.Fatalf("approx plan with no value columns: %v", plan.Schema)
+			}
+			_ = plan.Describe()
+		}
+	})
+}

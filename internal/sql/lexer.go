@@ -1,0 +1,125 @@
+// Package sql implements the SQL subset LAQy's frontend accepts: single-
+// block SELECT queries with star joins, conjunctive predicates, grouping,
+// and the APPROX clause that requests sampling-based execution.
+//
+// The surface covers the paper's query templates — (Strat), (Q1) and (Q2)
+// of Section 7 — plus the exploratory variants the workload generator
+// produces:
+//
+//	SELECT d_year, p_brand1, SUM(lo_revenue)
+//	FROM lineorder, date, supplier, part
+//	WHERE lo_orderdate = d_datekey AND lo_suppkey = s_suppkey
+//	  AND lo_partkey = p_partkey AND s_region = 'AMERICA'
+//	  AND p_category = 'MFGR#12' AND lo_intkey BETWEEN 0 AND 1000000
+//	GROUP BY d_year, p_brand1
+//	APPROX WITH K 1024
+//
+// The package compiles such text into an executable engine plan with the
+// logical sampler description (predicate, QCS, QVS) LAQy's store needs.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * = < > <= >=
+)
+
+// token is one lexical token with its source position (1-based offset for
+// error messages).
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents keep their case
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AND": true, "BETWEEN": true, "IN": true, "AS": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"APPROX": true, "WITH": true, "K": true, "JOIN": true, "ON": true,
+	"ERROR": true, "CONFIDENCE": true,
+	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true, "HAVING": true,
+}
+
+// lex tokenizes the input, returning a token stream or a positioned error.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				out = append(out, token{kind: tokKeyword, text: upper, pos: start + 1})
+			} else {
+				out = append(out, token{kind: tokIdent, text: word, pos: start + 1})
+			}
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			i++
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.') {
+				i++
+			}
+			out = append(out, token{kind: tokNumber, text: input[start:i], pos: start + 1})
+		case c == '\'':
+			start := i
+			i++
+			for i < n && input[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start+1)
+			}
+			out = append(out, token{kind: tokString, text: input[start+1 : i], pos: start + 1})
+			i++
+		case c == '<' || c == '>':
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			}
+			out = append(out, token{kind: tokSymbol, text: input[start:i], pos: start + 1})
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == '=' || c == ';' || c == '+' || c == '-':
+			out = append(out, token{kind: tokSymbol, text: string(c), pos: i + 1})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i+1)
+		}
+	}
+	out = append(out, token{kind: tokEOF, text: "", pos: n + 1})
+	return out, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,489 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"laqy/internal/approx"
+)
+
+// Parse compiles a SQL string into a Statement.
+func Parse(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sql: unexpected %q at offset %d", t.text, t.pos)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("sql: expected %s at offset %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("sql: expected %q at offset %d, got %q", sym, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier at offset %d, got %q", t.pos, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseSelect() (*Statement, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &Statement{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokKeyword && p.peek().text == "AS" {
+			p.next()
+			alias, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = alias
+		}
+		stmt.Select = append(stmt.Select, item)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, name)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	for p.peek().kind == tokKeyword && p.peek().text == "JOIN" {
+		p.next()
+		j, err := p.parseJoin()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, j)
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "WHERE" {
+		p.next()
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, cond)
+			if p.peek().kind == tokKeyword && p.peek().text == "AND" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "GROUP" {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, name)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "HAVING" {
+		p.next()
+		for {
+			cond, err := p.parseHaving()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Having = append(stmt.Having, cond)
+			if p.peek().kind == tokKeyword && p.peek().text == "AND" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "ORDER" {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.parseOrderItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "LIMIT" {
+		p.next()
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected LIMIT count at offset %d", t.pos)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("sql: invalid LIMIT %q at offset %d", t.text, t.pos)
+		}
+		stmt.Limit = n
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "APPROX" {
+		p.next()
+		stmt.Approx = true
+		if p.peek().kind == tokKeyword && p.peek().text == "WITH" {
+			p.next()
+			if err := p.expectKeyword("K"); err != nil {
+				return nil, err
+			}
+			t := p.next()
+			if t.kind != tokNumber {
+				return nil, fmt.Errorf("sql: expected reservoir capacity at offset %d", t.pos)
+			}
+			k, err := strconv.Atoi(t.text)
+			if err != nil || k <= 0 {
+				return nil, fmt.Errorf("sql: invalid reservoir capacity %q at offset %d", t.text, t.pos)
+			}
+			stmt.ApproxK = k
+		}
+		if p.peek().kind == tokKeyword && p.peek().text == "ERROR" {
+			p.next()
+			pctv, err := p.parsePercent("error bound")
+			if err != nil {
+				return nil, err
+			}
+			stmt.ApproxError = pctv
+			if p.peek().kind == tokKeyword && p.peek().text == "CONFIDENCE" {
+				p.next()
+				conf, err := p.parsePercent("confidence")
+				if err != nil {
+					return nil, err
+				}
+				stmt.ApproxConfidence = conf
+			}
+		}
+	}
+	return stmt, nil
+}
+
+// parsePercent reads a number in (0, 100) and returns it as a fraction.
+func (p *parser) parsePercent(what string) (float64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("sql: expected %s percentage at offset %d", what, t.pos)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil || v <= 0 || v >= 100 {
+		return 0, fmt.Errorf("sql: invalid %s %q at offset %d (expected a percentage in (0,100))", what, t.text, t.pos)
+	}
+	return v / 100, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokKeyword {
+		var kind approx.AggKind
+		switch t.text {
+		case "SUM":
+			kind = approx.Sum
+		case "COUNT":
+			kind = approx.Count
+		case "AVG":
+			kind = approx.Avg
+		case "MIN":
+			kind = approx.Min
+		case "MAX":
+			kind = approx.Max
+		default:
+			return SelectItem{}, fmt.Errorf("sql: unexpected keyword %q in select list at offset %d", t.text, t.pos)
+		}
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Agg: kind, IsAgg: true}
+		if p.peek().kind == tokSymbol && p.peek().text == "*" {
+			if kind != approx.Count {
+				return SelectItem{}, fmt.Errorf("sql: %v(*) is not supported at offset %d", kind, p.peek().pos)
+			}
+			p.next()
+		} else {
+			col, err := p.expectIdent()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Column = col
+			if t := p.peek(); t.kind == tokSymbol && (t.text == "*" || t.text == "+" || t.text == "-") {
+				p.next()
+				item.Op = t.text[0]
+				rt := p.next()
+				switch rt.kind {
+				case tokIdent:
+					item.RightColumn = rt.text
+				case tokNumber:
+					v, err := strconv.ParseInt(rt.text, 10, 64)
+					if err != nil {
+						return SelectItem{}, fmt.Errorf("sql: invalid literal %q at offset %d", rt.text, rt.pos)
+					}
+					item.RightLit, item.RightIsLit = v, true
+				default:
+					return SelectItem{}, fmt.Errorf("sql: expected column or literal after %q at offset %d", t.text, rt.pos)
+				}
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return SelectItem{}, err
+		}
+		return item, nil
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Column: col}, nil
+}
+
+// parseHaving reads one HAVING conjunct: agg(arg) <cmp> number.
+func (p *parser) parseHaving() (HavingCond, error) {
+	sel, err := p.parseSelectItem()
+	if err != nil {
+		return HavingCond{}, err
+	}
+	if !sel.IsAgg {
+		return HavingCond{}, fmt.Errorf("sql: HAVING requires an aggregate, got column %q", sel.Column)
+	}
+	t := p.next()
+	if t.kind != tokSymbol {
+		return HavingCond{}, fmt.Errorf("sql: expected comparison in HAVING at offset %d", t.pos)
+	}
+	var cmp CompareOp
+	switch t.text {
+	case "=":
+		cmp = OpEq
+	case "<":
+		cmp = OpLt
+	case "<=":
+		cmp = OpLe
+	case ">":
+		cmp = OpGt
+	case ">=":
+		cmp = OpGe
+	default:
+		return HavingCond{}, fmt.Errorf("sql: unexpected operator %q in HAVING at offset %d", t.text, t.pos)
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return HavingCond{}, err
+	}
+	if lit.IsString {
+		return HavingCond{}, fmt.Errorf("sql: HAVING compares against numbers, got string %q", lit.Str)
+	}
+	return HavingCond{
+		Agg: sel.Agg, Column: sel.Column, Op: sel.Op,
+		RightColumn: sel.RightColumn, RightLit: sel.RightLit, RightIsLit: sel.RightIsLit,
+		Cmp: cmp, Value: lit.Int,
+	}, nil
+}
+
+// parseOrderItem reads one ORDER BY key: a column name or an aggregate
+// call, optionally followed by ASC/DESC.
+func (p *parser) parseOrderItem() (OrderItem, error) {
+	sel, err := p.parseSelectItem()
+	if err != nil {
+		return OrderItem{}, err
+	}
+	item := OrderItem{
+		IsAgg: sel.IsAgg, Agg: sel.Agg, Column: sel.Column,
+		Op: sel.Op, RightColumn: sel.RightColumn, RightLit: sel.RightLit, RightIsLit: sel.RightIsLit,
+	}
+	if t := p.peek(); t.kind == tokKeyword && (t.text == "ASC" || t.text == "DESC") {
+		p.next()
+		item.Desc = t.text == "DESC"
+	}
+	return item, nil
+}
+
+func (p *parser) parseJoin() (ExplicitJoin, error) {
+	table, err := p.expectIdent()
+	if err != nil {
+		return ExplicitJoin{}, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return ExplicitJoin{}, err
+	}
+	left, err := p.expectIdent()
+	if err != nil {
+		return ExplicitJoin{}, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return ExplicitJoin{}, err
+	}
+	right, err := p.expectIdent()
+	if err != nil {
+		return ExplicitJoin{}, err
+	}
+	return ExplicitJoin{Table: table, Left: left, Right: right}, nil
+}
+
+func (p *parser) parseCondition() (Condition, error) {
+	col, err := p.expectIdent()
+	if err != nil {
+		return Condition{}, err
+	}
+	t := p.next()
+	switch {
+	case t.kind == tokKeyword && t.text == "BETWEEN":
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return Condition{}, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return Condition{}, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return Condition{}, err
+		}
+		return Condition{Column: col, IsBetween: true, Lo: lo, Hi: hi}, nil
+
+	case t.kind == tokKeyword && t.text == "IN":
+		if err := p.expectSymbol("("); err != nil {
+			return Condition{}, err
+		}
+		var lits []Literal
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return Condition{}, err
+			}
+			lits = append(lits, lit)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return Condition{}, err
+		}
+		return Condition{Column: col, In: lits}, nil
+
+	case t.kind == tokSymbol:
+		var op CompareOp
+		switch t.text {
+		case "=":
+			op = OpEq
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		default:
+			return Condition{}, fmt.Errorf("sql: unexpected operator %q at offset %d", t.text, t.pos)
+		}
+		// Column-vs-column equality is a join condition.
+		if op == OpEq && p.peek().kind == tokIdent {
+			right, _ := p.expectIdent()
+			return Condition{Column: col, RightColumn: right}, nil
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return Condition{}, err
+		}
+		return Condition{Column: col, Op: op, Lit: lit}, nil
+
+	default:
+		return Condition{}, fmt.Errorf("sql: expected comparison after %q at offset %d", col, t.pos)
+	}
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("sql: invalid number %q at offset %d", t.text, t.pos)
+		}
+		return Literal{Int: v}, nil
+	case tokString:
+		return Literal{IsString: true, Str: t.text}, nil
+	default:
+		return Literal{}, fmt.Errorf("sql: expected literal at offset %d, got %q", t.pos, t.text)
+	}
+}

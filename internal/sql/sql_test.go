@@ -1,0 +1,471 @@
+package sql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"laqy/internal/approx"
+	"laqy/internal/ssb"
+	"laqy/internal/storage"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT sum(x) FROM t WHERE a >= 10 AND b = 'hi' -- comment\nGROUP BY a;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	want := []string{"SELECT", "SUM", "(", "x", ")", "FROM", "t", "WHERE", "a", ">=", "10",
+		"AND", "b", "=", "hi", "GROUP", "BY", "a", ";", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[1] != tokKeyword || kinds[3] != tokIdent || kinds[10] != tokNumber || kinds[14] != tokString {
+		t.Fatal("token kinds wrong")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Fatal("unterminated string must error")
+	}
+	if _, err := lex("SELECT a ! b"); err == nil {
+		t.Fatal("stray character must error")
+	}
+}
+
+func TestLexNegativeNumber(t *testing.T) {
+	toks, err := lex("a >= -5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].kind != tokNumber || toks[2].text != "-5" {
+		t.Fatalf("tokens = %+v", toks)
+	}
+}
+
+func TestParseQ1(t *testing.T) {
+	stmt, err := Parse(`
+		SELECT lo_orderdate, SUM(lo_revenue)
+		FROM lineorder
+		WHERE lo_intkey BETWEEN 100 AND 2000
+		GROUP BY lo_orderdate
+		APPROX WITH K 512`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Select) != 2 || stmt.Select[0].IsAgg || !stmt.Select[1].IsAgg {
+		t.Fatalf("select = %+v", stmt.Select)
+	}
+	if stmt.Select[1].Agg != approx.Sum || stmt.Select[1].Column != "lo_revenue" {
+		t.Fatalf("agg = %+v", stmt.Select[1])
+	}
+	if len(stmt.Where) != 1 || !stmt.Where[0].IsBetween ||
+		stmt.Where[0].Lo.Int != 100 || stmt.Where[0].Hi.Int != 2000 {
+		t.Fatalf("where = %+v", stmt.Where)
+	}
+	if !stmt.Approx || stmt.ApproxK != 512 {
+		t.Fatalf("approx = %v k = %d", stmt.Approx, stmt.ApproxK)
+	}
+}
+
+func TestParseQ2Shape(t *testing.T) {
+	stmt, err := Parse(`
+		SELECT d_year, p_brand1, SUM(lo_revenue)
+		FROM lineorder, date, supplier, part
+		WHERE lo_orderdate = d_datekey AND lo_suppkey = s_suppkey
+		  AND lo_partkey = p_partkey AND s_region = 'AMERICA'
+		  AND p_category = 'MFGR#12' AND lo_intkey BETWEEN 0 AND 1000
+		GROUP BY d_year, p_brand1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.From) != 4 {
+		t.Fatalf("from = %v", stmt.From)
+	}
+	joins := 0
+	for _, c := range stmt.Where {
+		if c.RightColumn != "" {
+			joins++
+		}
+	}
+	if joins != 3 {
+		t.Fatalf("%d join conditions", joins)
+	}
+	if len(stmt.GroupBy) != 2 {
+		t.Fatalf("group by = %v", stmt.GroupBy)
+	}
+}
+
+func TestParseExplicitJoin(t *testing.T) {
+	stmt, err := Parse(`SELECT COUNT(*) FROM lineorder JOIN date ON lo_orderdate = d_datekey GROUP BY d_year`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Joins) != 1 || stmt.Joins[0].Table != "date" {
+		t.Fatalf("joins = %+v", stmt.Joins)
+	}
+	if !stmt.Select[0].IsAgg || stmt.Select[0].Column != "" {
+		t.Fatalf("COUNT(*) = %+v", stmt.Select[0])
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	stmt, err := Parse(`SELECT SUM(x) FROM t WHERE c IN (1, 2, 5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Where[0].In) != 3 || stmt.Where[0].In[2].Int != 5 {
+		t.Fatalf("in = %+v", stmt.Where[0].In)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT x",
+		"SELECT x FROM",
+		"SELECT SUM(x FROM t",
+		"SELECT AVG(*) FROM t",
+		"SELECT SUM(x) FROM t WHERE",
+		"SELECT SUM(x) FROM t WHERE a BETWEEN 1",
+		"SELECT SUM(x) FROM t WHERE a IN ()",
+		"SELECT SUM(x) FROM t GROUP",
+		"SELECT SUM(x) FROM t APPROX WITH K",
+		"SELECT SUM(x) FROM t APPROX WITH K 0",
+		"SELECT SUM(x) FROM t trailing garbage",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("no error for %q", q)
+		}
+	}
+}
+
+func testCatalog(t *testing.T) *storage.Catalog {
+	t.Helper()
+	d, err := ssb.Generate(ssb.Config{LineorderRows: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Catalog()
+}
+
+func TestPlanQ1(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse(`
+		SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder
+		WHERE lo_intkey BETWEEN 0 AND 999
+		GROUP BY lo_orderdate APPROX WITH K 64`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanStatement(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Query.Fact.Name != "lineorder" {
+		t.Fatalf("fact = %q", plan.Query.Fact.Name)
+	}
+	if len(plan.Query.Joins) != 0 {
+		t.Fatalf("joins = %d", len(plan.Query.Joins))
+	}
+	set, ok := plan.Query.Filter.Constraint("lo_intkey")
+	if !ok || set.Count() != 1000 {
+		t.Fatalf("scan filter = %v", plan.Query.Filter)
+	}
+	if plan.QCSWidth() != 1 || plan.GroupBy[0] != "lo_orderdate" {
+		t.Fatalf("QCS = %v", plan.GroupBy)
+	}
+	// Schema: QCS + agg col + predicate col.
+	want := []string{"lo_orderdate", "lo_revenue", "lo_intkey"}
+	if len(plan.Schema) != 3 {
+		t.Fatalf("schema = %v", plan.Schema)
+	}
+	for i, c := range want {
+		if plan.Schema[i] != c {
+			t.Fatalf("schema = %v, want %v", plan.Schema, want)
+		}
+	}
+	if !plan.Approx || plan.K != 64 {
+		t.Fatalf("approx=%v k=%d", plan.Approx, plan.K)
+	}
+}
+
+func TestPlanQ2(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse(`
+		SELECT d_year, p_brand1, SUM(lo_revenue)
+		FROM lineorder, date, supplier, part
+		WHERE lo_orderdate = d_datekey AND lo_suppkey = s_suppkey
+		  AND lo_partkey = p_partkey AND s_region = 'AMERICA'
+		  AND p_category = 'MFGR#12' AND lo_intkey BETWEEN 0 AND 2499
+		GROUP BY d_year, p_brand1 APPROX`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanStatement(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Query.Joins) != 3 {
+		t.Fatalf("%d joins", len(plan.Query.Joins))
+	}
+	// Dimension filters must be pushed into their joins.
+	var supplierJoin, partJoin bool
+	for _, j := range plan.Query.Joins {
+		switch j.Dim.Name {
+		case "supplier":
+			if _, ok := j.Filter.Constraint("s_region"); !ok {
+				t.Fatal("s_region filter not pushed into supplier join")
+			}
+			supplierJoin = true
+		case "part":
+			if _, ok := j.Filter.Constraint("p_category"); !ok {
+				t.Fatal("p_category filter not pushed into part join")
+			}
+			partJoin = true
+		}
+	}
+	if !supplierJoin || !partJoin {
+		t.Fatal("missing joins")
+	}
+	// The full predicate carries the dictionary-encoded dimension values.
+	if _, ok := plan.Predicate.Constraint("s_region"); !ok {
+		t.Fatal("predicate missing s_region")
+	}
+	if plan.Dicts["s_region"] == nil || plan.Dicts["p_category"] == nil {
+		t.Fatal("dictionaries not captured")
+	}
+	if plan.QCSWidth() != 2 {
+		t.Fatalf("QCS width = %d", plan.QCSWidth())
+	}
+}
+
+func TestPlanValidationErrors(t *testing.T) {
+	cat := testCatalog(t)
+	bad := []string{
+		// Unknown table.
+		"SELECT SUM(lo_revenue) FROM nope",
+		// Unknown predicate column.
+		"SELECT SUM(lo_revenue) FROM lineorder WHERE nope = 3",
+		// Ungrouped bare column.
+		"SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder",
+		// Unknown GROUP BY column.
+		"SELECT SUM(lo_revenue) FROM lineorder GROUP BY nope",
+		// Table without a join condition.
+		"SELECT SUM(lo_revenue) FROM lineorder, supplier",
+		// No aggregates.
+		"SELECT lo_orderdate FROM lineorder GROUP BY lo_orderdate",
+		// String/number type mismatch.
+		"SELECT SUM(lo_revenue) FROM lineorder, supplier WHERE lo_suppkey = s_suppkey AND s_region = 3",
+		// Dimension predicate without joining the dimension: caught as no-join.
+		"SELECT SUM(lo_revenue) FROM lineorder, part WHERE p_category = 'MFGR#12'",
+	}
+	for _, q := range bad {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse error for %q: %v", q, err)
+		}
+		if _, err := PlanStatement(stmt, cat); err == nil {
+			t.Errorf("no plan error for %q", q)
+		}
+	}
+}
+
+func TestPlanComparisonOperators(t *testing.T) {
+	cat := testCatalog(t)
+	for _, tc := range []struct {
+		sql      string
+		contains int64
+		excludes int64
+	}{
+		{"lo_quantity < 10", 9, 10},
+		{"lo_quantity <= 10", 10, 11},
+		{"lo_quantity > 10", 11, 10},
+		{"lo_quantity >= 10", 10, 9},
+		{"lo_quantity = 10", 10, 9},
+	} {
+		stmt, err := Parse("SELECT SUM(lo_revenue) FROM lineorder WHERE " + tc.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := PlanStatement(stmt, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, ok := plan.Query.Filter.Constraint("lo_quantity")
+		if !ok {
+			t.Fatalf("%s: no constraint", tc.sql)
+		}
+		if !set.Contains(tc.contains) || set.Contains(tc.excludes) {
+			t.Fatalf("%s: constraint %v", tc.sql, set)
+		}
+	}
+}
+
+func TestPlanUnknownDictValue(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse(`SELECT SUM(lo_revenue) FROM lineorder, supplier
+		WHERE lo_suppkey = s_suppkey AND s_region = 'ATLANTIS'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanStatement(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, ok := plan.Predicate.Constraint("s_region")
+	if !ok || !set.IsEmpty() {
+		t.Fatalf("unknown region should compile to the empty set, got %v", set)
+	}
+}
+
+func TestPlanCountStarSchema(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse(`SELECT COUNT(*) FROM lineorder GROUP BY lo_orderdate APPROX`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanStatement(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COUNT(*) still captures a value column for the sample to ride on.
+	if len(plan.Schema) < 2 {
+		t.Fatalf("schema = %v", plan.Schema)
+	}
+}
+
+func TestPlanInPredicateOnString(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse(`SELECT SUM(lo_revenue) FROM lineorder, supplier
+		WHERE lo_suppkey = s_suppkey AND s_region IN ('AMERICA', 'ASIA')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanStatement(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _ := plan.Predicate.Constraint("s_region")
+	if set.Count() != 2 {
+		t.Fatalf("IN set = %v", set)
+	}
+}
+
+func TestParseIsCaseInsensitiveForKeywords(t *testing.T) {
+	stmt, err := Parse("select sum(lo_revenue) from lineorder where lo_intkey between 0 and 10 group by lo_orderdate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.EqualFold(stmt.GroupBy[0], "lo_orderdate") {
+		t.Fatalf("group by = %v", stmt.GroupBy)
+	}
+}
+
+func TestParseArithmeticAggregates(t *testing.T) {
+	stmt, err := Parse(`SELECT SUM(lo_extendedprice * lo_discount), SUM(lo_revenue - lo_supplycost),
+		AVG(lo_quantity + 5) FROM lineorder`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := stmt.Select[0]
+	if a.Op != '*' || a.Column != "lo_extendedprice" || a.RightColumn != "lo_discount" {
+		t.Fatalf("item 0 = %+v", a)
+	}
+	b := stmt.Select[1]
+	if b.Op != '-' || b.RightColumn != "lo_supplycost" {
+		t.Fatalf("item 1 = %+v", b)
+	}
+	c := stmt.Select[2]
+	if c.Op != '+' || !c.RightIsLit || c.RightLit != 5 {
+		t.Fatalf("item 2 = %+v", c)
+	}
+}
+
+func TestPlanArithmeticAggregate(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, err := Parse(`SELECT SUM(lo_extendedprice*lo_discount) FROM lineorder
+		WHERE lo_intkey BETWEEN 0 AND 999 APPROX`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanStatement(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Aggs[0].Column != "lo_extendedprice*lo_discount" {
+		t.Fatalf("rendered agg column = %q", plan.Aggs[0].Column)
+	}
+	// The captured schema holds the rendered expression name.
+	found := false
+	for _, c := range plan.Schema {
+		if c == "lo_extendedprice*lo_discount" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("schema = %v", plan.Schema)
+	}
+}
+
+func TestPlanArithmeticValidation(t *testing.T) {
+	cat := testCatalog(t)
+	for _, q := range []string{
+		// Unknown right operand.
+		"SELECT SUM(lo_revenue * nope) FROM lineorder",
+		// Arithmetic over a string column.
+		"SELECT SUM(lo_revenue) FROM lineorder, supplier WHERE lo_suppkey = s_suppkey GROUP BY s_region ORDER BY SUM(s_region * lo_revenue)",
+	} {
+		stmt, err := Parse(q)
+		if err != nil {
+			continue // a parse error is also acceptable rejection
+		}
+		if _, err := PlanStatement(stmt, cat); err == nil {
+			t.Errorf("no plan error for %q", q)
+		}
+	}
+}
+
+func TestParseOrderByExpression(t *testing.T) {
+	stmt, err := Parse(`SELECT d_year, SUM(lo_revenue - lo_supplycost) FROM lineorder, date
+		WHERE lo_orderdate = d_datekey GROUP BY d_year
+		ORDER BY SUM(lo_revenue - lo_supplycost) DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := stmt.OrderBy[0]
+	if !o.IsAgg || o.Op != '-' || o.RightColumn != "lo_supplycost" || !o.Desc {
+		t.Fatalf("order item = %+v", o)
+	}
+}
+
+func TestParseDecimalErrorBound(t *testing.T) {
+	stmt, err := Parse("SELECT SUM(x) FROM t APPROX ERROR 0.5 CONFIDENCE 99.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.ApproxError != 0.005 || math.Abs(stmt.ApproxConfidence-0.999) > 1e-12 {
+		t.Fatalf("error=%v confidence=%v", stmt.ApproxError, stmt.ApproxConfidence)
+	}
+	// Decimals are rejected where integers are required.
+	if _, err := Parse("SELECT SUM(x) FROM t WHERE a = 1.5"); err == nil {
+		t.Fatal("decimal literal in integer predicate must error")
+	}
+	if _, err := Parse("SELECT SUM(x) FROM t LIMIT 1.5"); err == nil {
+		t.Fatal("decimal LIMIT must error")
+	}
+}

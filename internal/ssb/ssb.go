@@ -1,0 +1,279 @@
+// Package ssb generates Star Schema Benchmark [29] data in the engine's
+// binary column layout — the dataset of the paper's evaluation (Section 7).
+//
+// The generator reproduces the attribute domains the experiments depend on:
+// lo_quantity ∈ [1,50], lo_discount ∈ [0,10], lo_tax ∈ [0,8] (Table 1's
+// |QCS| of 50, 11 and 9), dimension hierarchies region→nation→city for
+// supplier and customer, mfgr→category→brand1 for part, and the paper's
+// added lo_intkey column: a randomly shuffled unique integer in
+// [0, #rows) enabling fine-grained selectivity control without implying a
+// data ordering. Generation is deterministic in the seed.
+//
+// The paper runs at SF1000 (≈6B fact rows); this reproduction accepts any
+// scale factor — the experiment harness uses laptop-scale SFs and sweeps
+// the same parameters (#tuples, #strata, selectivity) the paper varies.
+package ssb
+
+import (
+	"fmt"
+
+	"laqy/internal/rng"
+	"laqy/internal/storage"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// ScaleFactor follows SSB sizing: the fact table gets
+	// ScaleFactor · 6,000,000 rows. Fractional values are supported.
+	ScaleFactor float64
+	// LineorderRows, when > 0, overrides the SF-derived fact row count.
+	LineorderRows int
+	// Seed drives all randomness; equal seeds yield identical datasets.
+	Seed uint64
+}
+
+// Dataset holds the generated star schema.
+type Dataset struct {
+	Lineorder *storage.Table
+	Date      *storage.Table
+	Supplier  *storage.Table
+	Part      *storage.Table
+	Customer  *storage.Table
+}
+
+// Catalog registers all tables of the dataset in a fresh catalog.
+func (d *Dataset) Catalog() *storage.Catalog {
+	c := storage.NewCatalog()
+	for _, t := range []*storage.Table{d.Lineorder, d.Date, d.Supplier, d.Part, d.Customer} {
+		if err := c.Register(t); err != nil {
+			panic(err) // table names are fixed and distinct
+		}
+	}
+	return c
+}
+
+// Domain constants mirroring the SSB specification (and the paper's
+// Table 1 strata counts).
+const (
+	QuantityMin, QuantityMax = 1, 50 // |QCS| = 50
+	DiscountMin, DiscountMax = 0, 10 // |QCS| = 11
+	TaxMin, TaxMax           = 0, 8  // |QCS| = 9
+	YearMin, YearMax         = 1992, 1998
+)
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// Generate creates a dataset per cfg.
+func Generate(cfg Config) (*Dataset, error) {
+	n := cfg.LineorderRows
+	if n <= 0 {
+		n = int(cfg.ScaleFactor * 6_000_000)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("ssb: non-positive lineorder size (SF=%v, rows=%d)",
+			cfg.ScaleFactor, cfg.LineorderRows)
+	}
+	gen := rng.NewLehmer64(cfg.Seed)
+
+	date := genDate()
+	// Floors guarantee every hierarchy value (25 nations, 250 cities,
+	// 1000 brands) is populated at any scale, as at full SSB scale.
+	supplier := genSupplier(scaleCount(cfg.ScaleFactor, 2000, 250))
+	part := genPart(scaleCount(cfg.ScaleFactor, 200_000, 1000), gen.Split(2))
+	customer := genCustomer(scaleCount(cfg.ScaleFactor, 30_000, 250))
+	lineorder := genLineorder(n, date, supplier, part, customer, gen.Split(4))
+
+	return &Dataset{
+		Lineorder: lineorder,
+		Date:      date,
+		Supplier:  supplier,
+		Part:      part,
+		Customer:  customer,
+	}, nil
+}
+
+// scaleCount scales an SF1 dimension cardinality, clamping to a floor so
+// tiny test scale factors still produce meaningful dimensions.
+func scaleCount(sf float64, atSF1, floor int) int {
+	n := int(sf * float64(atSF1))
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
+// genDate builds the date dimension: one row per day of 1992–1998 with
+// datekey yyyymmdd (months of 30 days, matching SSB's simplified calendar
+// closely enough for year/month grouping).
+func genDate() *storage.Table {
+	var datekey, year, month, ym []int64
+	for y := int64(YearMin); y <= YearMax; y++ {
+		for m := int64(1); m <= 12; m++ {
+			for d := int64(1); d <= 30; d++ {
+				datekey = append(datekey, y*10000+m*100+d)
+				year = append(year, y)
+				month = append(month, m)
+				ym = append(ym, y*100+m)
+			}
+		}
+	}
+	return storage.MustNewTable("date",
+		&storage.Column{Name: "d_datekey", Kind: storage.KindInt64, Ints: datekey},
+		&storage.Column{Name: "d_year", Kind: storage.KindInt64, Ints: year},
+		&storage.Column{Name: "d_month", Kind: storage.KindInt64, Ints: month},
+		&storage.Column{Name: "d_yearmonthnum", Kind: storage.KindInt64, Ints: ym},
+	)
+}
+
+func genSupplier(n int) *storage.Table {
+	dictRegion := storage.NewDict(regions)
+	key := make([]int64, n)
+	region := make([]int64, n)
+	nation := make([]int64, n)
+	city := make([]int64, n)
+	for i := 0; i < n; i++ {
+		key[i] = int64(i + 1)
+		// Cycle the region→nation→city hierarchy so every value is
+		// populated at any scale (at SSB scale uniform draws guarantee
+		// this; cycling preserves the uniform marginals while removing
+		// small-scale variance). 5 nations per region, 10 cities per
+		// nation, encoded numerically.
+		r := int64(i % len(regions))
+		region[i] = mustCode(dictRegion, regions[r])
+		nation[i] = r*5 + int64(i/5)%5
+		city[i] = nation[i]*10 + int64(i/25)%10
+	}
+	return storage.MustNewTable("supplier",
+		&storage.Column{Name: "s_suppkey", Kind: storage.KindInt64, Ints: key},
+		&storage.Column{Name: "s_region", Kind: storage.KindString, Ints: region, Dict: dictRegion},
+		&storage.Column{Name: "s_nation", Kind: storage.KindInt64, Ints: nation},
+		&storage.Column{Name: "s_city", Kind: storage.KindInt64, Ints: city},
+	)
+}
+
+func genCustomer(n int) *storage.Table {
+	dictRegion := storage.NewDict(regions)
+	key := make([]int64, n)
+	region := make([]int64, n)
+	nation := make([]int64, n)
+	for i := 0; i < n; i++ {
+		key[i] = int64(i + 1)
+		r := int64(i % len(regions))
+		region[i] = mustCode(dictRegion, regions[r])
+		nation[i] = r*5 + int64(i/5)%5
+	}
+	return storage.MustNewTable("customer",
+		&storage.Column{Name: "c_custkey", Kind: storage.KindInt64, Ints: key},
+		&storage.Column{Name: "c_region", Kind: storage.KindString, Ints: region, Dict: dictRegion},
+		&storage.Column{Name: "c_nation", Kind: storage.KindInt64, Ints: nation},
+	)
+}
+
+// genPart builds the part dimension with the SSB mfgr→category→brand1
+// hierarchy: 5 manufacturers, 5 categories each (25), 40 brands per
+// category (1000 brands).
+func genPart(n int, gen *rng.Lehmer64) *storage.Table {
+	mfgrs := make([]string, 5)
+	for i := range mfgrs {
+		mfgrs[i] = fmt.Sprintf("MFGR#%d", i+1)
+	}
+	cats := make([]string, 0, 25)
+	for m := 1; m <= 5; m++ {
+		for c := 1; c <= 5; c++ {
+			cats = append(cats, fmt.Sprintf("MFGR#%d%d", m, c))
+		}
+	}
+	brands := make([]string, 0, 1000)
+	for _, cat := range cats {
+		for b := 1; b <= 40; b++ {
+			brands = append(brands, fmt.Sprintf("%s%02d", cat, b))
+		}
+	}
+	dictMfgr := storage.NewDict(mfgrs)
+	dictCat := storage.NewDict(cats)
+	dictBrand := storage.NewDict(brands)
+
+	key := make([]int64, n)
+	mfgr := make([]int64, n)
+	cat := make([]int64, n)
+	brand := make([]int64, n)
+	size := make([]int64, n)
+	for i := 0; i < n; i++ {
+		key[i] = int64(i + 1)
+		// Cycle manufacturer, category and brand so all 1000 brands exist
+		// at any scale ≥ 1000 parts.
+		m := i % 5
+		c := (i / 5) % 5
+		b := (i / 25) % 40
+		mfgr[i] = mustCode(dictMfgr, mfgrs[m])
+		cat[i] = mustCode(dictCat, cats[m*5+c])
+		brand[i] = mustCode(dictBrand, brands[(m*5+c)*40+b])
+		size[i] = int64(1 + gen.Intn(50))
+	}
+	return storage.MustNewTable("part",
+		&storage.Column{Name: "p_partkey", Kind: storage.KindInt64, Ints: key},
+		&storage.Column{Name: "p_mfgr", Kind: storage.KindString, Ints: mfgr, Dict: dictMfgr},
+		&storage.Column{Name: "p_category", Kind: storage.KindString, Ints: cat, Dict: dictCat},
+		&storage.Column{Name: "p_brand1", Kind: storage.KindString, Ints: brand, Dict: dictBrand},
+		&storage.Column{Name: "p_size", Kind: storage.KindInt64, Ints: size},
+	)
+}
+
+func genLineorder(n int, date, supplier, part, customer *storage.Table, gen *rng.Lehmer64) *storage.Table {
+	datekeys := date.Column("d_datekey").Ints
+	nSupp := supplier.NumRows()
+	nPart := part.NumRows()
+	nCust := customer.NumRows()
+
+	orderdate := make([]int64, n)
+	suppkey := make([]int64, n)
+	partkey := make([]int64, n)
+	custkey := make([]int64, n)
+	quantity := make([]int64, n)
+	discount := make([]int64, n)
+	tax := make([]int64, n)
+	extprice := make([]int64, n)
+	revenue := make([]int64, n)
+	supplycost := make([]int64, n)
+	intkey := make([]int64, n)
+
+	for i := 0; i < n; i++ {
+		orderdate[i] = datekeys[gen.Intn(len(datekeys))]
+		suppkey[i] = int64(1 + gen.Intn(nSupp))
+		partkey[i] = int64(1 + gen.Intn(nPart))
+		custkey[i] = int64(1 + gen.Intn(nCust))
+		quantity[i] = int64(QuantityMin + gen.Intn(QuantityMax-QuantityMin+1))
+		discount[i] = int64(DiscountMin + gen.Intn(DiscountMax-DiscountMin+1))
+		tax[i] = int64(TaxMin + gen.Intn(TaxMax-TaxMin+1))
+		extprice[i] = int64(90_001 + gen.Intn(110_000)) // cents
+		revenue[i] = extprice[i] * (100 - discount[i]) / 100
+		// SSB: supplycost averages 60% of price/extendedprice scale.
+		supplycost[i] = extprice[i] * int64(50+gen.Intn(21)) / 100
+		intkey[i] = int64(i)
+	}
+	// The paper's lo_intkey: unique identifiers 0..n-1, randomly shuffled
+	// to decouple selectivity from physical order.
+	gen.Shuffle(n, func(i, j int) { intkey[i], intkey[j] = intkey[j], intkey[i] })
+
+	return storage.MustNewTable("lineorder",
+		&storage.Column{Name: "lo_intkey", Kind: storage.KindInt64, Ints: intkey},
+		&storage.Column{Name: "lo_orderdate", Kind: storage.KindInt64, Ints: orderdate},
+		&storage.Column{Name: "lo_suppkey", Kind: storage.KindInt64, Ints: suppkey},
+		&storage.Column{Name: "lo_partkey", Kind: storage.KindInt64, Ints: partkey},
+		&storage.Column{Name: "lo_custkey", Kind: storage.KindInt64, Ints: custkey},
+		&storage.Column{Name: "lo_quantity", Kind: storage.KindInt64, Ints: quantity},
+		&storage.Column{Name: "lo_discount", Kind: storage.KindInt64, Ints: discount},
+		&storage.Column{Name: "lo_tax", Kind: storage.KindInt64, Ints: tax},
+		&storage.Column{Name: "lo_extendedprice", Kind: storage.KindInt64, Ints: extprice},
+		&storage.Column{Name: "lo_revenue", Kind: storage.KindInt64, Ints: revenue},
+		&storage.Column{Name: "lo_supplycost", Kind: storage.KindInt64, Ints: supplycost},
+	)
+}
+
+func mustCode(d *storage.Dict, v string) int64 {
+	c, ok := d.Code(v)
+	if !ok {
+		panic(fmt.Sprintf("ssb: value %q missing from its own dictionary", v))
+	}
+	return c
+}

@@ -1,0 +1,213 @@
+package ssb
+
+import (
+	"testing"
+
+	"laqy/internal/storage"
+)
+
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := Generate(Config{LineorderRows: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateSizes(t *testing.T) {
+	d := smallDataset(t)
+	if d.Lineorder.NumRows() != 20000 {
+		t.Fatalf("lineorder rows = %d", d.Lineorder.NumRows())
+	}
+	if d.Date.NumRows() != 7*12*30 {
+		t.Fatalf("date rows = %d, want %d", d.Date.NumRows(), 7*12*30)
+	}
+	for _, tab := range []*storage.Table{d.Supplier, d.Part, d.Customer} {
+		if tab.NumRows() < 25 {
+			t.Fatalf("%s rows = %d, below floor", tab.Name, tab.NumRows())
+		}
+	}
+}
+
+func TestGenerateScaleFactor(t *testing.T) {
+	d, err := Generate(Config{ScaleFactor: 0.001, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lineorder.NumRows() != 6000 {
+		t.Fatalf("SF 0.001 should give 6000 rows, got %d", d.Lineorder.NumRows())
+	}
+}
+
+func TestGenerateRejectsEmpty(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("zero config must error")
+	}
+}
+
+func TestIntkeyIsShuffledPermutation(t *testing.T) {
+	d := smallDataset(t)
+	ik := d.Lineorder.Column("lo_intkey").Ints
+	n := len(ik)
+	seen := make([]bool, n)
+	for _, v := range ik {
+		if v < 0 || v >= int64(n) || seen[v] {
+			t.Fatalf("lo_intkey is not a permutation of [0,%d)", n)
+		}
+		seen[v] = true
+	}
+	// Shuffled: must not be the identity permutation (probability ~0).
+	identity := true
+	for i, v := range ik {
+		if int64(i) != v {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Fatal("lo_intkey not shuffled")
+	}
+}
+
+func TestDomains(t *testing.T) {
+	d := smallDataset(t)
+	lo := d.Lineorder
+	checks := []struct {
+		col      string
+		min, max int64
+	}{
+		{"lo_quantity", QuantityMin, QuantityMax},
+		{"lo_discount", DiscountMin, DiscountMax},
+		{"lo_tax", TaxMin, TaxMax},
+	}
+	for _, c := range checks {
+		col := lo.Column(c.col)
+		distinct := map[int64]bool{}
+		for _, v := range col.Ints {
+			if v < c.min || v > c.max {
+				t.Fatalf("%s value %d outside [%d,%d]", c.col, v, c.min, c.max)
+			}
+			distinct[v] = true
+		}
+		want := int(c.max - c.min + 1)
+		if len(distinct) != want {
+			t.Fatalf("%s has %d distinct values, want %d (Table 1 strata counts)", c.col, len(distinct), want)
+		}
+	}
+}
+
+func TestTable1StrataCounts(t *testing.T) {
+	// The paper's Table 1: 1-column |QCS| = 50, 2-column = 450,
+	// 3-column = 4950, over (lo_quantity, lo_tax, lo_discount).
+	q := QuantityMax - QuantityMin + 1
+	tax := TaxMax - TaxMin + 1
+	disc := DiscountMax - DiscountMin + 1
+	if q != 50 || q*tax != 450 || q*tax*disc != 4950 {
+		t.Fatalf("domains give |QCS| %d/%d/%d, want 50/450/4950", q, q*tax, q*tax*disc)
+	}
+}
+
+func TestRevenueConsistent(t *testing.T) {
+	d := smallDataset(t)
+	ep := d.Lineorder.Column("lo_extendedprice").Ints
+	disc := d.Lineorder.Column("lo_discount").Ints
+	rev := d.Lineorder.Column("lo_revenue").Ints
+	for i := range rev {
+		if rev[i] != ep[i]*(100-disc[i])/100 {
+			t.Fatalf("row %d: revenue %d != %d*(100-%d)/100", i, rev[i], ep[i], disc[i])
+		}
+	}
+}
+
+func TestForeignKeysResolve(t *testing.T) {
+	d := smallDataset(t)
+	dateKeys := map[int64]bool{}
+	for _, v := range d.Date.Column("d_datekey").Ints {
+		dateKeys[v] = true
+	}
+	for _, v := range d.Lineorder.Column("lo_orderdate").Ints {
+		if !dateKeys[v] {
+			t.Fatalf("dangling lo_orderdate %d", v)
+		}
+	}
+	nSupp := int64(d.Supplier.NumRows())
+	for _, v := range d.Lineorder.Column("lo_suppkey").Ints {
+		if v < 1 || v > nSupp {
+			t.Fatalf("dangling lo_suppkey %d", v)
+		}
+	}
+	nPart := int64(d.Part.NumRows())
+	for _, v := range d.Lineorder.Column("lo_partkey").Ints {
+		if v < 1 || v > nPart {
+			t.Fatalf("dangling lo_partkey %d", v)
+		}
+	}
+}
+
+func TestDictionaryHierarchies(t *testing.T) {
+	d := smallDataset(t)
+	sr := d.Supplier.Column("s_region")
+	if sr.Dict == nil || sr.Dict.Size() != 5 {
+		t.Fatal("s_region must have the 5 SSB regions")
+	}
+	if _, ok := sr.Dict.Code("AMERICA"); !ok {
+		t.Fatal("AMERICA missing from s_region dictionary")
+	}
+	pc := d.Part.Column("p_category")
+	if pc.Dict.Size() != 25 {
+		t.Fatalf("p_category has %d values, want 25", pc.Dict.Size())
+	}
+	if _, ok := pc.Dict.Code("MFGR#12"); !ok {
+		t.Fatal("MFGR#12 (the Q2 filter value) missing from p_category dictionary")
+	}
+	pb := d.Part.Column("p_brand1")
+	if pb.Dict.Size() != 1000 {
+		t.Fatalf("p_brand1 has %d values, want 1000", pb.Dict.Size())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Generate(Config{LineorderRows: 5000, Seed: 77})
+	b, _ := Generate(Config{LineorderRows: 5000, Seed: 77})
+	for _, col := range []string{"lo_intkey", "lo_quantity", "lo_revenue", "lo_orderdate"} {
+		av := a.Lineorder.Column(col).Ints
+		bv := b.Lineorder.Column(col).Ints
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("column %s differs at row %d for equal seeds", col, i)
+			}
+		}
+	}
+	c, _ := Generate(Config{LineorderRows: 5000, Seed: 78})
+	same := 0
+	for i, v := range a.Lineorder.Column("lo_intkey").Ints {
+		if v == c.Lineorder.Column("lo_intkey").Ints[i] {
+			same++
+		}
+	}
+	if same == 5000 {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	d := smallDataset(t)
+	cat := d.Catalog()
+	for _, name := range []string{"lineorder", "date", "supplier", "part", "customer"} {
+		if _, err := cat.Table(name); err != nil {
+			t.Fatalf("catalog missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestSupplyCostPlausible(t *testing.T) {
+	d := smallDataset(t)
+	ep := d.Lineorder.Column("lo_extendedprice").Ints
+	sc := d.Lineorder.Column("lo_supplycost").Ints
+	for i := range sc {
+		if sc[i] <= 0 || sc[i] >= ep[i] {
+			t.Fatalf("row %d: supplycost %d outside (0, extendedprice=%d)", i, sc[i], ep[i])
+		}
+	}
+}

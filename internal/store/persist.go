@@ -1,0 +1,342 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"laqy/internal/algebra"
+	"laqy/internal/rng"
+	"laqy/internal/sample"
+)
+
+// Persistence: the sample store serializes to a compact binary format so
+// samples built in one session serve as offline samples in the next — the
+// paper's continuum between online and offline AQP made durable. The format
+// is versioned and self-contained: predicates, schemas, stratum keys,
+// weights, and tuple payloads.
+//
+// Layout (all integers little-endian; varints are unsigned LEB128 via
+// encoding/binary's Uvarint):
+//
+//	magic "LAQYSTO1"
+//	uvarint entryCount
+//	entry*:
+//	  string input
+//	  predicate:  uvarint #cols { string name; uvarint #ivs { int64 lo, hi } }
+//	  schema:     uvarint #cols { string name }
+//	  uvarint qcsWidth, uvarint k
+//	  sample:     uvarint #strata
+//	    stratum*: int64 key[MaxQCS]; float64 weight;
+//	              uvarint resK, width, tupleCount; int64 data[count*width]
+const persistMagic = "LAQYSTO1"
+
+// Save serializes the store's entries to w. The LRU clock is not
+// persisted; loaded entries start fresh.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(s.entries)))
+	for _, e := range s.entries {
+		if err := writeEntry(bw, e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the store to path atomically (temp file + rename).
+func (s *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load appends entries deserialized from r to the store. seed derives the
+// RNG substreams of the restored reservoirs, keeping loaded samples usable
+// for further merging.
+func (s *Store) Load(r io.Reader, seed uint64) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return fmt.Errorf("store: bad magic %q (not a LAQy sample store, or unsupported version)", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("store: reading entry count: %w", err)
+	}
+	if count > 1<<24 {
+		return fmt.Errorf("store: implausible entry count %d", count)
+	}
+	gen := rng.NewLehmer64(seed ^ 0x570E)
+	var loaded []*Entry
+	for i := uint64(0); i < count; i++ {
+		e, err := readEntry(br, gen.Split(i))
+		if err != nil {
+			return fmt.Errorf("store: entry %d: %w", i, err)
+		}
+		loaded = append(loaded, e)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range loaded {
+		s.clock++
+		e.lastUsed = s.clock
+		s.entries = append(s.entries, e)
+	}
+	s.enforceBudgetLocked()
+	return nil
+}
+
+// LoadFile reads a store file written by SaveFile.
+func (s *Store) LoadFile(path string, seed uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f, seed)
+}
+
+func writeEntry(w *bufio.Writer, e *Entry) error {
+	writeString(w, e.Input)
+	// Predicate.
+	cols := e.Predicate.Columns()
+	writeUvarint(w, uint64(len(cols)))
+	for _, c := range cols {
+		writeString(w, c)
+		set, _ := e.Predicate.Constraint(c)
+		ivs := set.Intervals()
+		writeUvarint(w, uint64(len(ivs)))
+		for _, iv := range ivs {
+			writeInt64(w, iv.Lo)
+			writeInt64(w, iv.Hi)
+		}
+	}
+	// Schema + parameters.
+	writeUvarint(w, uint64(len(e.Schema)))
+	for _, c := range e.Schema {
+		writeString(w, c)
+	}
+	writeUvarint(w, uint64(e.QCSWidth))
+	writeUvarint(w, uint64(e.K))
+	// Sample payload.
+	writeUvarint(w, uint64(e.Sample.NumStrata()))
+	var err error
+	e.Sample.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
+		if err != nil {
+			return
+		}
+		for _, v := range key {
+			writeInt64(w, v)
+		}
+		writeFloat64(w, r.Weight())
+		writeUvarint(w, uint64(r.K()))
+		writeUvarint(w, uint64(r.Width()))
+		writeUvarint(w, uint64(r.Len()))
+		for i := 0; i < r.Len(); i++ {
+			for _, v := range r.Tuple(i) {
+				writeInt64(w, v)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
+	input, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	nCols, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	pred := algebra.NewPredicate()
+	for c := uint64(0); c < nCols; c++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		nIvs, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		var set algebra.Set
+		for i := uint64(0); i < nIvs; i++ {
+			lo, err := readInt64(r)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := readInt64(r)
+			if err != nil {
+				return nil, err
+			}
+			set = set.Union(algebra.SetOf(algebra.Interval{Lo: lo, Hi: hi}))
+		}
+		pred = pred.With(name, set)
+	}
+	nSchema, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if nSchema == 0 || nSchema > 1<<16 {
+		return nil, fmt.Errorf("implausible schema size %d", nSchema)
+	}
+	schema := make(sample.Schema, nSchema)
+	for i := range schema {
+		if schema[i], err = readString(r); err != nil {
+			return nil, err
+		}
+	}
+	qcsWidth, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	k, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if int(qcsWidth) > len(schema) || qcsWidth > sample.MaxQCS {
+		return nil, fmt.Errorf("invalid QCS width %d for %d columns", qcsWidth, len(schema))
+	}
+	if k == 0 || k > 1<<30 {
+		return nil, fmt.Errorf("invalid reservoir capacity %d", k)
+	}
+
+	sam := sample.NewStratified(schema, int(qcsWidth), int(k), gen.Split(0))
+	nStrata, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if nStrata > 1<<26 {
+		return nil, fmt.Errorf("implausible strata count %d", nStrata)
+	}
+	for i := uint64(0); i < nStrata; i++ {
+		var key sample.StratumKey
+		for c := range key {
+			if key[c], err = readInt64(r); err != nil {
+				return nil, err
+			}
+		}
+		weight, err := readFloat64(r)
+		if err != nil {
+			return nil, err
+		}
+		resK, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		width, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		count, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if width != uint64(len(schema)) {
+			return nil, fmt.Errorf("stratum width %d does not match schema of %d columns", width, len(schema))
+		}
+		if count > resK {
+			return nil, fmt.Errorf("stratum holds %d tuples above capacity %d", count, resK)
+		}
+		data := make([]int64, count*width)
+		for j := range data {
+			if data[j], err = readInt64(r); err != nil {
+				return nil, err
+			}
+		}
+		res, err := sample.RestoreReservoir(int(resK), int(width), weight, data, gen.Split(i+1))
+		if err != nil {
+			return nil, err
+		}
+		if err := sam.Restore(key, res); err != nil {
+			return nil, err
+		}
+	}
+	return &Entry{
+		Meta: Meta{
+			Input:     input,
+			Predicate: pred,
+			Schema:    schema,
+			QCSWidth:  int(qcsWidth),
+			K:         int(k),
+		},
+		Sample: sam,
+	}, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeInt64(w *bufio.Writer, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	w.Write(buf[:])
+}
+
+func writeFloat64(w *bufio.Writer, v float64) {
+	writeInt64(w, int64(math.Float64bits(v)))
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readInt64(r *bufio.Reader) (int64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func readFloat64(r *bufio.Reader) (float64, error) {
+	v, err := readInt64(r)
+	return math.Float64frombits(uint64(v)), err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,248 @@
+package store
+
+import (
+	"testing"
+
+	"laqy/internal/algebra"
+	"laqy/internal/rng"
+	"laqy/internal/sample"
+)
+
+func makeSample(seed uint64, schema sample.Schema, qcsWidth, k int, n int64) *sample.Stratified {
+	s := sample.NewStratified(schema, qcsWidth, k, rng.NewLehmer64(seed))
+	for v := int64(0); v < n; v++ {
+		tuple := make([]int64, len(schema))
+		tuple[0] = v % 5
+		for c := 1; c < len(schema); c++ {
+			tuple[c] = v
+		}
+		s.Consider(tuple)
+	}
+	return s
+}
+
+var testSchema = sample.Schema{"g", "key", "val"}
+
+func meta(pred algebra.Predicate) Meta {
+	return Meta{Input: "lineorder", Predicate: pred, Schema: testSchema, QCSWidth: 1, K: 10}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := New(0)
+	if _, err := s.Put(meta(algebra.NewPredicate()), nil); err == nil {
+		t.Fatal("nil sample must error")
+	}
+	sam := makeSample(1, testSchema, 1, 10, 100)
+	bad := meta(algebra.NewPredicate())
+	bad.QCSWidth = 2
+	if _, err := s.Put(bad, sam); err == nil {
+		t.Fatal("QCS width mismatch with sample must error")
+	}
+	good := meta(algebra.NewPredicate())
+	if _, err := s.Put(good, sam); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestLookupFullReuse(t *testing.T) {
+	s := New(0)
+	pred := algebra.NewPredicate().WithRange("key", 0, 100)
+	sam := makeSample(2, testSchema, 1, 10, 100)
+	if _, err := s.Put(meta(pred), sam); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 20, 50))
+	if m == nil || m.Reuse != algebra.ReuseFull {
+		t.Fatalf("match = %+v", m)
+	}
+	if got := s.Stats(); got.Full != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestLookupPartialReuse(t *testing.T) {
+	s := New(0)
+	pred := algebra.NewPredicate().WithRange("key", 0, 100)
+	if _, err := s.Put(meta(pred), makeSample(3, testSchema, 1, 10, 100)); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 50, 200))
+	if m == nil || m.Reuse != algebra.ReusePartial {
+		t.Fatalf("match = %+v", m)
+	}
+	want := algebra.SetOf(algebra.Interval{Lo: 101, Hi: 200})
+	if !m.Delta.Missing.Equal(want) {
+		t.Fatalf("missing = %v", m.Delta.Missing)
+	}
+}
+
+func TestLookupPrefersSmallestDelta(t *testing.T) {
+	s := New(0)
+	// Two overlapping samples; the second needs a smaller delta.
+	e1, _ := s.Put(meta(algebra.NewPredicate().WithRange("key", 0, 50)), makeSample(4, testSchema, 1, 10, 100))
+	e2, _ := s.Put(meta(algebra.NewPredicate().WithRange("key", 0, 90)), makeSample(5, testSchema, 1, 10, 100))
+	_ = e1
+	m := s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 0, 100))
+	if m == nil || m.Entry != e2 {
+		t.Fatal("should pick the sample minimizing delta work")
+	}
+	if m.Delta.Missing.Count() != 10 {
+		t.Fatalf("missing count = %d", m.Delta.Missing.Count())
+	}
+}
+
+func TestLookupPrefersFullOverPartial(t *testing.T) {
+	s := New(0)
+	// The first sample only partially overlaps the query; the second
+	// fully covers it. Full reuse must win even though the partial match
+	// is found first.
+	s.Put(meta(algebra.NewPredicate().WithRange("key", 40, 50)), makeSample(6, testSchema, 1, 10, 100))
+	full, _ := s.Put(meta(algebra.NewPredicate().WithRange("key", 0, 100)), makeSample(7, testSchema, 1, 10, 100))
+	m := s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 45, 55))
+	if m == nil || m.Reuse != algebra.ReuseFull || m.Entry != full {
+		t.Fatalf("match = %+v", m)
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	s := New(0)
+	s.Put(meta(algebra.NewPredicate().WithRange("key", 0, 10)), makeSample(8, testSchema, 1, 10, 100))
+	if m := s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 500, 600)); m != nil {
+		t.Fatalf("disjoint lookup should miss, got %+v", m)
+	}
+	if m := s.Lookup("other_table", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 0, 5)); m != nil {
+		t.Fatal("different input should miss")
+	}
+	if got := s.Stats(); got.Miss != 2 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestLookupSchemaCompatibility(t *testing.T) {
+	s := New(0)
+	s.Put(meta(algebra.NewPredicate().WithRange("key", 0, 100)), makeSample(9, testSchema, 1, 10, 100))
+	// Different QCS column: incompatible.
+	if m := s.Lookup("lineorder", sample.Schema{"other", "key", "val"}, 1, 10,
+		algebra.NewPredicate().WithRange("key", 0, 5)); m != nil {
+		t.Fatal("different QCS must not match")
+	}
+	// Requesting a column the sample did not capture: incompatible.
+	if m := s.Lookup("lineorder", sample.Schema{"g", "key", "uncaptured"}, 1, 10,
+		algebra.NewPredicate().WithRange("key", 0, 5)); m != nil {
+		t.Fatal("uncaptured QVS column must not match")
+	}
+	// Requesting a subset of captured QVS columns: compatible.
+	if m := s.Lookup("lineorder", sample.Schema{"g", "key"}, 1, 10,
+		algebra.NewPredicate().WithRange("key", 0, 5)); m == nil {
+		t.Fatal("subset of captured columns should match")
+	}
+}
+
+func TestUpdateExpandsPredicate(t *testing.T) {
+	s := New(0)
+	e, _ := s.Put(meta(algebra.NewPredicate().WithRange("key", 0, 50)), makeSample(10, testSchema, 1, 10, 100))
+	bigger := makeSample(11, testSchema, 1, 10, 200)
+	s.Update(e, bigger, algebra.NewPredicate().WithRange("key", 0, 100))
+	m := s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 60, 90))
+	if m == nil || m.Reuse != algebra.ReuseFull {
+		t.Fatalf("updated entry should now fully cover; got %+v", m)
+	}
+	if m.Entry.Sample != bigger {
+		t.Fatal("sample not replaced")
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	s := New(0)
+	e, _ := s.Put(meta(algebra.NewPredicate()), makeSample(12, testSchema, 1, 10, 100))
+	s.Remove(e)
+	if s.Len() != 0 {
+		t.Fatal("Remove failed")
+	}
+	s.Put(meta(algebra.NewPredicate()), makeSample(13, testSchema, 1, 10, 100))
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	// Each sample: 5 strata * up to 10 tuples * 3 cols * 8 bytes + overhead.
+	one := makeSample(14, testSchema, 1, 10, 1000)
+	perEntry := (&Entry{Meta: meta(algebra.NewPredicate()), Sample: one}).SizeBytes()
+
+	s := New(perEntry * 2)
+	a, _ := s.Put(meta(algebra.NewPredicate().WithRange("key", 0, 10)), makeSample(15, testSchema, 1, 10, 1000))
+	s.Put(meta(algebra.NewPredicate().WithRange("key", 20, 30)), makeSample(16, testSchema, 1, 10, 1000))
+	// Touch a so b becomes LRU.
+	if m := s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 0, 5)); m == nil || m.Entry != a {
+		t.Fatal("expected full reuse of a")
+	}
+	// Adding a third sample must evict b (LRU), not a, and never the new one.
+	c, _ := s.Put(meta(algebra.NewPredicate().WithRange("key", 40, 50)), makeSample(17, testSchema, 1, 10, 1000))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after eviction", s.Len())
+	}
+	if m := s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 20, 25)); m != nil {
+		t.Fatal("b should have been evicted")
+	}
+	if m := s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 0, 5)); m == nil {
+		t.Fatal("a should have survived")
+	}
+	if m := s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 40, 45)); m == nil || m.Entry != c {
+		t.Fatal("newest entry must never be evicted")
+	}
+	if got := s.Stats(); got.Evicted != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestUnboundedBudgetNeverEvicts(t *testing.T) {
+	s := New(0)
+	for i := uint64(0); i < 20; i++ {
+		lo := int64(i) * 100
+		s.Put(meta(algebra.NewPredicate().WithRange("key", lo, lo+50)), makeSample(20+i, testSchema, 1, 10, 500))
+	}
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.TotalBytes() <= 0 {
+		t.Fatal("TotalBytes should be positive")
+	}
+}
+
+func TestMetaQCSQVS(t *testing.T) {
+	m := meta(algebra.NewPredicate())
+	if !m.QCS().Equal(sample.Schema{"g"}) {
+		t.Fatalf("QCS = %v", m.QCS())
+	}
+	if !m.QVS().Equal(sample.Schema{"key", "val"}) {
+		t.Fatalf("QVS = %v", m.QVS())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(0)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				lo := int64(w*1000 + i)
+				s.Put(meta(algebra.NewPredicate().WithRange("key", lo, lo)), makeSample(uint64(w*100+i), testSchema, 1, 10, 50))
+				s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", lo, lo))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if s.Len() != 400 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func newTestGen() *rng.Lehmer64 { return rng.NewLehmer64(1) }

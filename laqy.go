@@ -1,0 +1,303 @@
+// Package laqy is an embeddable approximate query processing engine
+// implementing LAQy (SIGMOD 2023): efficient and reusable query
+// approximations via lazy sampling.
+//
+// A DB holds in-memory columnar tables and answers a SQL subset. Appending
+// APPROX to an aggregation query switches it to sampling-based execution:
+// the engine builds a stratified reservoir sample aligned with the query's
+// grouping columns and estimates the aggregates with confidence intervals.
+// Samples are cached and — this is LAQy's contribution — reused across
+// queries even when predicates only partially overlap: for an expanded
+// range, only the missing Δ-range is sampled and merged with the stored
+// sample, so the cost of approximation tracks the novelty of the workload
+// rather than its volume.
+//
+// Quickstart:
+//
+//	db := laqy.Open(laqy.Config{})
+//	err := db.LoadSSB(1_000_000, 42) // or register your own tables
+//	res, err := db.Query(`
+//	    SELECT lo_orderdate, SUM(lo_revenue) FROM lineorder
+//	    WHERE lo_intkey BETWEEN 0 AND 250000
+//	    GROUP BY lo_orderdate APPROX`)
+//	for _, row := range res.Rows { ... }
+//
+// Re-running the query with BETWEEN 0 AND 500000 reuses the first sample
+// and only samples the new half of the range (res.Mode == "partial").
+package laqy
+
+import (
+	"fmt"
+	"sync"
+
+	"laqy/internal/core"
+	"laqy/internal/engine"
+	"laqy/internal/sample"
+	"laqy/internal/ssb"
+	"laqy/internal/storage"
+	"laqy/internal/store"
+)
+
+// Config parameterizes a DB.
+type Config struct {
+	// Workers is the engine parallelism; 0 uses all CPUs.
+	Workers int
+	// DefaultK is the per-stratum reservoir capacity used when a query's
+	// APPROX clause does not set one. Defaults to 1024.
+	DefaultK int
+	// StoreBudgetBytes bounds the sample store footprint (0 = unbounded);
+	// least-recently-used samples are evicted beyond it.
+	StoreBudgetBytes int64
+	// Seed makes sampling reproducible across identical query sequences.
+	Seed uint64
+	// MinSupport, when > 0, enables the conservative per-stratum support
+	// check when reusing tightened samples: reuse falls back to online
+	// sampling if any stratum would back an estimate with fewer tuples.
+	MinSupport int
+	// Oversample is the oversampling factor α ≥ 1: reservoirs are built
+	// with capacity ⌈α·K⌉, trading space for a higher chance that future
+	// tightened reuses keep enough per-stratum support. Values ≤ 1 mean
+	// no oversampling.
+	Oversample float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultK == 0 {
+		c.DefaultK = 1024
+	}
+	return c
+}
+
+// DB is an in-memory approximate query processing engine instance. It is
+// safe for concurrent queries; table registration must complete before
+// querying begins.
+type DB struct {
+	cfg     Config
+	catalog *storage.Catalog
+	lazy    *core.LazySampler
+
+	mu         sync.Mutex
+	queryCount uint64
+}
+
+// Open creates an empty DB.
+func Open(cfg Config) *DB {
+	cfg = cfg.withDefaults()
+	return &DB{
+		cfg:     cfg,
+		catalog: storage.NewCatalog(),
+		lazy:    core.New(store.New(cfg.StoreBudgetBytes), cfg.Seed^0x1A97),
+	}
+}
+
+// TableBuilder assembles an in-memory table column by column. All columns
+// must have the same length.
+type TableBuilder struct {
+	name string
+	cols []*storage.Column
+	err  error
+}
+
+// NewTable starts building a table with the given name.
+func NewTable(name string) *TableBuilder {
+	return &TableBuilder{name: name}
+}
+
+// Int64 adds a 64-bit integer column.
+func (b *TableBuilder) Int64(name string, values []int64) *TableBuilder {
+	if b.err != nil {
+		return b
+	}
+	b.cols = append(b.cols, &storage.Column{Name: name, Kind: storage.KindInt64, Ints: values})
+	return b
+}
+
+// String adds a dictionary-encoded string column.
+func (b *TableBuilder) String(name string, values []string) *TableBuilder {
+	if b.err != nil {
+		return b
+	}
+	dict := storage.NewDict(values)
+	codes := make([]int64, len(values))
+	for i, v := range values {
+		code, ok := dict.Code(v)
+		if !ok {
+			b.err = fmt.Errorf("laqy: value %q missing from its own dictionary", v)
+			return b
+		}
+		codes[i] = code
+	}
+	b.cols = append(b.cols, &storage.Column{Name: name, Kind: storage.KindString, Ints: codes, Dict: dict})
+	return b
+}
+
+// Register finalizes a built table into the DB's catalog.
+func (db *DB) Register(b *TableBuilder) error {
+	if b.err != nil {
+		return b.err
+	}
+	t, err := storage.NewTable(b.name, b.cols...)
+	if err != nil {
+		return err
+	}
+	return db.catalog.Register(t)
+}
+
+// LoadSSB generates and registers the Star Schema Benchmark tables
+// (lineorder, date, supplier, part, customer) with the given fact-table
+// row count — the dataset of the LAQy paper's evaluation, including the
+// shuffled unique lo_intkey column used for selectivity control.
+func (db *DB) LoadSSB(lineorderRows int, seed uint64) error {
+	data, err := ssb.Generate(ssb.Config{LineorderRows: lineorderRows, Seed: seed})
+	if err != nil {
+		return err
+	}
+	for _, t := range []*storage.Table{data.Lineorder, data.Date, data.Supplier, data.Part, data.Customer} {
+		if err := db.catalog.Register(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tables returns the registered table names.
+func (db *DB) Tables() []string { return db.catalog.Names() }
+
+// ColumnInfo describes one column of a registered table.
+type ColumnInfo struct {
+	// Name is the column name.
+	Name string
+	// Type is "int64" or "string".
+	Type string
+	// DictSize is the number of distinct dictionary values for string
+	// columns (0 for integers).
+	DictSize int
+}
+
+// Describe returns a table's columns in schema order.
+func (db *DB) Describe(table string) ([]ColumnInfo, error) {
+	t, err := db.catalog.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ColumnInfo, 0, len(t.Columns()))
+	for _, c := range t.Columns() {
+		info := ColumnInfo{Name: c.Name, Type: c.Kind.String()}
+		if c.Dict != nil {
+			info.DictSize = c.Dict.Size()
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// NumRows returns the row count of a registered table.
+func (db *DB) NumRows(table string) (int, error) {
+	t, err := db.catalog.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.NumRows(), nil
+}
+
+// SampleStoreStats reports sample-store reuse telemetry.
+type SampleStoreStats struct {
+	// Samples is the number of stored samples.
+	Samples int
+	// Bytes is the estimated store footprint.
+	Bytes int64
+	// FullReuses, PartialReuses and Misses count lookup outcomes.
+	FullReuses, PartialReuses, Misses int64
+	// Evictions counts budget-driven sample evictions.
+	Evictions int64
+}
+
+// SampleStoreStats returns current sample-store telemetry.
+func (db *DB) SampleStoreStats() SampleStoreStats {
+	st := db.lazy.Store()
+	s := st.Stats()
+	return SampleStoreStats{
+		Samples:       st.Len(),
+		Bytes:         st.TotalBytes(),
+		FullReuses:    s.Full,
+		PartialReuses: s.Partial,
+		Misses:        s.Miss,
+		Evictions:     s.Evicted,
+	}
+}
+
+// ClearSamples drops all cached samples (e.g. after a data refresh).
+func (db *DB) ClearSamples() { db.lazy.Store().Clear() }
+
+// nextSeed derives a per-query sampling seed so that identical query
+// sequences reproduce identical samples.
+func (db *DB) nextSeed() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.queryCount++
+	return db.cfg.Seed + db.queryCount*0x9E3779B97F4A7C15
+}
+
+// engineWorkers resolves the configured parallelism.
+func (db *DB) engineWorkers() int {
+	if db.cfg.Workers > 0 {
+		return db.cfg.Workers
+	}
+	return engine.DefaultWorkers()
+}
+
+// SaveSamples persists the sample store to path (atomic write). Samples
+// built in this session then serve as offline samples in future sessions
+// via LoadSamples — the durable end of LAQy's online/offline continuum.
+func (db *DB) SaveSamples(path string) error {
+	return db.lazy.Store().SaveFile(path)
+}
+
+// LoadSamples restores previously saved samples into the store, appending
+// to any samples already present.
+func (db *DB) LoadSamples(path string) error {
+	return db.lazy.Store().LoadFile(path, db.cfg.Seed^0xD15C)
+}
+
+// SampleInfo describes one cached sample for observability.
+type SampleInfo struct {
+	// Input is the logical sampler input (table or join signature).
+	Input string
+	// Predicate renders the coverage predicate.
+	Predicate string
+	// QCS and QVS list the stratification and value columns.
+	QCS, QVS []string
+	// K is the per-stratum reservoir capacity.
+	K int
+	// Strata is the number of materialized strata.
+	Strata int
+	// Rows is the number of sampled tuples held.
+	Rows int
+	// Weight is the represented input size (tuples covered).
+	Weight float64
+	// Bytes estimates the memory footprint.
+	Bytes int64
+}
+
+// Samples lists the cached samples, most useful for debugging reuse
+// behaviour (the shell's \samples command).
+func (db *DB) Samples() []SampleInfo {
+	var out []SampleInfo
+	for _, m := range db.lazy.Store().List() {
+		info := SampleInfo{
+			Input:     m.Meta.Input,
+			Predicate: m.Meta.Predicate.String(),
+			QCS:       append([]string{}, m.Meta.QCS()...),
+			QVS:       append([]string{}, m.Meta.QVS()...),
+			K:         m.Meta.K,
+			Strata:    m.Sample.NumStrata(),
+			Weight:    m.Sample.TotalWeight(),
+			Bytes:     m.Entry.SizeBytes(),
+		}
+		m.Sample.ForEach(func(_ sample.StratumKey, r *sample.Reservoir) {
+			info.Rows += r.Len()
+		})
+		out = append(out, info)
+	}
+	return out
+}

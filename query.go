@@ -1,0 +1,454 @@
+package laqy
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"laqy/internal/approx"
+	"laqy/internal/core"
+	"laqy/internal/engine"
+	"laqy/internal/sample"
+	"laqy/internal/sql"
+)
+
+// GroupValue is one grouping-column value of a result row, decoded to a
+// string for dictionary-encoded columns.
+type GroupValue struct {
+	Int      int64
+	Str      string
+	IsString bool
+}
+
+// String renders the value.
+func (g GroupValue) String() string {
+	if g.IsString {
+		return g.Str
+	}
+	return fmt.Sprintf("%d", g.Int)
+}
+
+// AggValue is one aggregate output with its uncertainty. Exact results have
+// Exact == true and zero StdErr.
+type AggValue struct {
+	// Value is the (estimated) aggregate.
+	Value float64
+	// StdErr is the estimated standard error (0 for exact execution).
+	StdErr float64
+	// Support is the number of sampled tuples behind the estimate (0 for
+	// exact execution).
+	Support int
+	// Exact reports whether the value comes from exact execution.
+	Exact bool
+}
+
+// ConfidenceInterval returns the (lo, hi) interval at the given confidence
+// level (e.g. 0.95); exact values collapse to a point.
+func (a AggValue) ConfidenceInterval(confidence float64) (lo, hi float64) {
+	return approx.Estimate{Value: a.Value, StdErr: a.StdErr}.ConfidenceInterval(confidence)
+}
+
+// Row is one result row: the grouping values followed by the aggregates in
+// select-list order.
+type Row struct {
+	Groups []GroupValue
+	Aggs   []AggValue
+}
+
+// ExecStats is the per-phase execution breakdown of a query.
+type ExecStats struct {
+	// Scan is time spent filtering the fact table.
+	Scan time.Duration
+	// Process is time past the scan: joins, gathers, aggregation or
+	// reservoir admission.
+	Process time.Duration
+	// Merge is time merging partial states and (for lazy execution)
+	// Δ-samples with stored ones.
+	Merge time.Duration
+	// Total is end-to-end wall time.
+	Total time.Duration
+	// RowsScanned and RowsSelected count fact rows considered/qualified.
+	RowsScanned, RowsSelected int64
+}
+
+// Result is a query's answer.
+type Result struct {
+	// GroupColumns and AggColumns label Row.Groups and Row.Aggs.
+	GroupColumns []string
+	AggColumns   []string
+	// Rows are ordered by group key.
+	Rows []Row
+	// Approximate reports sampling-based execution.
+	Approximate bool
+	// Mode is "exact", or the sampling path taken: "online" (full sample
+	// built), "partial" (Δ-sample + merge — the lazy path), or "offline"
+	// (full sample reuse, no data scan).
+	Mode string
+	// Stats is the execution breakdown.
+	Stats ExecStats
+}
+
+// Query parses, plans, and executes a SQL statement. Aggregation queries
+// are supported; the APPROX clause selects sampling-based execution with
+// LAQy's lazy sample reuse.
+func (db *DB) Query(text string) (*Result, error) {
+	return db.QueryContext(context.Background(), text)
+}
+
+// QueryContext is Query with cancellation: scans abort at the next morsel
+// boundary once ctx is done, returning the context's error.
+func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sql.PlanStatement(stmt, db.catalog)
+	if err != nil {
+		return nil, err
+	}
+	plan.Query.Ctx = ctx
+	if plan.Approx {
+		return db.runApprox(plan)
+	}
+	return db.runExact(plan)
+}
+
+// aggLabel renders the aggregate's result-column label (the AS alias when
+// given).
+func aggLabel(a sql.AggSpec) string {
+	if a.Label != "" {
+		return a.Label
+	}
+	if a.Column == "" {
+		return "COUNT(*)"
+	}
+	return fmt.Sprintf("%v(%s)", a.Kind, a.Column)
+}
+
+// decodeGroups renders a group key using the plan's dictionaries.
+func decodeGroups(plan *sql.Plan, key engine.GroupKey) []GroupValue {
+	out := make([]GroupValue, len(plan.GroupBy))
+	for i, col := range plan.GroupBy {
+		v := key[i]
+		if dict, ok := plan.Dicts[col]; ok && dict != nil {
+			out[i] = GroupValue{Str: dict.Value(v), IsString: true, Int: v}
+		} else {
+			out[i] = GroupValue{Int: v}
+		}
+	}
+	return out
+}
+
+func (db *DB) runExact(plan *sql.Plan) (*Result, error) {
+	start := time.Now()
+	// Each aggregate reads its own value column; COUNT(*) rides on the
+	// first captured value column.
+	rideOn := plan.Schema[len(plan.GroupBy)]
+	aggCols := make([]string, len(plan.Aggs))
+	for i, a := range plan.Aggs {
+		if a.Column == "" {
+			aggCols[i] = rideOn
+		} else {
+			aggCols[i] = a.Column
+		}
+	}
+	res, stats, err := engine.RunGroupByExprs(plan.Query, plan.GroupBy,
+		engine.ExprsFromNames(aggCols), db.engineWorkers())
+	if err != nil {
+		return nil, err
+	}
+	out := newResult(plan, false, "exact")
+	for _, key := range res.Keys() {
+		row := Row{Groups: decodeGroups(plan, key), Aggs: make([]AggValue, len(plan.Aggs))}
+		for i, a := range plan.Aggs {
+			v, _ := res.ValueAt(key, i, a.Kind)
+			row.Aggs[i] = AggValue{Value: v, Exact: true}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	out.Stats = toExecStats(stats, 0, time.Since(start))
+	finishRows(plan, out)
+	return out, nil
+}
+
+func (db *DB) runApprox(plan *sql.Plan) (*Result, error) {
+	start := time.Now()
+	k := plan.K
+	if k == 0 {
+		k = db.cfg.DefaultK
+	}
+	req := core.Request{
+		Query:      plan.Query,
+		Predicate:  plan.Predicate,
+		Schema:     plan.Schema,
+		QCSWidth:   plan.QCSWidth(),
+		K:          k,
+		Seed:       db.nextSeed(),
+		Workers:    db.engineWorkers(),
+		MinSupport: db.cfg.MinSupport,
+		Oversample: db.cfg.Oversample,
+	}
+	res, err := db.lazy.Sample(req)
+	if err != nil {
+		return nil, err
+	}
+
+	out := newResult(plan, true, res.Mode.String())
+	rideOnIdx := len(plan.GroupBy)
+	res.Sample.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
+		row := Row{Groups: decodeGroups(plan, key), Aggs: make([]AggValue, len(plan.Aggs))}
+		for i, a := range plan.Aggs {
+			colIdx := rideOnIdx
+			if a.Column != "" {
+				colIdx = plan.Schema.Index(a.Column)
+			}
+			e := approx.FromReservoir(r, colIdx, a.Kind)
+			row.Aggs[i] = AggValue{Value: e.Value, StdErr: e.StdErr, Support: e.Support}
+		}
+		out.Rows = append(out.Rows, row)
+	})
+	out.Stats = toExecStats(res.Stats, res.MergeTime, time.Since(start))
+	finishRows(plan, out)
+
+	// APPROX ERROR e [CONFIDENCE c]: when an estimate's realized bound
+	// exceeds the target, first retry once with a reservoir capacity sized
+	// from the observed variance (stderr scales with 1/√k, so the needed
+	// capacity is computable); if the resized sample still misses — or the
+	// required capacity is impractically large — fall back to exact
+	// execution rather than return an answer that misses its contract.
+	conf := confidenceOf(plan)
+	if plan.ErrorBound > 0 && !boundsMet(out, plan.ErrorBound, conf) {
+		if newK := requiredK(out, k, plan.ErrorBound, conf); newK > k && newK <= maxAutoK {
+			req.K = newK
+			req.Seed = db.nextSeed()
+			res, err = db.lazy.Sample(req)
+			if err != nil {
+				return nil, err
+			}
+			resized := newResult(plan, true, res.Mode.String())
+			res.Sample.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
+				row := Row{Groups: decodeGroups(plan, key), Aggs: make([]AggValue, len(plan.Aggs))}
+				for i, a := range plan.Aggs {
+					colIdx := rideOnIdx
+					if a.Column != "" {
+						colIdx = plan.Schema.Index(a.Column)
+					}
+					e := approx.FromReservoir(r, colIdx, a.Kind)
+					row.Aggs[i] = AggValue{Value: e.Value, StdErr: e.StdErr, Support: e.Support}
+				}
+				resized.Rows = append(resized.Rows, row)
+			})
+			resized.Stats = toExecStats(res.Stats, res.MergeTime, time.Since(start))
+			finishRows(plan, resized)
+			out = resized
+		}
+		if !boundsMet(out, plan.ErrorBound, conf) {
+			exact, err := db.runExact(plan)
+			if err != nil {
+				return nil, err
+			}
+			exact.Mode = "exact_fallback"
+			return exact, nil
+		}
+	}
+	return out, nil
+}
+
+// maxAutoK caps error-driven reservoir growth; beyond it exact execution
+// is cheaper than the sample it would take.
+const maxAutoK = 1 << 17
+
+// requiredK sizes the reservoir capacity needed to bring every estimate's
+// relative error bound under target at the given confidence: stderr scales
+// as 1/√k, so k' = k·(bound/target)². Returns 0 when no finite capacity
+// helps (e.g. a zero-valued estimate).
+func requiredK(res *Result, k int, target, confidence float64) int {
+	worst := 1.0
+	for _, row := range res.Rows {
+		for _, a := range row.Aggs {
+			if a.StdErr == 0 {
+				continue
+			}
+			if a.Value == 0 {
+				return 0
+			}
+			e := approx.Estimate{Value: a.Value, StdErr: a.StdErr}
+			bound := e.RelativeErrorBound(confidence)
+			if ratio := bound / target; ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	if worst <= 1 {
+		return k
+	}
+	// 1.2 safety margin over the CLT scaling estimate.
+	need := float64(k) * worst * worst * 1.2
+	if need > float64(maxAutoK)+1 {
+		return maxAutoK + 1
+	}
+	return int(need) + 1
+}
+
+// finishRows applies the plan's HAVING, ORDER BY, and LIMIT to the result
+// rows (rows arrive in group-key order from the executors).
+func finishRows(plan *sql.Plan, res *Result) {
+	if len(plan.Having) > 0 {
+		kept := res.Rows[:0]
+		for _, row := range res.Rows {
+			if havingAccepts(plan.Having, row) {
+				kept = append(kept, row)
+			}
+		}
+		res.Rows = kept
+	}
+	if len(plan.OrderBy) > 0 {
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			a, b := res.Rows[i], res.Rows[j]
+			for _, o := range plan.OrderBy {
+				var cmp int
+				if o.AggIdx >= 0 {
+					cmp = compareFloat(a.Aggs[o.AggIdx].Value, b.Aggs[o.AggIdx].Value)
+				} else {
+					cmp = compareGroup(a.Groups[o.GroupIdx], b.Groups[o.GroupIdx])
+				}
+				if cmp == 0 {
+					continue
+				}
+				if o.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+	}
+	if plan.Limit > 0 && len(res.Rows) > plan.Limit {
+		res.Rows = res.Rows[:plan.Limit]
+	}
+}
+
+// havingAccepts evaluates the HAVING conjunction against one row.
+func havingAccepts(conds []sql.PlanHaving, row Row) bool {
+	for _, h := range conds {
+		v := row.Aggs[h.AggIdx].Value
+		lit := float64(h.Value)
+		ok := false
+		switch h.Cmp {
+		case sql.OpEq:
+			ok = v == lit
+		case sql.OpLt:
+			ok = v < lit
+		case sql.OpLe:
+			ok = v <= lit
+		case sql.OpGt:
+			ok = v > lit
+		case sql.OpGe:
+			ok = v >= lit
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareGroup(a, b GroupValue) int {
+	if a.IsString {
+		switch {
+		case a.Str < b.Str:
+			return -1
+		case a.Str > b.Str:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a.Int < b.Int:
+		return -1
+	case a.Int > b.Int:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// confidenceOf resolves the plan's confidence level (default 0.95).
+func confidenceOf(plan *sql.Plan) float64 {
+	if plan.Confidence > 0 {
+		return plan.Confidence
+	}
+	return 0.95
+}
+
+// boundsMet reports whether every estimate meets the relative error bound
+// at the given confidence. Exact estimates (zero standard error) and order
+// statistics (MIN/MAX, which carry no error model) pass.
+func boundsMet(res *Result, bound, confidence float64) bool {
+	for _, row := range res.Rows {
+		for _, a := range row.Aggs {
+			if a.StdErr == 0 {
+				continue
+			}
+			e := approx.Estimate{Value: a.Value, StdErr: a.StdErr}
+			if e.RelativeErrorBound(confidence) > bound {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func newResult(plan *sql.Plan, approximate bool, mode string) *Result {
+	out := &Result{
+		GroupColumns: append([]string{}, plan.GroupBy...),
+		Approximate:  approximate,
+		Mode:         mode,
+	}
+	for _, a := range plan.Aggs {
+		out.AggColumns = append(out.AggColumns, aggLabel(a))
+	}
+	return out
+}
+
+func toExecStats(s engine.Stats, extraMerge time.Duration, total time.Duration) ExecStats {
+	return ExecStats{
+		Scan:         s.Scan,
+		Process:      s.Process,
+		Merge:        s.Merge + extraMerge,
+		Total:        total,
+		RowsScanned:  s.RowsScanned,
+		RowsSelected: s.RowsSelected,
+	}
+}
+
+// interface guard: GroupValue prints nicely in fmt verbs.
+var _ fmt.Stringer = GroupValue{}
+
+// Explain parses and plans a statement and returns a human-readable plan
+// description (scan, joins, and — for APPROX queries — the logical sampler
+// placement and matching predicate) without executing anything.
+func (db *DB) Explain(text string) (string, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return "", err
+	}
+	plan, err := sql.PlanStatement(stmt, db.catalog)
+	if err != nil {
+		return "", err
+	}
+	return plan.Describe(), nil
+}

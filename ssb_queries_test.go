@@ -1,0 +1,222 @@
+package laqy
+
+import (
+	"math"
+	"testing"
+)
+
+// The 13 standard Star Schema Benchmark queries (Q1.1–Q4.3), adapted only
+// where this repo's generator deviates from dbgen (documented inline).
+// Each query runs exactly and approximately; the conformance check is that
+// both plans execute, return the same group sets, and the approximate
+// totals track the exact ones.
+var ssbQueries = []struct {
+	name string
+	sql  string
+	// maxRelErr is the tolerated relative error of the summed aggregate
+	// (grand total across groups) at K = 4000.
+	maxRelErr float64
+}{
+	{
+		// Q1.1: revenue gained by a discount band in one year.
+		name: "Q1.1",
+		sql: `SELECT SUM(lo_extendedprice*lo_discount) FROM lineorder, date
+			WHERE lo_orderdate = d_datekey AND d_year = 1993
+			  AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25`,
+		maxRelErr: 0.10,
+	},
+	{
+		// Q1.2: one month (d_yearmonthnum).
+		name: "Q1.2",
+		sql: `SELECT SUM(lo_extendedprice*lo_discount) FROM lineorder, date
+			WHERE lo_orderdate = d_datekey AND d_yearmonthnum = 199401
+			  AND lo_discount BETWEEN 4 AND 6 AND lo_quantity BETWEEN 26 AND 35`,
+		maxRelErr: 0.15,
+	},
+	{
+		// Q1.3: dbgen filters d_weeknuminyear = 6; our simplified calendar
+		// has no week column, so one month of the year substitutes (same
+		// shape: a narrower slice of Q1.2's selectivity).
+		name: "Q1.3",
+		sql: `SELECT SUM(lo_extendedprice*lo_discount) FROM lineorder, date
+			WHERE lo_orderdate = d_datekey AND d_yearmonthnum = 199402 AND d_year = 1994
+			  AND lo_discount BETWEEN 5 AND 7 AND lo_quantity BETWEEN 26 AND 35`,
+		maxRelErr: 0.20,
+	},
+	{
+		// Q2.1: revenue by year and brand for one category and region.
+		name: "Q2.1",
+		sql: `SELECT d_year, p_brand1, SUM(lo_revenue) FROM lineorder, date, part, supplier
+			WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey AND lo_suppkey = s_suppkey
+			  AND p_category = 'MFGR#12' AND s_region = 'AMERICA'
+			GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1`,
+		maxRelErr: 0.10,
+	},
+	{
+		// Q2.2: a brand range (string BETWEEN over the order-preserving
+		// dictionary).
+		name: "Q2.2",
+		sql: `SELECT d_year, p_brand1, SUM(lo_revenue) FROM lineorder, date, part, supplier
+			WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey AND lo_suppkey = s_suppkey
+			  AND p_brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228' AND s_region = 'ASIA'
+			GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1`,
+		maxRelErr: 0.25,
+	},
+	{
+		// Q2.3: a single brand.
+		name: "Q2.3",
+		sql: `SELECT d_year, p_brand1, SUM(lo_revenue) FROM lineorder, date, part, supplier
+			WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey AND lo_suppkey = s_suppkey
+			  AND p_brand1 = 'MFGR#2239' AND s_region = 'EUROPE'
+			GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1`,
+		maxRelErr: 0.30,
+	},
+	{
+		// Q3.1: revenue flows between nations within a region.
+		name: "Q3.1",
+		sql: `SELECT c_nation, s_nation, d_year, SUM(lo_revenue)
+			FROM lineorder, customer, supplier, date
+			WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_orderdate = d_datekey
+			  AND c_region = 'ASIA' AND s_region = 'ASIA' AND d_year BETWEEN 1992 AND 1997
+			GROUP BY c_nation, s_nation, d_year ORDER BY d_year ASC, SUM(lo_revenue) DESC`,
+		maxRelErr: 0.10,
+	},
+	{
+		// Q3.2: city level within one nation (cities are numeric in this
+		// generator; nation 12 is a UNITED STATES stand-in).
+		name: "Q3.2",
+		sql: `SELECT c_nation, s_nation, d_year, SUM(lo_revenue)
+			FROM lineorder, customer, supplier, date
+			WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_orderdate = d_datekey
+			  AND c_nation = 12 AND s_nation = 12 AND d_year BETWEEN 1992 AND 1997
+			GROUP BY c_nation, s_nation, d_year ORDER BY d_year ASC, SUM(lo_revenue) DESC`,
+		maxRelErr: 0.30,
+	},
+	{
+		// Q3.3: two cities (numeric stand-ins for UNITED KI1/KI5).
+		name: "Q3.3",
+		sql: `SELECT s_city, d_year, SUM(lo_revenue)
+			FROM lineorder, supplier, date
+			WHERE lo_suppkey = s_suppkey AND lo_orderdate = d_datekey
+			  AND s_city IN (120, 125) AND d_year BETWEEN 1992 AND 1997
+			GROUP BY s_city, d_year ORDER BY d_year ASC, SUM(lo_revenue) DESC`,
+		maxRelErr: 0.30,
+	},
+	{
+		// Q3.4: one month (dbgen: Dec 1997).
+		name: "Q3.4",
+		sql: `SELECT s_city, d_year, SUM(lo_revenue)
+			FROM lineorder, supplier, date
+			WHERE lo_suppkey = s_suppkey AND lo_orderdate = d_datekey
+			  AND s_city IN (120, 125) AND d_yearmonthnum = 199712
+			GROUP BY s_city, d_year ORDER BY d_year ASC, SUM(lo_revenue) DESC`,
+		maxRelErr: 0.60,
+	},
+	{
+		// Q4.1: profit by year and customer nation.
+		name: "Q4.1",
+		sql: `SELECT d_year, c_region, SUM(lo_revenue - lo_supplycost)
+			FROM lineorder, customer, supplier, date
+			WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_orderdate = d_datekey
+			  AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+			GROUP BY d_year, c_region ORDER BY d_year`,
+		maxRelErr: 0.10,
+	},
+	{
+		// Q4.2: drill into two years and manufacturer categories.
+		name: "Q4.2",
+		sql: `SELECT d_year, s_nation, SUM(lo_revenue - lo_supplycost)
+			FROM lineorder, customer, supplier, part, date
+			WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey
+			  AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+			  AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+			  AND d_year BETWEEN 1997 AND 1998 AND p_mfgr IN ('MFGR#1', 'MFGR#2')
+			GROUP BY d_year, s_nation ORDER BY d_year, s_nation`,
+		maxRelErr: 0.20,
+	},
+	{
+		// Q4.3: city level within one nation and category.
+		name: "Q4.3",
+		sql: `SELECT d_year, s_city, SUM(lo_revenue - lo_supplycost)
+			FROM lineorder, supplier, part, date
+			WHERE lo_suppkey = s_suppkey AND lo_partkey = p_partkey AND lo_orderdate = d_datekey
+			  AND s_nation = 12 AND d_year BETWEEN 1997 AND 1998 AND p_category = 'MFGR#14'
+			GROUP BY d_year, s_city ORDER BY d_year, s_city`,
+		maxRelErr: 0.40,
+	},
+}
+
+// TestSSBQueryFlights runs all 13 SSB queries exactly and approximately,
+// requiring matching group sets and approximate grand totals within each
+// query's tolerance.
+func TestSSBQueryFlights(t *testing.T) {
+	db := Open(Config{Workers: 2, Seed: 5})
+	if err := db.LoadSSB(120_000, 42); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ssbQueries {
+		t.Run(q.name, func(t *testing.T) {
+			exact, err := db.Query(q.sql)
+			if err != nil {
+				t.Fatalf("exact: %v", err)
+			}
+			approxRes, err := db.Query(q.sql + " APPROX WITH K 4000")
+			if err != nil {
+				t.Fatalf("approx: %v", err)
+			}
+			if len(exact.Rows) == 0 {
+				t.Fatal("exact query returned no rows (check generator domains)")
+			}
+			var exactTotal, approxTotal float64
+			for _, row := range exact.Rows {
+				exactTotal += row.Aggs[len(row.Aggs)-1].Value
+			}
+			for _, row := range approxRes.Rows {
+				approxTotal += row.Aggs[len(row.Aggs)-1].Value
+			}
+			if exactTotal == 0 {
+				t.Fatal("exact total is zero")
+			}
+			relErr := math.Abs(approxTotal-exactTotal) / math.Abs(exactTotal)
+			if relErr > q.maxRelErr {
+				t.Fatalf("grand total: approx %.0f vs exact %.0f (rel err %.3f > %.2f)",
+					approxTotal, exactTotal, relErr, q.maxRelErr)
+			}
+			// Group sets must agree: approximation never invents or loses
+			// groups (stratification aligned with GROUP BY).
+			if len(approxRes.Rows) != len(exact.Rows) {
+				t.Fatalf("approx has %d groups, exact %d", len(approxRes.Rows), len(exact.Rows))
+			}
+		})
+	}
+}
+
+// TestSSBQ11ExactArithmetic pins the Q1.1 arithmetic against a hand
+// computation over the raw columns.
+func TestSSBQ11ExactArithmetic(t *testing.T) {
+	db := Open(Config{Workers: 2, Seed: 6})
+	if err := db.LoadSSB(30_000, 9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT SUM(lo_extendedprice*lo_discount) FROM lineorder
+		WHERE lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := db.catalog.Table("lineorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := lo.Column("lo_extendedprice").Ints
+	disc := lo.Column("lo_discount").Ints
+	qty := lo.Column("lo_quantity").Ints
+	var want float64
+	for i := range ep {
+		if disc[i] >= 1 && disc[i] <= 3 && qty[i] < 25 {
+			want += float64(ep[i] * disc[i])
+		}
+	}
+	if got := res.Rows[0].Aggs[0].Value; got != want {
+		t.Fatalf("SUM(extendedprice*discount) = %v, want %v", got, want)
+	}
+}

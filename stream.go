@@ -1,0 +1,129 @@
+package laqy
+
+import (
+	"fmt"
+
+	"laqy/internal/approx"
+	"laqy/internal/sample"
+	"laqy/internal/stream"
+)
+
+// Agg selects an aggregation function in the public streaming API.
+type Agg int
+
+// Supported aggregation functions.
+const (
+	Sum Agg = iota
+	Count
+	Avg
+	Min
+	Max
+)
+
+func (a Agg) kind() (approx.AggKind, error) {
+	switch a {
+	case Sum:
+		return approx.Sum, nil
+	case Count:
+		return approx.Count, nil
+	case Avg:
+		return approx.Avg, nil
+	case Min:
+		return approx.Min, nil
+	case Max:
+		return approx.Max, nil
+	default:
+		return 0, fmt.Errorf("laqy: unknown aggregate %d", int(a))
+	}
+}
+
+// WindowConfig parameterizes a windowed sampler.
+type WindowConfig struct {
+	// Columns names the tuple columns fed to Observe, grouping columns
+	// first.
+	Columns []string
+	// GroupBy is the number of leading grouping columns (0 for ungrouped
+	// windows).
+	GroupBy int
+	// K is the per-stratum reservoir capacity within each slide.
+	K int
+	// SlideWidth is the event-time width of one slide.
+	SlideWidth int64
+	// MaxSlides bounds retention (0 = unbounded).
+	MaxSlides int
+	// Seed makes the sampling reproducible.
+	Seed uint64
+}
+
+// Windowed is a sliding-window approximate aggregator: LAQy's mergeable
+// samples applied to event streams. One stratified sample is maintained
+// per time slide; window queries merge the overlapping slides' samples and
+// tighten the boundaries on event time, so any window whose start is
+// within the retention horizon can be estimated — not just the most recent
+// one — and re-querying never consumes state.
+type Windowed struct {
+	inner *stream.WindowedSampler
+}
+
+// NewWindowed creates a sliding-window sampler.
+func NewWindowed(cfg WindowConfig) (*Windowed, error) {
+	inner, err := stream.New(stream.Config{
+		Schema:     sample.Schema(cfg.Columns),
+		QCSWidth:   cfg.GroupBy,
+		K:          cfg.K,
+		SlideWidth: cfg.SlideWidth,
+		MaxSlides:  cfg.MaxSlides,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Windowed{inner: inner}, nil
+}
+
+// Observe feeds one event with its timestamp; the tuple layout follows
+// WindowConfig.Columns. Events whose slide has been evicted are counted as
+// dropped, not errors.
+func (w *Windowed) Observe(ts int64, tuple []int64) error {
+	return w.inner.Observe(ts, tuple)
+}
+
+// Observed returns the number of accepted events; DroppedLate counts
+// events older than the retention horizon.
+func (w *Windowed) Observed() int64    { return w.inner.Observed() }
+func (w *Windowed) DroppedLate() int64 { return w.inner.DroppedLate() }
+
+// WindowGroup is one group's estimate for a window query.
+type WindowGroup struct {
+	// Key holds the grouping column values (empty for ungrouped windows).
+	Key []int64
+	// Value is the group's estimated aggregate.
+	Value AggValue
+}
+
+// Aggregate estimates agg(column) per group over the closed event-time
+// window [from, to]. Groups are returned in ascending key order.
+func (w *Windowed) Aggregate(from, to int64, column string, agg Agg) ([]WindowGroup, error) {
+	kind, err := agg.kind()
+	if err != nil {
+		return nil, err
+	}
+	win, err := w.inner.Window(from, to)
+	if err != nil {
+		return nil, err
+	}
+	colIdx := win.Schema().Index(column)
+	if colIdx < 0 {
+		return nil, fmt.Errorf("laqy: column %q not captured by the window sampler", column)
+	}
+	groupBy := win.QCSWidth()
+	var out []WindowGroup
+	win.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
+		e := approx.FromReservoir(r, colIdx, kind)
+		out = append(out, WindowGroup{
+			Key:   append([]int64{}, key[:groupBy]...),
+			Value: AggValue{Value: e.Value, StdErr: e.StdErr, Support: e.Support},
+		})
+	})
+	return out, nil
+}
