@@ -1,0 +1,45 @@
+# LAQy development targets. CI (.github/workflows/ci.yml) runs the same
+# gates; keep the two in sync.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test lint vet laqy-vet race fuzz-smoke bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint = the compiler-checkable gates plus the project's own analyzer suite.
+lint: vet laqy-vet
+
+vet:
+	$(GO) vet ./...
+
+# laqy-vet is the custom static-analysis suite (tools/laqyvet): rngsource,
+# hotalloc, mergesync, errchecklite. See docs/STATIC_ANALYSIS.md.
+laqy-vet:
+	$(GO) run ./cmd/laqy-vet ./...
+
+# The sampling engine is morsel-parallel; every PR must pass under the race
+# detector. -short skips the statistical long-haul tests.
+race:
+	CGO_ENABLED=1 $(GO) test -race -short ./...
+
+# Bounded fuzz smoke: each target gets FUZZTIME/3 on top of the committed
+# seed corpora under testdata/fuzz/. Continuous fuzzing: raise FUZZTIME or
+# run `go test -fuzz <Target>` directly.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sql
+	$(GO) test -fuzz=FuzzPlan -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sql
+	$(GO) test -fuzz=FuzzSetAlgebra -fuzztime=$(FUZZTIME) -run '^$$' ./internal/algebra
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -8,6 +8,8 @@
 // regressions.
 package laqy_test
 
+//laqy:allow rngsource deliberate math/rand baseline for the §6.2 PRNG ablation benchmark
+
 import (
 	"fmt"
 	"math/rand"

@@ -169,7 +169,7 @@ func execute(db *laqy.DB, text string) {
 			if a.Exact {
 				cells = append(cells, fmt.Sprintf("%.0f", a.Value))
 			} else {
-				lo, hi := a.ConfidenceInterval(0.95)
+				lo, hi, _ := a.ConfidenceInterval(0.95) // 0.95 is always valid
 				cells = append(cells, fmt.Sprintf("%.0f ±[%.0f, %.0f]", a.Value, lo, hi))
 			}
 		}

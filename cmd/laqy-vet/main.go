@@ -1,0 +1,118 @@
+// Command laqy-vet runs the project's custom static-analysis suite
+// (tools/laqyvet) over package patterns, in the style of a go/analysis
+// multichecker:
+//
+//	go run ./cmd/laqy-vet ./...
+//	go run ./cmd/laqy-vet -checks rngsource,errchecklite ./internal/...
+//
+// Exit status: 0 when no diagnostics were reported, 1 on findings, 2 on
+// usage or load errors. Diagnostics print as `file:line:col: analyzer: msg`
+// so editors and CI annotate them like go vet output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"laqy/tools/laqyvet"
+	"laqy/tools/laqyvet/analysis"
+	"laqy/tools/laqyvet/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("laqy-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: laqy-vet [-checks a,b] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := laqyvet.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*checks, ",") {
+			a := laqyvet.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "laqy-vet: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages("", patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "laqy-vet: %v\n", err)
+		return 2
+	}
+
+	type finding struct {
+		pos      string
+		analyzer string
+		msg      string
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if a.NeedsTestFiles {
+				pass.TestFiles = pkg.TestFiles
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				p := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{
+					pos:      fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column),
+					analyzer: name,
+					msg:      d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(stderr, "laqy-vet: %s on %s: %v\n", a.Name, pkg.Path, err)
+				return 2
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos != findings[j].pos {
+			return findings[i].pos < findings[j].pos
+		}
+		return findings[i].analyzer < findings[j].analyzer
+	})
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "%s: %s: %s\n", f.pos, f.analyzer, f.msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "laqy-vet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

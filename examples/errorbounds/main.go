@@ -42,7 +42,7 @@ func main() {
 			if a.StdErr == 0 || a.Value == 0 {
 				continue
 			}
-			lo, hi := a.ConfidenceInterval(0.95)
+			lo, hi, _ := a.ConfidenceInterval(0.95) // 0.95 is always valid
 			if w := (hi - lo) / 2 / a.Value; w > widest {
 				widest = w
 			}

@@ -51,7 +51,7 @@ func main() {
 	for i, row := range approx1.Rows {
 		est := row.Aggs[0]
 		want := exact.Rows[i].Aggs[0].Value
-		lo, hi := est.ConfidenceInterval(0.95)
+		lo, hi, _ := est.ConfidenceInterval(0.95) // 0.95 is always valid
 		fmt.Printf("%s   %12.0f   %12.0f [%.0f, %.0f]   %.2f%%\n",
 			row.Groups[0], want, est.Value, lo, hi,
 			100*abs(est.Value-want)/want)

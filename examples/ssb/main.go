@@ -106,7 +106,7 @@ func compare(db *laqy.DB, approxSQL, exactSQL string) {
 	for _, row := range a.Rows {
 		year := row.Groups[0].String()
 		est := row.Aggs[0]
-		lo, hi := est.ConfidenceInterval(0.95)
+		lo, hi, _ := est.ConfidenceInterval(0.95) // 0.95 is always valid
 		want := exactByYear[year]
 		relErr := math.NaN()
 		if want != 0 {

@@ -61,7 +61,7 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, g := range groups {
-			lo, hi := g.Value.ConfidenceInterval(0.95)
+			lo, hi, _ := g.Value.ConfidenceInterval(0.95) // 0.95 is always valid
 			fmt.Printf("  region %d: SUM(revenue) ≈ %14.0f  [%14.0f, %14.0f]  (exact %14.0f, err %.2f%%)\n",
 				g.Key[0], g.Value.Value, lo, hi, exact[g.Key[0]],
 				100*abs(g.Value.Value-exact[g.Key[0]])/exact[g.Key[0]])

@@ -1,5 +1,7 @@
 package algebra
 
+//laqy:allow rngsource testing/quick's Generator interface requires *rand.Rand
+
 import (
 	"math"
 	"math/rand"

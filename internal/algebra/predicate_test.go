@@ -1,8 +1,9 @@
 package algebra
 
 import (
-	"math/rand"
 	"testing"
+
+	"laqy/internal/rng"
 )
 
 func TestPredicateBasics(t *testing.T) {
@@ -180,7 +181,7 @@ func TestClassifyMatchingExtraColumns(t *testing.T) {
 func TestClassifyRandomizedConsistency(t *testing.T) {
 	// For random single-column range pairs, Classify must agree with a
 	// brute-force row-level oracle on a sampled domain.
-	r := rand.New(rand.NewSource(42))
+	r := rng.NewLehmer64(42)
 	for i := 0; i < 2000; i++ {
 		sLo := int64(r.Intn(50))
 		sHi := sLo + int64(r.Intn(30))

@@ -14,7 +14,10 @@ func TestBootstrapMatchesCLTOnUniformData(t *testing.T) {
 		r.Consider([]int64{v})
 	}
 	est := FromReservoir(r, 0, Sum)
-	cltLo, cltHi := est.ConfidenceInterval(0.95)
+	cltLo, cltHi, err := est.ConfidenceInterval(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	bootLo, bootHi, err := Bootstrap(r, 0, Sum, 2000, 0.95, newGen(2))
 	if err != nil {

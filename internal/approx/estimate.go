@@ -68,27 +68,34 @@ type Estimate struct {
 }
 
 // ConfidenceInterval returns the (lo, hi) interval at the given confidence
-// level, e.g. 0.95. For exact estimates the interval collapses to the value.
-func (e Estimate) ConfidenceInterval(confidence float64) (lo, hi float64) {
+// level, e.g. 0.95. For exact estimates the interval collapses to the
+// value. The confidence level is caller input (it reaches this method from
+// the SQL CONFIDENCE clause and from the public API), so an out-of-range
+// level is an error, not a panic.
+func (e Estimate) ConfidenceInterval(confidence float64) (lo, hi float64, err error) {
 	if confidence <= 0 || confidence >= 1 {
-		panic(fmt.Sprintf("approx: confidence %v outside (0,1)", confidence))
+		return 0, 0, fmt.Errorf("approx: confidence %v outside (0,1)", confidence)
 	}
 	z := zQuantile(0.5 + confidence/2)
-	return e.Value - z*e.StdErr, e.Value + z*e.StdErr
+	return e.Value - z*e.StdErr, e.Value + z*e.StdErr, nil
 }
 
 // RelativeErrorBound returns StdErr·z/|Value| at the given confidence, the
 // paper's notion of an approximation guarantee; +Inf when Value is zero
-// with nonzero error.
-func (e Estimate) RelativeErrorBound(confidence float64) float64 {
+// with nonzero error. Like ConfidenceInterval, an out-of-range confidence
+// level is reported as an error.
+func (e Estimate) RelativeErrorBound(confidence float64) (float64, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("approx: confidence %v outside (0,1)", confidence)
+	}
 	if e.StdErr == 0 {
-		return 0
+		return 0, nil
 	}
 	if e.Value == 0 {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
 	z := zQuantile(0.5 + confidence/2)
-	return math.Abs(z * e.StdErr / e.Value)
+	return math.Abs(z * e.StdErr / e.Value), nil
 }
 
 // moments computes the sample mean and unbiased variance of column col
@@ -166,6 +173,8 @@ func FromReservoir(r *sample.Reservoir, col int, kind AggKind) Estimate {
 		}
 		est.Value = float64(m)
 	default:
+		// invariant: AggKind values come from this package's constants;
+		// the SQL planner rejects unknown aggregate tokens at parse time.
 		panic(fmt.Sprintf("approx: unknown aggregate %d", int(kind)))
 	}
 	return est
@@ -254,6 +263,8 @@ func RelativeError(est, exact float64) float64 {
 // for confidence intervals.
 func zQuantile(p float64) float64 {
 	if p <= 0 || p >= 1 {
+		// invariant: both callers map a validated confidence c ∈ (0,1) to
+		// p = 0.5 + c/2 ∈ (0.5, 1) before calling.
 		panic(fmt.Sprintf("approx: quantile probability %v outside (0,1)", p))
 	}
 	const (

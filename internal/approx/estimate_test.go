@@ -105,7 +105,10 @@ func TestConfidenceIntervalCoverage(t *testing.T) {
 		for v := int64(0); v < n; v++ {
 			r.Consider([]int64{v})
 		}
-		lo, hi := FromReservoir(r, 0, Sum).ConfidenceInterval(0.95)
+		lo, hi, err := FromReservoir(r, 0, Sum).ConfidenceInterval(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if lo <= trueSum && trueSum <= hi {
 			hits++
 		}
@@ -117,24 +120,29 @@ func TestConfidenceIntervalCoverage(t *testing.T) {
 }
 
 func TestConfidenceIntervalValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("confidence 1.5 should panic")
+	for _, bad := range []float64{-0.5, 0, 1, 1.5} {
+		if _, _, err := (Estimate{Value: 1, StdErr: 1}).ConfidenceInterval(bad); err == nil {
+			t.Fatalf("confidence %v should error", bad)
 		}
-	}()
-	Estimate{Value: 1, StdErr: 1}.ConfidenceInterval(1.5)
+		if _, err := (Estimate{Value: 1, StdErr: 1}).RelativeErrorBound(bad); err == nil {
+			t.Fatalf("confidence %v should error", bad)
+		}
+	}
 }
 
 func TestRelativeErrorBound(t *testing.T) {
 	e := Estimate{Value: 100, StdErr: 5}
-	b := e.RelativeErrorBound(0.95)
+	b, err := e.RelativeErrorBound(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(b-5*1.959964/100) > 1e-4 {
 		t.Fatalf("bound = %v", b)
 	}
-	if (Estimate{Value: 0, StdErr: 1}).RelativeErrorBound(0.95) != math.Inf(1) {
+	if b, _ := (Estimate{Value: 0, StdErr: 1}).RelativeErrorBound(0.95); b != math.Inf(1) {
 		t.Fatal("zero value with error should be +Inf bound")
 	}
-	if (Estimate{Value: 0, StdErr: 0}).RelativeErrorBound(0.95) != 0 {
+	if b, _ := (Estimate{Value: 0, StdErr: 0}).RelativeErrorBound(0.95); b != 0 {
 		t.Fatal("exact estimate bound should be 0")
 	}
 }

@@ -84,7 +84,7 @@ func (t *Table) Append(cells ...string) {
 
 // Fprint renders the table with aligned columns.
 func (t *Table) Fprint(w io.Writer) {
-	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	_, _ = fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
@@ -107,13 +107,13 @@ func (t *Table) Fprint(w io.Writer) {
 				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
 			}
 		}
-		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		_, _ = fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
 	}
 	printRow(t.Header)
 	for _, row := range t.Rows {
 		printRow(row)
 	}
-	fmt.Fprintln(w)
+	_, _ = fmt.Fprintln(w)
 }
 
 // ms renders a duration in milliseconds with two decimals.

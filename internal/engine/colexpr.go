@@ -78,6 +78,8 @@ func (q *Query) resolveExprs(exprs []ColumnExpr) ([]exprSource, error) {
 // gather materializes the expression for the selected rows into out.
 // scratch is a caller-owned buffer of at least n elements used for the
 // right operand (one per worker; no allocation in the hot loop).
+//
+//laqy:hot per-chunk inner loop of every scan
 func (s *exprSource) gather(out, scratch []int64, sel []int32, dimRows [][]int32, n int) {
 	gatherOperand(out, s.left, sel, dimRows, n)
 	if s.op == 0 {
@@ -106,6 +108,8 @@ func (s *exprSource) gather(out, scratch []int64, sel []int32, dimRows [][]int32
 
 // gatherOperand copies one operand column for the selected rows; for
 // dimension columns the row indices come from the owning join's dimRows.
+//
+//laqy:hot per-chunk inner loop of every scan
 func gatherOperand(out []int64, src columnSource, sel []int32, dimRows [][]int32, n int) {
 	if src.joinIdx < 0 {
 		for i := 0; i < n; i++ {
@@ -119,6 +123,9 @@ func gatherOperand(out []int64, src columnSource, sel []int32, dimRows [][]int32
 	}
 }
 
+// combineLit folds a literal operand into the gathered column in place.
+//
+//laqy:hot per-chunk inner loop of every scan
 func combineLit(out []int64, op byte, lit int64, n int) {
 	switch op {
 	case '*':

@@ -66,12 +66,17 @@ func DefaultWorkers() int { return runtime.NumCPU() }
 // or computed expressions (one sink per worker). It returns the per-phase
 // stats; merging sink partials is the caller's job (timed into Stats.Merge
 // by the callers below).
+//
+// The prologue (compilation, buffer setup) runs once per query and may
+// allocate; the per-morsel worker loop must not.
+//
+//laqy:hot morsel-parallel scan driver
 func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (Stats, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
 	if len(sinks) != workers {
-		return Stats{}, fmt.Errorf("engine: %d sinks for %d workers", len(sinks), workers)
+		return Stats{}, fmt.Errorf("engine: %d sinks for %d workers", len(sinks), workers) //laqy:allow hotalloc cold error prologue, once per query
 	}
 	sources, err := q.resolveExprs(exprs)
 	if err != nil {
@@ -168,6 +173,9 @@ type stratifiedSink struct {
 	tuple []int64
 }
 
+// consume admits each gathered row into the worker's stratified sample.
+//
+//laqy:hot per-row sink on the scan path
 func (s *stratifiedSink) consume(cols [][]int64, n int) {
 	for i := 0; i < n; i++ {
 		for c := range cols {
@@ -260,6 +268,9 @@ type reservoirSink struct {
 	tuple []int64
 }
 
+// consume admits each gathered row into the worker's reservoir.
+//
+//laqy:hot per-row sink on the scan path
 func (s *reservoirSink) consume(cols [][]int64, n int) {
 	for i := 0; i < n; i++ {
 		for c := range cols {
@@ -345,6 +356,9 @@ type scanSink struct {
 	sum float64
 }
 
+// consume folds the selected column values into the running sum.
+//
+//laqy:hot per-row sink on the scan path
 func (s *scanSink) consume(cols [][]int64, n int) {
 	acc := int64(0)
 	col := cols[0]

@@ -131,6 +131,9 @@ func newGroupBySink(groupWidth, valueCols int) *groupBySink {
 	}
 }
 
+// consume folds each gathered row into the worker's aggregation states.
+//
+//laqy:hot per-row sink on the scan path
 func (s *groupBySink) consume(cols [][]int64, n int) {
 	for i := 0; i < n; i++ {
 		var key GroupKey

@@ -53,6 +53,8 @@ func buildJoinTables(q *Query) ([]joinTable, error) {
 // sel, it looks up the fact key and writes the matching dimension row into
 // dimRows. Rows without a match are dropped, compacting sel and all
 // previously computed dimRows in place. Returns the compacted length.
+//
+//laqy:hot per-chunk join probe on the scan path
 func (jt *joinTable) probe(sel []int32, dimRows [][]int32, j int) int {
 	out := 0
 	for i, idx := range sel {

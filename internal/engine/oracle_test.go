@@ -1,11 +1,11 @@
 package engine
 
 import (
-	"math/rand"
 	"testing"
 
 	"laqy/internal/algebra"
 	"laqy/internal/approx"
+	"laqy/internal/rng"
 	"laqy/internal/storage"
 )
 
@@ -15,7 +15,7 @@ import (
 // columns, random group columns. Any divergence in group sets, counts, or
 // sums is a bug in the scan/filter/join/aggregate pipeline.
 func TestRandomizedQueriesAgainstOracle(t *testing.T) {
-	r := rand.New(rand.NewSource(2024))
+	r := rng.NewLehmer64(2024)
 	const nFact, nDim = 20000, 64
 
 	// Fact: key (unique), a (0..19), b (0..99), fk (0..nDim-1), val.

@@ -57,6 +57,8 @@ func (f *Filter) Trivial() bool { return len(f.cols) == 0 }
 // SelectInto appends the qualifying row indices of [start, end) to sel and
 // returns the extended slice. Callers reuse sel across chunks to avoid
 // allocation in the scan hot loop.
+//
+//laqy:hot per-chunk filter evaluation, the innermost scan loop
 func (f *Filter) SelectInto(start, end int, sel []int32) []int32 {
 	if f.Trivial() {
 		for i := start; i < end; i++ {

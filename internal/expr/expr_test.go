@@ -1,10 +1,10 @@
 package expr
 
 import (
-	"math/rand"
 	"testing"
 
 	"laqy/internal/algebra"
+	"laqy/internal/rng"
 	"laqy/internal/sample"
 )
 
@@ -112,7 +112,7 @@ func TestSelectIntoAppendsAndChunks(t *testing.T) {
 func TestFilterAgainstRowOracle(t *testing.T) {
 	// Randomized cross-check: vectorized selection must agree with
 	// row-at-a-time Matches and with the algebra-level predicate.
-	r := rand.New(rand.NewSource(9))
+	r := rng.NewLehmer64(9)
 	const n = 2000
 	x := make([]int64, n)
 	y := make([]int64, n)

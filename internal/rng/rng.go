@@ -67,6 +67,7 @@ func (l *Lehmer) Float64() float64 {
 // Uint32n returns a uniform value in [0, n). n must be > 0.
 func (l *Lehmer) Uint32n(n uint32) uint32 {
 	if n == 0 {
+		// invariant: callers request ranges over nonempty domains
 		panic("rng: Uint32n with n == 0")
 	}
 	// Lemire's multiply-shift range reduction with rejection to remove the
@@ -129,6 +130,7 @@ func (l *Lehmer64) Float64() float64 {
 // Uint64n returns a uniform value in [0, n) using Lemire's method.
 func (l *Lehmer64) Uint64n(n uint64) uint64 {
 	if n == 0 {
+		// invariant: callers request ranges over nonempty domains
 		panic("rng: Uint64n with n == 0")
 	}
 	hi, lo := bits.Mul64(l.Next(), n)
@@ -144,6 +146,7 @@ func (l *Lehmer64) Uint64n(n uint64) uint64 {
 // Intn returns a uniform value in [0, n). n must be > 0.
 func (l *Lehmer64) Intn(n int) int {
 	if n <= 0 {
+		// invariant: callers request ranges over nonempty domains
 		panic("rng: Intn with n <= 0")
 	}
 	return int(l.Uint64n(uint64(n)))

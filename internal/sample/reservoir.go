@@ -69,9 +69,11 @@ type Reservoir struct {
 // concurrently used reservoirs.
 func NewReservoir(k, width int, gen *rng.Lehmer64) *Reservoir {
 	if k <= 0 {
+		// invariant: capacities are validated at the API boundary (core.validate, store load)
 		panic(fmt.Sprintf("sample: reservoir capacity %d", k))
 	}
 	if width <= 0 {
+		// invariant: widths derive from non-empty capture schemas
 		panic(fmt.Sprintf("sample: tuple width %d", width))
 	}
 	return &Reservoir{k: k, width: width, gen: gen}
@@ -105,8 +107,13 @@ func (r *Reservoir) Tuple(i int) []int64 {
 // Consider offers one tuple to the reservoir, performing the admission
 // control step of Algorithm R: the n-th considered tuple is admitted with
 // probability k/n, replacing a uniformly chosen victim.
+//
+//laqy:hot per-tuple admission on the sampling path
 func (r *Reservoir) Consider(tuple []int64) {
 	if len(tuple) != r.width {
+		// Sinks are constructed with tuple buffers of the reservoir's
+		// width; a mismatch is a caller bug, never query input.
+		// invariant: tuple width matches the reservoir width
 		panic(fmt.Sprintf("sample: tuple width %d, reservoir width %d", len(tuple), r.width))
 	}
 	r.weight++
@@ -125,6 +132,8 @@ func (r *Reservoir) Consider(tuple []int64) {
 // A-Chao weighted reservoir admission: the tuple is admitted with
 // probability k*w/W where W is the running weight sum. This is the
 // "weighted reservoir sampling" primitive of the paper's Section 5.1.
+//
+//laqy:hot per-tuple admission during merges
 func (r *Reservoir) considerWeighted(tuple []int64, w float64) {
 	r.weight += w
 	if len(r.data) < r.k*r.width {
@@ -199,6 +208,7 @@ func Merge(r1, r2 *Reservoir, gen *rng.Lehmer64) *Reservoir {
 		return r1
 	}
 	if r1.width != r2.width {
+		// invariant: MergeStratified checks schema equality before merging reservoirs
 		panic(fmt.Sprintf("sample: merging width %d with width %d", r1.width, r2.width))
 	}
 

@@ -43,6 +43,8 @@ type Stratified struct {
 // sample, exactly the degenerate case the paper notes for Algorithm 3.
 func NewStratified(schema Schema, qcsWidth, k int, gen *rng.Lehmer64) *Stratified {
 	if qcsWidth < 0 || qcsWidth > MaxQCS || qcsWidth > len(schema) {
+		// invariant: callers (engine, store) validate QCS width against
+		// the schema before constructing samples.
 		panic(fmt.Sprintf("sample: qcsWidth %d with schema of %d columns", qcsWidth, len(schema)))
 	}
 	return &Stratified{
@@ -81,6 +83,8 @@ func (s *Stratified) key(tuple []int64) StratumKey {
 // stratum is located — or allocated and initialized on first sight, the
 // constant per-stratum cost visible in the paper's Figure 3 — and the tuple
 // goes through that stratum's reservoir admission control.
+//
+//laqy:hot per-tuple admission on the sampling path
 func (s *Stratified) Consider(tuple []int64) {
 	k := s.key(tuple)
 	res, ok := s.strata[k]

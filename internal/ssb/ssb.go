@@ -46,7 +46,8 @@ func (d *Dataset) Catalog() *storage.Catalog {
 	c := storage.NewCatalog()
 	for _, t := range []*storage.Table{d.Lineorder, d.Date, d.Supplier, d.Part, d.Customer} {
 		if err := c.Register(t); err != nil {
-			panic(err) // table names are fixed and distinct
+			// invariant: generated table names are fixed and distinct
+			panic(err)
 		}
 	}
 	return c
@@ -273,6 +274,7 @@ func genLineorder(n int, date, supplier, part, customer *storage.Table, gen *rng
 func mustCode(d *storage.Dict, v string) int64 {
 	c, ok := d.Code(v)
 	if !ok {
+		// invariant: v was inserted by the generator that built d
 		panic(fmt.Sprintf("ssb: value %q missing from its own dictionary", v))
 	}
 	return c

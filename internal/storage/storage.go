@@ -103,6 +103,7 @@ func (c *Column) Len() int { return len(c.Ints) }
 // StringAt returns the decoded string at row i for string columns.
 func (c *Column) StringAt(i int) string {
 	if c.Kind != KindString {
+		// invariant: callers check Kind before decoding strings
 		panic(fmt.Sprintf("storage: StringAt on %s column %q", c.Kind, c.Name))
 	}
 	return c.Dict.Value(c.Ints[i])
@@ -162,6 +163,7 @@ func NewTable(name string, columns ...*Column) (*Table, error) {
 func MustNewTable(name string, columns ...*Column) *Table {
 	t, err := NewTable(name, columns...)
 	if err != nil {
+		// invariant: Must* callers pass statically correct schemas
 		panic(err)
 	}
 	return t

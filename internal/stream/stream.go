@@ -171,6 +171,7 @@ func (w *WindowedSampler) slideFor(start int64) *slide {
 	}
 	// Unreachable unless the new slide itself was evicted (MaxSlides < 1
 	// is rejected at construction when set).
+	// invariant: the slide inserted above survives eviction
 	panic("stream: slide lost after insertion")
 }
 

@@ -116,7 +116,10 @@ func TestApproxAccuracy(t *testing.T) {
 		if row.Aggs[0].StdErr <= 0 || row.Aggs[0].Support == 0 {
 			t.Fatalf("estimate missing uncertainty: %+v", row.Aggs[0])
 		}
-		lo, hi := row.Aggs[0].ConfidenceInterval(0.95)
+		lo, hi, err := row.Aggs[0].ConfidenceInterval(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if lo > got || hi < got {
 			t.Fatal("CI must contain the point estimate")
 		}
@@ -628,7 +631,10 @@ func TestErrorBoundResizing(t *testing.T) {
 		if a.StdErr == 0 {
 			continue
 		}
-		lo, hi := a.ConfidenceInterval(0.95)
+		lo, hi, err := a.ConfidenceInterval(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if (hi-lo)/2/a.Value > 0.031 {
 			t.Fatalf("bound not met after resize: half-width %.4f of value", (hi-lo)/2/a.Value)
 		}

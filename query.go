@@ -44,8 +44,9 @@ type AggValue struct {
 }
 
 // ConfidenceInterval returns the (lo, hi) interval at the given confidence
-// level (e.g. 0.95); exact values collapse to a point.
-func (a AggValue) ConfidenceInterval(confidence float64) (lo, hi float64) {
+// level (e.g. 0.95); exact values collapse to a point. A confidence level
+// outside (0,1) yields an error.
+func (a AggValue) ConfidenceInterval(confidence float64) (lo, hi float64, err error) {
 	return approx.Estimate{Value: a.Value, StdErr: a.StdErr}.ConfidenceInterval(confidence)
 }
 
@@ -274,7 +275,12 @@ func requiredK(res *Result, k int, target, confidence float64) int {
 				return 0
 			}
 			e := approx.Estimate{Value: a.Value, StdErr: a.StdErr}
-			bound := e.RelativeErrorBound(confidence)
+			bound, err := e.RelativeErrorBound(confidence)
+			if err != nil {
+				// Invalid confidence: no resize can help; the caller
+				// falls back to exact execution.
+				return 0
+			}
 			if ratio := bound / target; ratio > worst {
 				worst = ratio
 			}
@@ -404,7 +410,10 @@ func boundsMet(res *Result, bound, confidence float64) bool {
 				continue
 			}
 			e := approx.Estimate{Value: a.Value, StdErr: a.StdErr}
-			if e.RelativeErrorBound(confidence) > bound {
+			b, err := e.RelativeErrorBound(confidence)
+			if err != nil || b > bound {
+				// An invalid confidence level cannot certify the bound;
+				// report unmet so the caller falls back to exact.
 				return false
 			}
 		}

@@ -1,0 +1,150 @@
+// Package analysistest runs a laqy-vet analyzer against a golden testdata
+// package and checks its diagnostics against `// want` comments — the same
+// convention as golang.org/x/tools/go/analysis/analysistest, re-implemented
+// on the standard library.
+//
+// Expectation grammar: a line that should produce a diagnostic carries a
+// trailing comment of the form
+//
+//	// want `regexp`
+//	// want `regexp1` `regexp2`      (two diagnostics on one line)
+//
+// Each diagnostic reported on that line must match one (as yet unmatched)
+// regexp, and every regexp must be matched by exactly one diagnostic.
+// Lines without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"testing"
+
+	"laqy/tools/laqyvet/analysis"
+	"laqy/tools/laqyvet/load"
+)
+
+// TestData returns the absolute path of the shared laqy-vet testdata root
+// (tools/laqyvet/testdata), resolved relative to this source file so tests
+// work from any package directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		// invariant: runtime.Caller(0) always succeeds for in-tree tests.
+		panic("analysistest: cannot locate testdata")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "testdata")
+}
+
+// Run loads the package rooted at dir (a path under TestData, e.g.
+// "src/rngsource/a"), applies the analyzer, and reports any mismatch
+// between produced diagnostics and want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs := filepath.Join(TestData(), filepath.FromSlash(dir))
+	pkgs, err := load.Packages(abs, []string{"."})
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		runOne(t, a, pkg)
+	}
+}
+
+// expectation is one want-regexp with its location.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantRe     = regexp.MustCompile("// want((?: `[^`]*`)+)\\s*$")
+	wantPartRe = regexp.MustCompile("`([^`]*)`")
+)
+
+func runOne(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if a.NeedsTestFiles {
+		pass.TestFiles = pkg.TestFiles
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", a.Name, err)
+	}
+
+	// Collect expectations from every file the analyzer can see.
+	srcFiles := append([]*ast.File{}, pkg.Files...)
+	if a.NeedsTestFiles {
+		srcFiles = append(srcFiles, pkg.TestFiles...)
+	}
+	var expects []*expectation
+	for _, f := range srcFiles {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, part := range wantPartRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(part[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, part[1], err)
+					}
+					expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !match(expects, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// match consumes the first unmatched expectation on the diagnostic's line
+// whose regexp matches the message.
+func match(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.line != pos.Line || !samePath(e.file, pos.Filename) {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func samePath(a, b string) bool {
+	if a == b {
+		return true
+	}
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	return errA == nil && errB == nil && aa == bb
+}

@@ -1,0 +1,148 @@
+// Package errchecklite flags silently dropped error returns in library
+// code.
+//
+// AQP correctness bugs are statistical: an estimator fed by a call whose
+// error was ignored does not crash, it silently answers from a biased or
+// truncated sample (the failure mode VerdictDB-style verification exists
+// for). So library code may not drop errors implicitly:
+//
+//   - a call used as an expression statement (or `go`/`defer` call) whose
+//     result set includes an error is a finding;
+//   - the explicit opt-out is assignment to blank: `_ = f()` — visible,
+//     grep-able, reviewable;
+//   - `//laqy:allow errchecklite` on the line also suppresses, for cases
+//     where blanking every return is noisier than the annotation.
+//
+// Infallible writers are excluded: methods on strings.Builder and
+// bytes.Buffer are documented to never return a non-nil error, and
+// fmt.Fprint* directed at one of them can only fail through that writer —
+// flagging those would train people to write `_, _ =` noise.
+//
+// Scope: non-test files of non-main packages (commands and examples are
+// `package main` and exempt — their errors surface to the operator).
+package errchecklite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"laqy/tools/laqyvet/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errchecklite",
+	Doc:  "flag dropped error returns in library code (use `_ =` to opt out explicitly)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // commands and examples report errors to the operator
+	}
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var what string
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if c, ok := st.X.(*ast.CallExpr); ok {
+					call, what = c, "call"
+				}
+			case *ast.GoStmt:
+				call, what = st.Call, "go statement"
+			case *ast.DeferStmt:
+				call, what = st.Call, "deferred call"
+			}
+			if call == nil {
+				return true
+			}
+			if !returnsError(pass, call) {
+				return true
+			}
+			if infallibleWriter(pass, call) {
+				return true
+			}
+			if analysis.LineAllowed(pass.Fset, file, call.Pos(), "errchecklite") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s drops its error result; handle it or assign to _ explicitly", what)
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's result set includes an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// infallibleWriter reports whether the call is a method on strings.Builder
+// or bytes.Buffer, or an fmt.Fprint* whose writer argument is one of them.
+func infallibleWriter(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Fprint* into an infallible writer.
+	if pkgID, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			if len(call.Args) > 0 &&
+				(sel.Sel.Name == "Fprintf" || sel.Sel.Name == "Fprint" || sel.Sel.Name == "Fprintln") {
+				return isInfallibleWriterType(pass.TypesInfo.Types[call.Args[0]].Type)
+			}
+			return false
+		}
+	}
+	// Direct method call on an infallible writer.
+	return isInfallibleWriterType(pass.TypesInfo.Types[sel.X].Type)
+}
+
+// isInfallibleWriterType matches strings.Builder and bytes.Buffer (and
+// pointers to them).
+func isInfallibleWriterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is the built-in error interface (or a named
+// type whose underlying type is exactly it).
+func isErrorType(t types.Type) bool {
+	return types.Identical(t.Underlying(), errorType) || types.Implements(t, errorType) && types.IsInterface(t)
+}

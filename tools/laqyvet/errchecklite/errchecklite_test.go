@@ -1,0 +1,12 @@
+package errchecklite_test
+
+import (
+	"testing"
+
+	"laqy/tools/laqyvet/analysistest"
+	"laqy/tools/laqyvet/errchecklite"
+)
+
+func TestErrCheckLite(t *testing.T) {
+	analysistest.Run(t, errchecklite.Analyzer, "src/errchecklite/a")
+}

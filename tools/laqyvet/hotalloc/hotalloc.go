@@ -1,0 +1,295 @@
+// Package hotalloc polices allocations in the sampling hot paths.
+//
+// Functions marked with a `//laqy:hot` directive in their doc comment are
+// chunk-loop kernels: the paper's per-tuple admission-control and gather
+// loops whose throughput collapses if the iteration allocates. Inside a hot
+// function (including nested function literals) the analyzer flags:
+//
+//   - calls to the allocating fmt formatters (Sprintf, Errorf, Sprint, ...);
+//   - interface boxing: passing a concrete value where a parameter is an
+//     interface (each such argument may heap-allocate), and conversions of
+//     concrete values to interface types;
+//   - append to a local slice that provably has no pre-sized capacity
+//     (declared `var s []T`, `s := []T{}` or `s := make([]T, 0)`).
+//
+// Escapes:
+//
+//   - a statement guarded by `//laqy:allow hotalloc` (same line or the line
+//     above) is exempt — for cold validation prologues inside hot functions;
+//   - allocations inside the arguments of a panic(...) call are exempt when
+//     the panic carries an `// invariant:` comment (same line or the line
+//     above): invariant panics are cold by definition, but they must be
+//     labelled so the panic-audit policy (docs/STATIC_ANALYSIS.md) can
+//     distinguish them from reachable error paths.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"laqy/tools/laqyvet/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocations (fmt formatting, interface boxing, unsized append) in //laqy:hot functions",
+	Run:  run,
+}
+
+// HotDirective is the annotation that marks a function as a hot kernel.
+const HotDirective = "//laqy:hot"
+
+// fmtAllocators are the fmt functions that allocate on every call.
+var fmtAllocators = map[string]bool{
+	"Sprintf": true, "Errorf": true, "Sprint": true, "Sprintln": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHot(fn) {
+				continue
+			}
+			c := &checker{pass: pass, file: f}
+			c.collectUnsizedLocals(fn.Body)
+			c.stmts(fn.Body.List, false)
+		}
+	}
+	return nil
+}
+
+// isHot reports whether the function's doc comment carries //laqy:hot.
+func isHot(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == HotDirective || strings.HasPrefix(c.Text, HotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checker walks one hot function.
+type checker struct {
+	pass *analysis.Pass
+	file *ast.File
+	// unsized holds local slice variables declared with provably zero
+	// capacity; append to them inside the kernel reallocates.
+	unsized map[types.Object]bool
+}
+
+// collectUnsizedLocals records locals declared without capacity:
+// `var s []T`, `s := []T{}`, `s := make([]T, 0)` (no cap argument).
+func (c *checker) collectUnsizedLocals(body *ast.BlockStmt) {
+	c.unsized = make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				if _, ok := vs.Type.(*ast.ArrayType); !ok {
+					continue
+				}
+				if at := vs.Type.(*ast.ArrayType); at.Len != nil {
+					continue // fixed-size array, not a slice
+				}
+				for _, name := range vs.Names {
+					if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+						c.unsized[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					continue // not a definition (plain assignment)
+				}
+				if zeroCapSliceExpr(st.Rhs[i]) {
+					c.unsized[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// zeroCapSliceExpr reports whether e provably builds a zero-capacity slice.
+func zeroCapSliceExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		at, ok := v.Type.(*ast.ArrayType)
+		return ok && at.Len == nil && len(v.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := v.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(v.Args) != 2 {
+			return false
+		}
+		at, ok := v.Args[0].(*ast.ArrayType)
+		if !ok || at.Len != nil {
+			return false
+		}
+		lit, ok := v.Args[1].(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	}
+	return false
+}
+
+// stmts walks a statement list; inPanic tracks whether the walk is inside
+// the arguments of an invariant-annotated panic call.
+func (c *checker) stmts(list []ast.Stmt, inPanic bool) {
+	for _, s := range list {
+		c.node(s, inPanic)
+	}
+}
+
+func (c *checker) node(n ast.Node, inExemptPanic bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPanic(call) {
+			// Descend into panic args with the exemption resolved at the
+			// panic site: an // invariant: comment marks it cold.
+			exempt := inExemptPanic || c.hasInvariantComment(call)
+			for _, a := range call.Args {
+				c.node(a, exempt)
+			}
+			return false
+		}
+		c.checkCall(call, inExemptPanic)
+		return true
+	})
+}
+
+// isPanic reports whether call is the builtin panic.
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// hasInvariantComment reports an `// invariant:` comment on the panic
+// call's line or the line above.
+func (c *checker) hasInvariantComment(call *ast.CallExpr) bool {
+	line := c.pass.Fset.Position(call.Pos()).Line
+	for _, cg := range c.file.Comments {
+		for _, cm := range cg.List {
+			cl := c.pass.Fset.Position(cm.Pos()).Line
+			if cl != line && cl != line-1 {
+				continue
+			}
+			if strings.Contains(cm.Text, "invariant:") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, inExemptPanic bool) {
+	if inExemptPanic {
+		return
+	}
+	if analysis.LineAllowed(c.pass.Fset, c.file, call.Pos(), "hotalloc") {
+		return
+	}
+
+	// append to a provably unsized local.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		obj := c.pass.TypesInfo.Uses[id]
+		_, isBuiltin := obj.(*types.Builtin)
+		if isBuiltin || obj == nil {
+			if target, ok := call.Args[0].(*ast.Ident); ok {
+				if tobj := c.pass.TypesInfo.Uses[target]; tobj != nil && c.unsized[tobj] {
+					c.pass.Reportf(call.Pos(),
+						"append to %s, a local slice with no pre-sized capacity, inside a //laqy:hot function", target.Name)
+				}
+			}
+		}
+		return
+	}
+
+	// fmt formatter calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkgID, ok := sel.X.(*ast.Ident); ok {
+			if obj, ok := c.pass.TypesInfo.Uses[pkgID].(*types.PkgName); ok &&
+				obj.Imported().Path() == "fmt" && fmtAllocators[sel.Sel.Name] {
+				c.pass.Reportf(call.Pos(),
+					"fmt.%s allocates inside a //laqy:hot function", sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Interface boxing: conversions to interface types and concrete
+	// arguments bound to interface parameters.
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !isInterfaceOrNil(c.pass, call.Args[0]) {
+			c.pass.Reportf(call.Pos(),
+				"conversion to interface type %s boxes its operand inside a //laqy:hot function", types.TypeString(tv.Type, nil))
+		}
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && !isInterfaceOrNil(c.pass, arg) {
+			c.pass.Reportf(arg.Pos(),
+				"argument boxes a concrete value into interface parameter %d inside a //laqy:hot function", i)
+		}
+	}
+}
+
+// isInterfaceOrNil reports whether the argument expression is already an
+// interface value (no boxing) or the untyped nil.
+func isInterfaceOrNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return true // be conservative: unknown type, do not flag
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	return types.IsInterface(tv.Type)
+}

@@ -1,0 +1,33 @@
+// Package laqyvet assembles the project's static-analysis suite: four
+// analyzers enforcing the invariants the paper's correctness and
+// performance claims rest on but the compiler cannot check. See
+// docs/STATIC_ANALYSIS.md for the full policy and annotation grammar.
+package laqyvet
+
+import (
+	"laqy/tools/laqyvet/analysis"
+	"laqy/tools/laqyvet/errchecklite"
+	"laqy/tools/laqyvet/hotalloc"
+	"laqy/tools/laqyvet/mergesync"
+	"laqy/tools/laqyvet/rngsource"
+)
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		errchecklite.Analyzer,
+		hotalloc.Analyzer,
+		mergesync.Analyzer,
+		rngsource.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

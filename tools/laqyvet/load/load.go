@@ -1,0 +1,212 @@
+// Package load turns `go list` package patterns into parsed, type-checked
+// packages for laqy-vet's analyzers — a minimal, standard-library-only
+// replacement for golang.org/x/tools/go/packages.
+//
+// Loading works in two `go list` invocations:
+//
+//  1. `go list -json <patterns>` enumerates the target packages (the ones
+//     the analyzers will inspect) with their source file lists;
+//  2. `go list -export -deps -json <patterns>` resolves every transitive
+//     dependency to an up-to-date export-data file in the build cache.
+//
+// Target packages are then parsed from source and type-checked with the
+// standard gc importer reading dependency types from the export files, so
+// no dependency is ever re-type-checked from source. This is the same
+// strategy the upstream packages driver uses in its fastest mode.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Name is the package name (`main`, `engine`, ...).
+	Name string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset is the shared file set for all files of the load.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, in GoFiles order.
+	Files []*ast.File
+	// TestFiles are the parsed _test.go files (internal + external test
+	// packages), syntax only — they are not type-checked.
+	TestFiles []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo records the type-checker's facts for Files.
+	TypesInfo *types.Info
+}
+
+// listEntry mirrors the subset of `go list -json` output we consume.
+type listEntry struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	Export       string
+	Standard     bool
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// goList runs `go list` with the given flags and patterns in dir and
+// decodes the JSON object stream.
+func goList(dir string, flags []string, patterns []string) ([]*listEntry, error) {
+	args := append([]string{"list"}, flags...)
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	var out []*listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		e := new(listEntry)
+		if err := dec.Decode(e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Packages loads and type-checks the packages matching patterns, resolved
+// relative to dir ("" for the current directory). Test files are parsed but
+// not type-checked.
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	targets, err := goList(dir, []string{"-json"}, patterns)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, []string{"-export", "-deps", "-json"}, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("load: package %s uses cgo (unsupported)", t.ImportPath)
+		}
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// check parses and type-checks one target package.
+func check(fset *token.FileSet, imp types.Importer, t *listEntry) (*Package, error) {
+	parse := func(names []string) ([]*ast.File, error) {
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
+			path := filepath.Join(t.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	files, err := parse(t.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	testNames := append(append([]string(nil), t.TestGoFiles...), t.XTestGoFiles...)
+	testFiles, err := parse(testNames)
+	if err != nil {
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(t.ImportPath, fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", t.ImportPath, firstErr)
+	}
+	return &Package{
+		Path:      t.ImportPath,
+		Name:      t.Name,
+		Dir:       t.Dir,
+		Fset:      fset,
+		Files:     files,
+		TestFiles: testFiles,
+		Types:     pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// newExportImporter returns a types.Importer that reads dependency types
+// from the export-data files `go list -export` reported.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

@@ -1,0 +1,59 @@
+package load
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// TestPackagesTypeChecks loads a real module package through the export-data
+// importer and asserts full type information is available.
+func TestPackagesTypeChecks(t *testing.T) {
+	pkgs, err := Packages("", []string{"laqy/internal/engine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "laqy/internal/engine" || p.Name != "engine" {
+		t.Fatalf("unexpected package identity: %q %q", p.Path, p.Name)
+	}
+	if len(p.Files) == 0 {
+		t.Fatal("no source files")
+	}
+	if len(p.TestFiles) == 0 {
+		t.Fatal("test files not parsed")
+	}
+	// Every used identifier in non-test files should resolve to an object —
+	// the signal that cross-package imports (sample, storage, rng, fmt, ...)
+	// were loaded from export data.
+	resolved := 0
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if p.TypesInfo.Uses[id] != nil || p.TypesInfo.Defs[id] != nil {
+					resolved++
+				}
+			}
+			return true
+		})
+	}
+	if resolved < 100 {
+		t.Fatalf("suspiciously few resolved identifiers: %d", resolved)
+	}
+}
+
+// TestPackagesMultiple loads several packages in one call.
+func TestPackagesMultiple(t *testing.T) {
+	pkgs, err := Packages("", []string{"laqy/internal/rng", "laqy/internal/algebra"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+	if pkgs[0].Path != "laqy/internal/algebra" || pkgs[1].Path != "laqy/internal/rng" {
+		t.Fatalf("unexpected order: %s, %s", pkgs[0].Path, pkgs[1].Path)
+	}
+}

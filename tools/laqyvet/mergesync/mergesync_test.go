@@ -1,0 +1,12 @@
+package mergesync_test
+
+import (
+	"testing"
+
+	"laqy/tools/laqyvet/analysistest"
+	"laqy/tools/laqyvet/mergesync"
+)
+
+func TestMergeSync(t *testing.T) {
+	analysistest.Run(t, mergesync.Analyzer, "src/mergesync/a")
+}

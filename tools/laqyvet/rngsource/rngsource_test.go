@@ -1,0 +1,12 @@
+package rngsource_test
+
+import (
+	"testing"
+
+	"laqy/tools/laqyvet/analysistest"
+	"laqy/tools/laqyvet/rngsource"
+)
+
+func TestRngSource(t *testing.T) {
+	analysistest.Run(t, rngsource.Analyzer, "src/rngsource/a")
+}

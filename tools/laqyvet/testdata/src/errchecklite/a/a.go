@@ -1,0 +1,33 @@
+// Package a is errchecklite golden testdata: dropped and handled errors.
+package a
+
+import "errors"
+
+// Flush pretends to persist something.
+func Flush() error { return errors.New("disk full") }
+
+// Write pretends to write and reports progress plus an error.
+func Write(p []byte) (int, error) { return 0, errors.New("short write") }
+
+// Closer mimics io.Closer for the deferred-call case.
+type Closer struct{}
+
+// Close implements the usual signature.
+func (Closer) Close() error { return nil }
+
+// Process exercises every dropped-error shape.
+func Process(data []byte) int {
+	Flush()     // want `call drops its error result`
+	Write(data) // want `call drops its error result`
+	var c Closer
+	defer c.Close() // want `deferred call drops its error result`
+	go Flush()      // want `go statement drops its error result`
+
+	_ = Flush()           // explicit opt-out: no finding
+	n, err := Write(data) // handled: no finding
+	if err != nil {
+		return 0
+	}
+	Flush() //laqy:allow errchecklite fire-and-forget cache warmup
+	return n
+}

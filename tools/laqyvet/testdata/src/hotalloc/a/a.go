@@ -1,0 +1,57 @@
+// Package a is hotalloc golden testdata: allocation patterns inside and
+// outside //laqy:hot kernels.
+package a
+
+import "fmt"
+
+// Sink is an interface parameter target for boxing checks.
+type Sink interface{ Put(v interface{}) }
+
+// Kernel is a hot chunk loop with every allocation class the analyzer
+// flags.
+//
+//laqy:hot
+func Kernel(rows []int64, s Sink) string {
+	var acc []int64 // unsized local
+	out := ""
+	for i, v := range rows {
+		acc = append(acc, v)               // want `append to acc, a local slice with no pre-sized capacity`
+		out = fmt.Sprintf("%s,%d", out, v) // want `fmt.Sprintf allocates inside a //laqy:hot function`
+		s.Put(i)                           // want `argument boxes a concrete value into interface parameter 0`
+	}
+	return out
+}
+
+// KernelBoxed demonstrates the interface-conversion form of boxing.
+//
+//laqy:hot
+func KernelBoxed(v int) interface{} {
+	return interface{}(v) // want `conversion to interface type interface\{\} boxes its operand`
+}
+
+// KernelClean is hot but allocation-free: pre-sized locals, invariant
+// panic, and an allowlisted cold prologue.
+//
+//laqy:hot
+func KernelClean(rows []int64, width int) []int64 {
+	if width <= 0 {
+		// invariant: callers validate width at construction time.
+		panic(fmt.Sprintf("hotalloc testdata: width %d", width))
+	}
+	err := fmt.Errorf("cold prologue %d", width) //laqy:allow hotalloc cold validation path
+	_ = err
+	acc := make([]int64, 0, len(rows))
+	for _, v := range rows {
+		acc = append(acc, v) // pre-sized: no finding
+	}
+	return acc
+}
+
+// Cold is NOT annotated: nothing is flagged even though it allocates.
+func Cold(rows []int64) string {
+	var acc []int64
+	for _, v := range rows {
+		acc = append(acc, v)
+	}
+	return fmt.Sprintf("%v", acc)
+}

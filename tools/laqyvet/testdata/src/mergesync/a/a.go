@@ -1,0 +1,64 @@
+// Package a is mergesync golden testdata: worker goroutines touching
+// shared state legally and illegally.
+package a
+
+import "sync"
+
+// Run spawns workers over shared accumulators.
+func Run(workers int) (int, []int) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		total    int
+		partials = make([]int, workers)
+		shared   int
+	)
+	flags := make(map[string]bool)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < 100; i++ {
+				local += i
+			}
+			partials[w] = local  // worker-slot write: no finding
+			partials[0] = local  // want `write to shared slice/map "partials" from a worker goroutine with a non-worker-slot index`
+			shared += local      // want `write to shared variable "shared" from a worker goroutine outside the merge phase`
+			flags["done"] = true // want `write to shared slice/map "flags" from a worker goroutine with a non-worker-slot index`
+
+			mu.Lock()
+			total += local // lock-guarded: no finding
+			mu.Unlock()
+
+			total++ // want `write to shared variable "total" from a worker goroutine outside the merge phase`
+		}(w)
+	}
+	wg.Wait()
+	return total, partials
+}
+
+// RunDeferred shows the deferred-unlock idiom and the line suppression.
+func RunDeferred(n int) int {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int
+		last  int
+	)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			total += w // locked to return: no finding
+			if w == n-1 {
+				total *= 2 // still under the deferred unlock: no finding
+			}
+			last = w //laqy:allow mergesync final writer wins by design here
+		}(w)
+	}
+	wg.Wait()
+	return total + last
+}

@@ -1,0 +1,17 @@
+// Package a is rngsource golden testdata: library code reaching for the
+// standard library's RNGs instead of laqy/internal/rng.
+package a
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand is forbidden`
+	"fmt"
+	mrand "math/rand" // want `import of math/rand is forbidden`
+	v2 "math/rand/v2" // want `import of math/rand/v2 is forbidden`
+)
+
+// Roll draws from three forbidden generators.
+func Roll() string {
+	var buf [4]byte
+	_, _ = crand.Read(buf[:])
+	return fmt.Sprintf("%d %d %v", mrand.Int63(), v2.Int64(), buf)
+}

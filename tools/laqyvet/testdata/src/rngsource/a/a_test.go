@@ -1,0 +1,12 @@
+package a
+
+import (
+	"math/rand" // want `import of math/rand in a test file without //laqy:allow rngsource`
+	"testing"
+)
+
+func TestRoll(t *testing.T) {
+	if rand.Intn(2) == 2 {
+		t.Fatal("impossible")
+	}
+}

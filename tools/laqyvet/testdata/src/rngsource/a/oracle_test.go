@@ -1,0 +1,16 @@
+//laqy:allow rngsource this oracle test deliberately compares against an
+// independent PRNG stream; the annotation allowlists the whole file.
+
+package a
+
+import (
+	"math/rand" // no finding: file-level allow above
+	"testing"
+)
+
+func TestOracle(t *testing.T) {
+	oracle := rand.New(rand.NewSource(1))
+	if oracle.Intn(10) < 0 {
+		t.Fatal("oracle out of range")
+	}
+}
