@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet laqy-vet race fuzz-smoke bench clean
+.PHONY: all build test lint vet laqy-vet race faults fuzz-smoke bench clean
 
 all: build lint test
 
@@ -30,13 +30,21 @@ laqy-vet:
 race:
 	CGO_ENABLED=1 $(GO) test -race -short ./...
 
-# Bounded fuzz smoke: each target gets FUZZTIME/3 on top of the committed
+# The durability gate: the fault-injection filesystem model, the
+# crash-at-every-syscall replay of SaveFile, and the salvage/bit-flip
+# suites (docs/DURABILITY.md).
+faults:
+	$(GO) test -count=1 ./internal/iofault
+	$(GO) test -count=1 -run 'TestCrash|TestSaveFile|TestConcurrentSaveFiles|TestSalvage|TestEveryBitFlip|TestLoadRejects|TestLoadV1' ./internal/store
+
+# Bounded fuzz smoke: each target gets FUZZTIME on top of the committed
 # seed corpora under testdata/fuzz/. Continuous fuzzing: raise FUZZTIME or
 # run `go test -fuzz <Target>` directly.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sql
 	$(GO) test -fuzz=FuzzPlan -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sql
 	$(GO) test -fuzz=FuzzSetAlgebra -fuzztime=$(FUZZTIME) -run '^$$' ./internal/algebra
+	$(GO) test -fuzz=FuzzStoreLoad -fuzztime=$(FUZZTIME) -run '^$$' ./internal/store
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .

@@ -9,7 +9,7 @@
 // with a wider BETWEEN range on lo_intkey and watch the mode switch from
 // "online" to "partial" (Δ-sample only) to "offline" (no scan at all).
 //
-// Meta commands: \tables, \stats, \clear, \help, \q
+// Meta commands: \tables, \stats, \samples, \clear, \save, \load, \help, \q
 package main
 
 import (
@@ -129,9 +129,33 @@ func meta(db *laqy.DB, line string) bool {
 	case `\clear`:
 		db.ClearSamples()
 		fmt.Println("  sample store cleared.")
+	case `\save`:
+		if len(fields) < 2 {
+			fmt.Println(`  usage: \save <path>`)
+			return true
+		}
+		if err := db.SaveSamples(fields[1]); err != nil {
+			fmt.Println("  error:", err)
+			return true
+		}
+		fmt.Printf("  sample store saved to %s (crash-safe: checksummed + fsynced).\n", fields[1])
+	case `\load`:
+		if len(fields) < 2 {
+			fmt.Println(`  usage: \load <path>`)
+			return true
+		}
+		// LoadSamples salvages around damaged entries (warnings go to the
+		// standard logger); only an unreadable file errors out.
+		if err := db.LoadSamples(fields[1]); err != nil {
+			fmt.Println("  error:", err)
+			return true
+		}
+		s := db.SampleStoreStats()
+		fmt.Printf("  sample store loaded from %s (%d samples cached).\n", fields[1], s.Samples)
 	case `\help`:
-		fmt.Println(`  \tables   list tables    \d <t>  describe table  \stats  store stats`)
-		fmt.Println(`  \samples  list samples   \clear  drop samples    \q      quit`)
+		fmt.Println(`  \tables   list tables    \d <t>      describe table   \stats  store stats`)
+		fmt.Println(`  \samples  list samples   \clear      drop samples     \q      quit`)
+		fmt.Println(`  \save <path>  persist samples (durable)   \load <path>  restore samples`)
 	default:
 		fmt.Println("  unknown command; try \\help")
 	}

@@ -98,10 +98,20 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 	start := time.Now()
 
 	var wg sync.WaitGroup
+	workerErrs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Panic isolation: a poisoned chunk (kernel bug, corrupt
+			// column) fails this query through the normal error path —
+			// with the stack captured — instead of killing the process.
+			// Worker-slot write: each goroutine owns workerErrs[w].
+			defer func() {
+				if r := recover(); r != nil {
+					workerErrs[w] = panicError("morsel worker", r)
+				}
+			}()
 			sink := sinks[w]
 			sel := make([]int32, 0, storage.DefaultMorselSize)
 			dimRows := make([][]int32, len(joinTables))
@@ -149,6 +159,9 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 		}(w)
 	}
 	wg.Wait()
+	if err := firstError(workerErrs); err != nil {
+		return Stats{}, err
+	}
 	if canceled.Load() {
 		return Stats{}, q.Ctx.Err()
 	}
@@ -225,6 +238,12 @@ func RunStratifiedExprs(q *Query, exprs []ColumnExpr, qcsWidth, k int, seed uint
 	return merged, stats, nil
 }
 
+// mergeStratifiedFn is the pairwise merge used by treeMergeStratified.
+// It is a variable only as a test seam: the panic-isolation suite swaps
+// in a panicking merge to prove the recover path converts it to an error
+// (the real merge's panics are all unreachable-invariant checks).
+var mergeStratifiedFn = sample.MergeStratified
+
 // treeMergeStratified folds per-worker partial samples pairwise in
 // parallel (log-depth), the exchange-collection step of the paper's §6.3:
 // reservoirs carry their full state, so partials merge independently.
@@ -244,14 +263,20 @@ func treeMergeStratified(partials []*sample.Stratified, gen *rng.Lehmer64) (*sam
 			wg.Add(1)
 			go func(i, j int, g *rng.Lehmer64) {
 				defer wg.Done()
-				next[i], errs[i] = sample.MergeStratified(partials[i], partials[j], g)
+				// Panic isolation for the exchange step: a poisoned
+				// partial fails this query's merge, not the process.
+				// Worker-slot write: each goroutine owns errs[i].
+				defer func() {
+					if r := recover(); r != nil {
+						errs[i] = panicError("sample merge", r)
+					}
+				}()
+				next[i], errs[i] = mergeStratifiedFn(partials[i], partials[j], g)
 			}(i, j, gen.Split(round<<32|uint64(i)))
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+		if err := firstError(errs); err != nil {
+			return nil, err
 		}
 		partials = next
 		round++

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"laqy/internal/rng"
+	"laqy/internal/sample"
+)
+
+// panicSink is a rowSink poisoned to blow up mid-pipeline, standing in
+// for a buggy kernel or a corrupted column chunk.
+type panicSink struct{ calls int }
+
+func (s *panicSink) consume(cols [][]int64, n int) {
+	s.calls++
+	panic("poisoned sink kernel: deliberate test explosion")
+}
+
+// TestWorkerPanicFailsQueryNotProcess: a panic inside a morsel worker
+// must surface as that query's error — message and stack included — while
+// the process and subsequent queries keep working.
+func TestWorkerPanicFailsQueryNotProcess(t *testing.T) {
+	fact := buildFact(20000, 4, 10)
+	q := &Query{Fact: fact}
+	const workers = 4
+	sinks := make([]rowSink, workers)
+	for w := range sinks {
+		sinks[w] = &panicSink{}
+	}
+	_, err := runPipeline(q, Cols(sample.Schema{"f_group", "f_val"}), workers, sinks)
+	if err == nil {
+		t.Fatal("a panicking sink must fail the query")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "poisoned sink kernel") {
+		t.Fatalf("error %q does not carry the panic message", msg)
+	}
+	if !strings.Contains(msg, "morsel worker") {
+		t.Fatalf("error %q does not name the panicking component", msg)
+	}
+	if !strings.Contains(msg, "recover_test.go") {
+		t.Fatalf("error does not carry a stack trace:\n%s", msg)
+	}
+
+	// The engine is still fully functional: the same query shape runs
+	// cleanly with healthy sinks afterwards.
+	sam, _, err := RunStratified(&Query{Fact: fact}, sample.Schema{"f_group", "f_val"}, 1, 16, 1, workers)
+	if err != nil {
+		t.Fatalf("query after a panic-failed query: %v", err)
+	}
+	if sam.TotalWeight() != 20000 {
+		t.Fatalf("post-panic query weight = %v", sam.TotalWeight())
+	}
+}
+
+// TestMergePanicFailsQueryNotProcess: a panic in the parallel exchange
+// (tree merge) step is likewise converted into an error. The real merge
+// only panics on unreachable invariants, so the test swaps the merge
+// function through its seam.
+func TestMergePanicFailsQueryNotProcess(t *testing.T) {
+	gen := rng.NewLehmer64(1)
+	schema := sample.Schema{"g", "v"}
+	healthy := func(seed uint64) *sample.Stratified {
+		s := sample.NewStratified(schema, 1, 8, rng.NewLehmer64(seed))
+		s.Consider([]int64{1, 2})
+		return s
+	}
+	orig := mergeStratifiedFn
+	defer func() { mergeStratifiedFn = orig }()
+	mergeStratifiedFn = func(a, b *sample.Stratified, g *rng.Lehmer64) (*sample.Stratified, error) {
+		panic("poisoned merge: deliberate test explosion")
+	}
+	partials := []*sample.Stratified{healthy(1), healthy(2), healthy(3), healthy(4)}
+	_, err := treeMergeStratified(partials, gen)
+	if err == nil {
+		t.Fatal("a panicking merge must fail the query")
+	}
+	if !strings.Contains(err.Error(), "sample merge") || !strings.Contains(err.Error(), "poisoned merge") {
+		t.Fatalf("error %q does not name the merge step and panic", err)
+	}
+
+	// With the real merge restored, the same partials merge cleanly: the
+	// panic poisoned one query, not the engine.
+	mergeStratifiedFn = orig
+	merged, err := treeMergeStratified(
+		[]*sample.Stratified{healthy(4), healthy(5), healthy(6)}, gen)
+	if err != nil {
+		t.Fatalf("merge after a panic-failed merge: %v", err)
+	}
+	if merged.TotalWeight() != 3 {
+		t.Fatalf("post-panic merge weight = %v", merged.TotalWeight())
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if err := firstError(nil); err != nil {
+		t.Fatalf("firstError(nil) = %v", err)
+	}
+	if err := firstError([]error{nil, nil}); err != nil {
+		t.Fatalf("firstError(all nil) = %v", err)
+	}
+	want := errors.New("second")
+	if err := firstError([]error{nil, want, errors.New("third")}); err != want {
+		t.Fatalf("firstError = %v, want %v", err, want)
+	}
+}

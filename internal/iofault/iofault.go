@@ -1,0 +1,98 @@
+// Package iofault abstracts the filesystem syscalls behind the sample
+// store's durability path — create-temp, write, fsync, close, rename,
+// remove, and parent-directory fsync — so that tests can interpose faults
+// at every one of them.
+//
+// Production code uses the passthrough OS implementation. Tests use MemFS,
+// an in-memory filesystem with explicit page-cache semantics: writes land
+// in a volatile cache and reach the "disk" only on Sync; directory
+// operations (create, rename, remove) become durable only when the parent
+// directory is synced. A simulated crash discards everything volatile,
+// which is exactly the adversarial model a crash-safe save protocol must
+// survive: data not fsynced may be lost, renames not followed by a
+// directory sync may be lost, and a rename that *did* persist exposes
+// whatever file content was durable at that moment.
+//
+// On top of the crash model, MemFS injects targeted faults at controllable
+// call counts: short/torn writes at byte N, single-bit flips, ENOSPC,
+// failed Sync and failed Rename — the fault classes real filesystems
+// exhibit under power loss and disk pressure.
+package iofault
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the store's persistence path needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's written data to stable storage.
+	Sync() error
+	// Name returns the path the file was opened or created under.
+	Name() string
+}
+
+// FS is the filesystem surface of the store's save/load protocol. All
+// implementations must make Rename atomic with respect to concurrent
+// Opens: readers see either the old or the new file, never a mixture.
+type FS interface {
+	// CreateTemp creates a new unique temporary file in dir (pattern as in
+	// os.CreateTemp), open for writing.
+	CreateTemp(dir, pattern string) (File, error)
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making completed entry
+	// operations (creates, renames, removes) durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a thin passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	// Some filesystems (and some platforms) do not support fsync on a
+	// directory handle; the rename is still atomic there, just not
+	// durably ordered. Treat "not supported" as best-effort success.
+	if err != nil && (errors.Is(err, errors.ErrUnsupported) || errors.Is(err, os.ErrInvalid)) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,263 @@
+package iofault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeAll is a tiny save protocol used to exercise the model: create a
+// temp file, write data, optionally sync file and dir, rename into place.
+func writeAll(t *testing.T, fs FS, dir, name string, data []byte, syncFile, syncDir bool) error {
+	t.Helper()
+	f, err := fs.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if syncFile {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(f.Name(), filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	if syncDir {
+		return fs.SyncDir(dir)
+	}
+	return nil
+}
+
+func readAll(t *testing.T, fs FS, name string) ([]byte, error) {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+func TestMemFSReadBack(t *testing.T) {
+	fs := NewMem()
+	if err := writeAll(t, fs, "/d", "a", []byte("hello"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, fs, "/d/a")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// The temp file is gone from the cached directory after the rename.
+	if names := fs.CacheNames(); len(names) != 1 || names[0] != "/d/a" {
+		t.Fatalf("cache names = %v", names)
+	}
+}
+
+func TestMemFSCrashDropsUnsynced(t *testing.T) {
+	// No file sync, no dir sync: nothing survives the crash.
+	fs := NewMem()
+	if err := writeAll(t, fs, "/d", "a", []byte("hello"), false, false); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	fs.Recover()
+	if _, err := readAll(t, fs, "/d/a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unsynced file survived the crash: %v", err)
+	}
+}
+
+func TestMemFSDirSyncWithoutFileSyncExposesTornContent(t *testing.T) {
+	// The classic rename-without-fsync bug: the directory entry is made
+	// durable but the file's data never was — after a crash the name
+	// exists with empty content. The model must reproduce it, because the
+	// store's crash-consistency suite exists to prove SaveFile avoids it.
+	fs := NewMem()
+	if err := writeAll(t, fs, "/d", "a", []byte("hello"), false, true); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	fs.Recover()
+	got, err := readAll(t, fs, "/d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("un-fsynced content %q survived the crash; the adversarial model must drop it", got)
+	}
+}
+
+func TestMemFSRenameNotDurableWithoutDirSync(t *testing.T) {
+	fs := NewMem()
+	if err := writeAll(t, fs, "/d", "a", []byte("v1"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with v2 but crash before the directory sync: the rename
+	// is lost and v1 must still be there.
+	if err := writeAll(t, fs, "/d", "a", []byte("v2"), true, false); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	fs.Recover()
+	got, err := readAll(t, fs, "/d/a")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("after crash: %q, %v; want the previous version", got, err)
+	}
+}
+
+func TestMemFSFullProtocolSurvivesCrash(t *testing.T) {
+	fs := NewMem()
+	if err := writeAll(t, fs, "/d", "a", []byte("v1"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAll(t, fs, "/d", "a", []byte("v2"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	fs.Recover()
+	got, err := readAll(t, fs, "/d/a")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("after crash: %q, %v; want v2", got, err)
+	}
+}
+
+func TestMemFSFaultInjection(t *testing.T) {
+	boom := errors.New("boom")
+
+	t.Run("fail sync", func(t *testing.T) {
+		fs := NewMem()
+		fs.FailAt(OpSync, 0, boom)
+		err := writeAll(t, fs, "/d", "a", []byte("x"), true, true)
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("fail rename", func(t *testing.T) {
+		fs := NewMem()
+		fs.FailAt(OpRename, 0, boom)
+		err := writeAll(t, fs, "/d", "a", []byte("x"), true, true)
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("enospc write", func(t *testing.T) {
+		fs := NewMem()
+		fs.FailAt(OpWrite, 0, ErrNoSpace)
+		err := writeAll(t, fs, "/d", "a", []byte("x"), true, true)
+		if !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("torn write", func(t *testing.T) {
+		fs := NewMem()
+		fs.TornWriteAt(0, 2, ErrNoSpace)
+		f, err := fs.CreateTemp("/d", "t-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := f.Write([]byte("hello"))
+		if n != 2 || !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("torn write: n=%d err=%v", n, err)
+		}
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		fs := NewMem()
+		fs.FlipBitAt(0, 0) // first bit of the first write
+		if err := writeAll(t, fs, "/d", "a", []byte{0x00, 0xFF}, true, true); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readAll(t, fs, "/d/a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 0x01 || got[1] != 0xFF {
+			t.Fatalf("bit flip not applied: % x", got)
+		}
+	})
+}
+
+func TestMemFSCrashAtSeqAndClone(t *testing.T) {
+	// Baseline with a durable v1.
+	base := NewMem()
+	if err := writeAll(t, base, "/d", "a", []byte("v1"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	// Count the ops of a full overwrite.
+	probe := base.Clone()
+	if err := writeAll(t, probe, "/d", "a", []byte("v2"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Seq()
+	if total == 0 {
+		t.Fatal("no ops counted")
+	}
+	sawOld, sawNew := false, false
+	for i := 0; i <= total; i++ {
+		fs := base.Clone()
+		fs.CrashAtSeq(i)
+		err := writeAll(t, fs, "/d", "a", []byte("v2"), true, true)
+		if i < total && !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash point %d: err = %v", i, err)
+		}
+		fs.Recover()
+		got, rerr := readAll(t, fs, "/d/a")
+		if rerr != nil {
+			t.Fatalf("crash point %d: read: %v", i, rerr)
+		}
+		switch string(got) {
+		case "v1":
+			sawOld = true
+		case "v2":
+			sawNew = true
+		default:
+			t.Fatalf("crash point %d: torn content %q", i, got)
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Fatalf("replay did not exercise both outcomes (old=%v new=%v)", sawOld, sawNew)
+	}
+	// Clones are independent: the baseline still holds v1.
+	got, err := readAll(t, base, "/d/a")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("baseline mutated: %q, %v", got, err)
+	}
+}
+
+func TestMemFSTempNamesAreUnique(t *testing.T) {
+	fs := NewMem()
+	a, err := fs.CreateTemp("/d", "s.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.CreateTemp("/d", "s.tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() == b.Name() {
+		t.Fatalf("temp name collision: %s", a.Name())
+	}
+}
+
+func TestOSFSRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeAll(t, OS, dir, "a", []byte("hello"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, OS, filepath.Join(dir, "a"))
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := OS.Remove(filepath.Join(dir, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Open(filepath.Join(dir, "a")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("file survived Remove: %v", err)
+	}
+}

@@ -1,0 +1,319 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"laqy/internal/algebra"
+	"laqy/internal/iofault"
+)
+
+// bigStore builds a store whose serialization exceeds the save path's
+// 1 MiB buffer, so a save issues several write syscalls and the torn-write
+// fault points land mid-stream.
+func bigStore(t *testing.T, seed uint64) *Store {
+	t.Helper()
+	s := New(0)
+	if _, err := s.Put(Meta{
+		Input:     "lineorder",
+		Predicate: algebra.NewPredicate().WithRange("key", 0, 99999),
+		Schema:    testSchema, QCSWidth: 1, K: 20000,
+	}, makeSample(seed, testSchema, 1, 20000, 100000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(Meta{
+		Input:     "lineorder",
+		Predicate: algebra.NewPredicate().WithRange("key", 200000, 299999),
+		Schema:    testSchema, QCSWidth: 1, K: 50,
+	}, makeSample(seed+1, testSchema, 1, 50, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// saveBytes renders a store's canonical v2 serialization (Save is
+// deterministic: entries in insertion order, strata in sorted-key order).
+func saveBytes(t *testing.T, s *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// readDisk reads the named file from the (possibly recovered) fs.
+func readDisk(t *testing.T, fs iofault.FS, name string) ([]byte, error) {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	return io.ReadAll(f)
+}
+
+const crashPath = "/data/samples.laqy"
+
+// seedOldState installs store old's serialization as the fully durable
+// previous session's file.
+func seedOldState(t *testing.T, old *Store) (*iofault.MemFS, []byte) {
+	t.Helper()
+	fs := iofault.NewMem()
+	if err := old.SaveFileFS(fs, crashPath); err != nil {
+		t.Fatal(err)
+	}
+	oldBytes, err := readDisk(t, fs, crashPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, oldBytes
+}
+
+// TestCrashAtEverySyscall is the central crash-consistency property: for a
+// crash at every filesystem operation of SaveFile — create, each write,
+// fsync, close, rename, directory fsync — the on-disk file afterwards is
+// either the complete previous store or the complete new store, and loads
+// cleanly. Never a torn state, never an error-free partial.
+func TestCrashAtEverySyscall(t *testing.T) {
+	old := populatedStore(t)
+	niu := bigStore(t, 7)
+	base, oldBytes := seedOldState(t, old)
+	newBytes := saveBytes(t, niu)
+
+	// Count the fault points of a clean overwrite.
+	probe := base.Clone()
+	if err := niu.SaveFileFS(probe, crashPath); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Seq()
+	if total < 6 {
+		t.Fatalf("only %d fault points; expected create+writes+sync+close+rename+syncdir", total)
+	}
+
+	sawOld, sawNew := false, false
+	for i := 0; i <= total; i++ {
+		fs := base.Clone()
+		fs.CrashAtSeq(i)
+		err := niu.SaveFileFS(fs, crashPath)
+		if i < total && !errors.Is(err, iofault.ErrCrashed) {
+			t.Fatalf("crash point %d/%d: SaveFile err = %v, want ErrCrashed", i, total, err)
+		}
+		fs.Recover()
+		got, rerr := readDisk(t, fs, crashPath)
+		if rerr != nil {
+			t.Fatalf("crash point %d/%d: store file unreadable after crash: %v", i, total, rerr)
+		}
+		switch {
+		case bytes.Equal(got, oldBytes):
+			sawOld = true
+		case bytes.Equal(got, newBytes):
+			sawNew = true
+		default:
+			t.Fatalf("crash point %d/%d: torn on-disk state (%d bytes; old %d, new %d)",
+				i, total, len(got), len(oldBytes), len(newBytes))
+		}
+		// Whatever survived must load cleanly and completely.
+		loaded := New(0)
+		if err := loaded.LoadFileFS(fs, crashPath, 3); err != nil {
+			t.Fatalf("crash point %d/%d: load after crash: %v", i, total, err)
+		}
+		if loaded.Len() != 2 {
+			t.Fatalf("crash point %d/%d: loaded %d entries", i, total, loaded.Len())
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Fatalf("replay did not exercise both outcomes (old=%v new=%v)", sawOld, sawNew)
+	}
+}
+
+// TestSaveFileFaultReturnsOldState injects error-returning faults (no
+// crash): ENOSPC on every write, torn writes at byte N, failed Sync,
+// failed Rename, failed Create. SaveFile must report the error, leave the
+// previous store intact, and leave no temp file behind.
+func TestSaveFileFaultReturnsOldState(t *testing.T) {
+	old := populatedStore(t)
+	niu := bigStore(t, 11)
+	base, oldBytes := seedOldState(t, old)
+
+	// Count the writes of a clean overwrite for per-write injection.
+	probe := base.Clone()
+	if err := niu.SaveFileFS(probe, crashPath); err != nil {
+		t.Fatal(err)
+	}
+	numWrites := probe.KindCount(iofault.OpWrite)
+	if numWrites < 2 {
+		t.Fatalf("only %d writes; bigStore should overflow the save buffer", numWrites)
+	}
+
+	type faultSetup struct {
+		name string
+		prep func(fs *iofault.MemFS)
+	}
+	boom := errors.New("injected fault")
+	var setups []faultSetup
+	for w := 0; w < numWrites; w++ {
+		w := w
+		setups = append(setups,
+			faultSetup{fmt.Sprintf("enospc write %d", w), func(fs *iofault.MemFS) {
+				fs.FailAt(iofault.OpWrite, w, iofault.ErrNoSpace)
+			}},
+			faultSetup{fmt.Sprintf("torn write %d", w), func(fs *iofault.MemFS) {
+				fs.TornWriteAt(w, 17, iofault.ErrNoSpace) // 17 bytes then fail
+			}},
+		)
+	}
+	setups = append(setups,
+		faultSetup{"failed create", func(fs *iofault.MemFS) { fs.FailAt(iofault.OpCreate, 0, boom) }},
+		faultSetup{"failed sync", func(fs *iofault.MemFS) { fs.FailAt(iofault.OpSync, 0, boom) }},
+		faultSetup{"failed close", func(fs *iofault.MemFS) { fs.FailAt(iofault.OpClose, 0, boom) }},
+		faultSetup{"failed rename", func(fs *iofault.MemFS) { fs.FailAt(iofault.OpRename, 0, boom) }},
+	)
+
+	for _, setup := range setups {
+		t.Run(setup.name, func(t *testing.T) {
+			fs := base.Clone()
+			setup.prep(fs)
+			if err := niu.SaveFileFS(fs, crashPath); err == nil {
+				t.Fatal("SaveFile must surface the injected fault")
+			}
+			// The published file still holds the complete old store.
+			got, err := readDisk(t, fs, crashPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, oldBytes) {
+				t.Fatalf("old state damaged by a failed save (%d bytes, want %d)", len(got), len(oldBytes))
+			}
+			// No temp file leaks (the rename-failure cleanup and the
+			// error-path cleanup both remove it).
+			for _, name := range fs.CacheNames() {
+				if name != crashPath {
+					t.Fatalf("leftover file after failed save: %s", name)
+				}
+			}
+			loaded := New(0)
+			if err := loaded.LoadFileFS(fs, crashPath, 3); err != nil {
+				t.Fatalf("load after failed save: %v", err)
+			}
+			if loaded.Len() != 2 {
+				t.Fatalf("loaded %d entries", loaded.Len())
+			}
+		})
+	}
+}
+
+// TestSaveFileBitFlipDetectedOnLoad: a bit flipped in flight by the disk
+// makes SaveFile "succeed" silently; the strict load must detect it and
+// salvage must recover around it.
+func TestSaveFileBitFlipDetectedOnLoad(t *testing.T) {
+	niu := bigStore(t, 13)
+	fs := iofault.NewMem()
+	// Flip a bit deep inside the first write's payload (past the magic
+	// and header, inside an entry frame).
+	fs.FlipBitAt(0, 2000*8+3)
+	if err := niu.SaveFileFS(fs, crashPath); err != nil {
+		t.Fatal(err)
+	}
+	strict := New(0)
+	if err := strict.LoadFileFS(fs, crashPath, 3); err == nil {
+		t.Fatal("strict load must detect the flipped bit")
+	}
+	salvaged := New(0)
+	err := salvaged.SalvageFileFS(fs, crashPath, 3)
+	var corrupt *CorruptStoreError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("salvage err = %v, want *CorruptStoreError", err)
+	}
+	if corrupt.Loaded != salvaged.Len() || salvaged.Len() != 1 {
+		t.Fatalf("salvaged %d entries (reported %d), want 1", salvaged.Len(), corrupt.Loaded)
+	}
+	if len(corrupt.Dropped) == 0 {
+		t.Fatal("CorruptStoreError must name the dropped entry")
+	}
+}
+
+// TestConcurrentSaveFiles: unique temp names (os.CreateTemp semantics)
+// mean two concurrent saves cannot clobber each other's temp file; the
+// final file is one of the two complete stores.
+func TestConcurrentSaveFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "samples.laqy")
+	a := populatedStore(t)
+	b := bigStore(t, 17)
+	aBytes, bBytes := saveBytes(t, a), saveBytes(t, b)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, s := range []*Store{a, b} {
+		wg.Add(1)
+		go func(i int, s *Store) {
+			defer wg.Done()
+			errs[i] = s.SaveFile(path)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	f, err := iofault.OS.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	_ = f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, aBytes) && !bytes.Equal(got, bBytes) {
+		t.Fatalf("concurrent saves produced a torn file (%d bytes)", len(got))
+	}
+	// No temp litter in the directory.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+	loaded := New(0)
+	if err := loaded.LoadFile(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d entries", loaded.Len())
+	}
+}
+
+// TestSaveFileCleansTempOnRealFS exercises the cleanup path on the real
+// filesystem: a save into a directory that disappears mid-protocol cannot
+// be orchestrated portably, but a failed rename can — the target's parent
+// is replaced by a file.
+func TestSaveFileCleansTempOnRealFS(t *testing.T) {
+	dir := t.TempDir()
+	s := populatedStore(t)
+	// Successful save leaves exactly one file.
+	path := filepath.Join(dir, "samples.laqy")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0] != path {
+		t.Fatalf("directory after save: %v", matches)
+	}
+	// A save whose target directory does not exist fails at CreateTemp
+	// without leaving anything anywhere.
+	if err := s.SaveFile(filepath.Join(dir, "missing", "samples.laqy")); err == nil {
+		t.Fatal("save into a missing directory must error")
+	}
+}

@@ -2,13 +2,16 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
-	"os"
+	"path/filepath"
 
 	"laqy/internal/algebra"
+	"laqy/internal/iofault"
 	"laqy/internal/rng"
 	"laqy/internal/sample"
 )
@@ -19,108 +22,466 @@ import (
 // is versioned and self-contained: predicates, schemas, stratum keys,
 // weights, and tuple payloads.
 //
-// Layout (all integers little-endian; varints are unsigned LEB128 via
-// encoding/binary's Uvarint):
+// Format v2 ("LAQYSTO2", written by Save) frames every entry with a length
+// prefix and a CRC32-C of its payload, and ends with a checksummed footer,
+// so torn writes, truncations and bit flips are detected per entry — and
+// salvage can skip exactly the damaged entries (see Salvage). Layout (all
+// integers little-endian; varints are unsigned LEB128 via
+// encoding/binary's Uvarint; CRCs are CRC32-C / Castagnoli):
 //
-//	magic "LAQYSTO1"
+//	magic "LAQYSTO2"
 //	uvarint entryCount
-//	entry*:
-//	  string input
-//	  predicate:  uvarint #cols { string name; uvarint #ivs { int64 lo, hi } }
-//	  schema:     uvarint #cols { string name }
-//	  uvarint qcsWidth, uvarint k
-//	  sample:     uvarint #strata
-//	    stratum*: int64 key[MaxQCS]; float64 weight;
-//	              uvarint resK, width, tupleCount; int64 data[count*width]
-const persistMagic = "LAQYSTO1"
+//	frame*:
+//	  uvarint payloadLen
+//	  payload [payloadLen]byte          (entry encoding, below)
+//	  uint32  crc32c(payload)
+//	footer:
+//	  magic "LAQYFTR2"
+//	  uvarint entryCount               (must equal the header count)
+//	  uint32  crc32c(payload₀ ‖ payload₁ ‖ …)   (whole-store digest)
+//	  uint32  crc32c(footer magic ‖ count ‖ digest)
+//
+// Entry encoding (identical to format v1's, which had no framing):
+//
+//	string input
+//	predicate:  uvarint #cols { string name; uvarint #ivs { int64 lo, hi } }
+//	schema:     uvarint #cols { string name }
+//	uvarint qcsWidth, uvarint k
+//	sample:     uvarint #strata
+//	  stratum*: int64 key[MaxQCS]; float64 weight;
+//	            uvarint resK, width, tupleCount; int64 data[count*width]
+//
+// Format v1 ("LAQYSTO1": magic, uvarint entryCount, back-to-back entry
+// encodings) is still loaded, read-only; Save always writes v2.
+const (
+	persistMagicV1 = "LAQYSTO1"
+	persistMagicV2 = "LAQYSTO2"
+	footerMagic    = "LAQYFTR2"
+)
 
-// Save serializes the store's entries to w. The LRU clock is not
-// persisted; loaded entries start fresh.
+// Hard caps on attacker-controlled (or corruption-controlled) size fields:
+// every allocation driven by a decoded length is validated against one of
+// these before make, so a flipped bit in a count cannot drive an unbounded
+// allocation.
+const (
+	// maxEntries bounds the store entry count field.
+	maxEntries = 1 << 24
+	// maxEntryPayload bounds one v2 entry frame's payload (256 MiB).
+	maxEntryPayload = 1 << 28
+	// maxStratumInts bounds one stratum's tuple payload in int64s
+	// (256 MiB): count*width and resK*width must stay under it.
+	maxStratumInts = 1 << 25
+	// maxStringLen bounds persisted strings (column names, inputs).
+	maxStringLen = 1 << 20
+	// maxSchemaCols bounds the per-entry schema width.
+	maxSchemaCols = 1 << 16
+	// maxPredIntervals bounds the interval count of one predicate column.
+	// Building a set is quadratic in the interval count, so this cap is
+	// deliberately small: real predicates carry a handful of ranges, and a
+	// corrupted count must not turn loading into an O(n²) stall.
+	maxPredIntervals = 1 << 12
+	// maxStrata bounds the per-entry stratum count.
+	maxStrata = 1 << 26
+	// maxReservoirK bounds the persisted reservoir capacity fields.
+	maxReservoirK = 1 << 30
+)
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// DroppedEntry describes one store entry that salvage had to discard.
+type DroppedEntry struct {
+	// Index is the entry's position in the file (-1 when unknown, e.g.
+	// footer damage).
+	Index int
+	// Reason says what was wrong (CRC mismatch, truncation, ...).
+	Reason string
+}
+
+// CorruptStoreError reports partial corruption: the healthy entries were
+// loaded, the ones listed in Dropped were not. It is returned by Salvage
+// (never by the strict Load) so callers can log what was lost and let the
+// dropped samples rebuild lazily online — graceful degradation instead of
+// a failed startup.
+type CorruptStoreError struct {
+	// Path is the store file, when known.
+	Path string
+	// Loaded is the number of entries successfully restored.
+	Loaded int
+	// Dropped lists the discarded entries.
+	Dropped []DroppedEntry
+	// Footer describes footer damage ("" when the footer was intact).
+	Footer string
+}
+
+// Error implements error.
+func (e *CorruptStoreError) Error() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "store: corrupt sample store")
+	if e.Path != "" {
+		fmt.Fprintf(&b, " %s", e.Path)
+	}
+	fmt.Fprintf(&b, ": salvaged %d entries, dropped %d", e.Loaded, len(e.Dropped))
+	for i, d := range e.Dropped {
+		if i == 8 {
+			fmt.Fprintf(&b, "; … %d more", len(e.Dropped)-i)
+			break
+		}
+		if d.Index >= 0 {
+			fmt.Fprintf(&b, "; entry %d: %s", d.Index, d.Reason)
+		} else {
+			fmt.Fprintf(&b, "; %s", d.Reason)
+		}
+	}
+	if e.Footer != "" {
+		fmt.Fprintf(&b, "; footer: %s", e.Footer)
+	}
+	return b.String()
+}
+
+// binWriter is the writer surface the encoders need; both *bufio.Writer
+// and *bytes.Buffer satisfy it.
+type binWriter interface {
+	io.Writer
+	io.StringWriter
+}
+
+// Save serializes the store's entries to w in format v2. The LRU clock is
+// not persisted; loaded entries start fresh.
 func (s *Store) Save(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.WriteString(persistMagic); err != nil {
+	if _, err := bw.WriteString(persistMagicV2); err != nil {
 		return err
 	}
 	writeUvarint(bw, uint64(len(s.entries)))
+	digest := crc32.New(castagnoli)
+	var payload bytes.Buffer
 	for _, e := range s.entries {
-		if err := writeEntry(bw, e); err != nil {
+		payload.Reset()
+		writeEntryPayload(&payload, e)
+		if payload.Len() > maxEntryPayload {
+			return fmt.Errorf("store: entry payload %d bytes exceeds the %d-byte format cap", payload.Len(), maxEntryPayload)
+		}
+		writeUvarint(bw, uint64(payload.Len()))
+		if _, err := bw.Write(payload.Bytes()); err != nil {
 			return err
 		}
+		writeUint32(bw, crc32.Checksum(payload.Bytes(), castagnoli))
+		digest.Write(payload.Bytes()) //laqy:allow errchecklite hash.Hash Write never fails (documented)
 	}
+	var footer bytes.Buffer
+	footer.WriteString(footerMagic)
+	writeUvarint(&footer, uint64(len(s.entries)))
+	writeUint32(&footer, digest.Sum32())
+	if _, err := bw.Write(footer.Bytes()); err != nil {
+		return err
+	}
+	writeUint32(bw, crc32.Checksum(footer.Bytes(), castagnoli))
 	return bw.Flush()
 }
 
-// SaveFile writes the store to path atomically (temp file + rename).
+// SaveFile writes the store to path durably: temp file in the target
+// directory, fsync on the file, atomic rename, fsync on the parent
+// directory. After a crash at any point, the path holds either the
+// complete previous store or the complete new one.
 func (s *Store) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	return s.SaveFileFS(iofault.OS, path)
+}
+
+// SaveFileFS is SaveFile over an injectable filesystem (the
+// fault-injection seam used by the crash-consistency harness).
+func (s *Store) SaveFileFS(fsys iofault.FS, path string) error {
+	dir := filepath.Dir(path)
+	f, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := s.Save(f); err != nil {
-		_ = f.Close()      // best-effort cleanup; the Save error is the one to report
-		_ = os.Remove(tmp) // best-effort cleanup of the temp file
+		_ = f.Close()        // best-effort cleanup; the Save error is the one to report
+		_ = fsys.Remove(tmp) // best-effort cleanup of the temp file
+		return err
+	}
+	// fsync the data before the rename publishes the name: without it a
+	// crash can expose the new name with torn or empty content.
+	if err := f.Sync(); err != nil {
+		_ = f.Close()        // best-effort cleanup; the Sync error is the one to report
+		_ = fsys.Remove(tmp) // best-effort cleanup of the temp file
 		return err
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp) // best-effort cleanup of the temp file
+		_ = fsys.Remove(tmp) // best-effort cleanup of the temp file
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp) // best-effort cleanup of the temp file
+		return err
+	}
+	// fsync the parent directory so the rename itself is durable.
+	return fsys.SyncDir(dir)
 }
 
-// Load appends entries deserialized from r to the store. seed derives the
-// RNG substreams of the restored reservoirs, keeping loaded samples usable
-// for further merging.
+// Load appends entries deserialized from r to the store, strictly: any
+// corruption fails the whole load and the store is left unchanged. seed
+// derives the RNG substreams of the restored reservoirs, keeping loaded
+// samples usable for further merging. Use Salvage to load around damage.
 func (s *Store) Load(r io.Reader, seed uint64) error {
+	return s.load(r, seed, false, "")
+}
+
+// Salvage loads what it can from r: entries whose frame checksum or
+// decoding fails are skipped, healthy ones are appended to the store. If
+// anything was damaged the returned error is a *CorruptStoreError
+// detailing the drops; a nil return means the file was fully intact.
+// Errors that leave nothing to salvage (unreadable header, wrong magic)
+// are returned as plain errors. v1 files have no per-entry framing, so
+// salvage keeps the entries decoded before the first error and drops the
+// rest.
+func (s *Store) Salvage(r io.Reader, seed uint64) error {
+	return s.load(r, seed, true, "")
+}
+
+// LoadFile reads a store file written by SaveFile, strictly.
+func (s *Store) LoadFile(path string, seed uint64) error {
+	return s.LoadFileFS(iofault.OS, path, seed)
+}
+
+// LoadFileFS is LoadFile over an injectable filesystem.
+func (s *Store) LoadFileFS(fsys iofault.FS, path string, seed uint64) error {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //laqy:allow errchecklite read-only file; Close cannot lose data
+	return s.load(f, seed, false, path)
+}
+
+// SalvageFile is Salvage over a file path (see Salvage for the contract).
+func (s *Store) SalvageFile(path string, seed uint64) error {
+	return s.SalvageFileFS(iofault.OS, path, seed)
+}
+
+// SalvageFileFS is SalvageFile over an injectable filesystem.
+func (s *Store) SalvageFileFS(fsys iofault.FS, path string, seed uint64) error {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //laqy:allow errchecklite read-only file; Close cannot lose data
+	return s.load(f, seed, true, path)
+}
+
+// load drives both the strict and salvage paths. Decoded entries are
+// installed only after the whole stream is processed, so a strict failure
+// leaves the store unchanged.
+func (s *Store) load(r io.Reader, seed uint64, salvage bool, path string) error {
 	br := bufio.NewReaderSize(r, 1<<20)
-	magic := make([]byte, len(persistMagic))
+	magic := make([]byte, len(persistMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return fmt.Errorf("store: reading magic: %w", err)
 	}
-	if string(magic) != persistMagic {
+	legacy := false
+	switch string(magic) {
+	case persistMagicV2:
+	case persistMagicV1:
+		legacy = true
+	default:
 		return fmt.Errorf("store: bad magic %q (not a LAQy sample store, or unsupported version)", magic)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return fmt.Errorf("store: reading entry count: %w", err)
 	}
-	if count > 1<<24 {
+	if count > maxEntries {
 		return fmt.Errorf("store: implausible entry count %d", count)
 	}
 	gen := rng.NewLehmer64(seed ^ 0x570E)
 	var loaded []*Entry
-	for i := uint64(0); i < count; i++ {
-		e, err := readEntry(br, gen.Split(i))
-		if err != nil {
-			return fmt.Errorf("store: entry %d: %w", i, err)
-		}
-		loaded = append(loaded, e)
+	corrupt := &CorruptStoreError{Path: path}
+	if legacy {
+		loaded, err = readAllV1(br, count, gen, salvage, corrupt)
+	} else {
+		loaded, err = readAllV2(br, count, gen, salvage, corrupt)
+	}
+	if err != nil {
+		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, e := range loaded {
 		s.clock++
 		e.lastUsed = s.clock
 		s.entries = append(s.entries, e)
 	}
 	s.enforceBudgetLocked()
+	s.mu.Unlock()
+	if len(corrupt.Dropped) > 0 || corrupt.Footer != "" {
+		corrupt.Loaded = len(loaded)
+		return corrupt
+	}
 	return nil
 }
 
-// LoadFile reads a store file written by SaveFile.
-func (s *Store) LoadFile(path string, seed uint64) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
+// readAllV1 decodes a legacy unframed stream. There are no per-entry
+// checksums or length prefixes, so the first decoding error desyncs the
+// stream: strict mode fails, salvage keeps what decoded cleanly before it.
+func readAllV1(br *bufio.Reader, count uint64, gen *rng.Lehmer64, salvage bool, corrupt *CorruptStoreError) ([]*Entry, error) {
+	var loaded []*Entry
+	for i := uint64(0); i < count; i++ {
+		e, err := readEntry(br, gen.Split(i))
+		if err != nil {
+			if !salvage {
+				return nil, fmt.Errorf("store: entry %d: %w", i, err)
+			}
+			corrupt.Dropped = append(corrupt.Dropped, DroppedEntry{
+				Index:  int(i),
+				Reason: fmt.Sprintf("v1 stream desynced: %v (this and all later entries lost)", err),
+			})
+			if rest := count - i - 1; rest > 0 {
+				corrupt.Dropped = append(corrupt.Dropped, DroppedEntry{
+					Index:  -1,
+					Reason: fmt.Sprintf("%d entries after the desync point unrecoverable (v1 has no framing)", rest),
+				})
+			}
+			return loaded, nil
+		}
+		loaded = append(loaded, e)
 	}
-	defer f.Close() //laqy:allow errchecklite read-only file; Close cannot lose data
-	return s.Load(f, seed)
+	return loaded, nil
 }
 
-func writeEntry(w *bufio.Writer, e *Entry) error {
+// readAllV2 decodes a framed v2 stream: every entry is length-prefixed
+// and CRC-checked, so salvage skips exactly the damaged frames and keeps
+// going. A corrupted length prefix desyncs the frame stream; the
+// remaining entries are then reported dropped.
+func readAllV2(br *bufio.Reader, count uint64, gen *rng.Lehmer64, salvage bool, corrupt *CorruptStoreError) ([]*Entry, error) {
+	var loaded []*Entry
+	digest := crc32.New(castagnoli)
+	for i := uint64(0); i < count; i++ {
+		payloadLen, err := binary.ReadUvarint(br)
+		if err == nil && payloadLen > maxEntryPayload {
+			err = fmt.Errorf("frame payload %d bytes exceeds the %d-byte cap", payloadLen, maxEntryPayload)
+		}
+		if err != nil {
+			if !salvage {
+				return nil, fmt.Errorf("store: entry %d: reading frame header: %w", i, err)
+			}
+			corrupt.Dropped = append(corrupt.Dropped, DroppedEntry{
+				Index:  int(i),
+				Reason: fmt.Sprintf("frame header unreadable: %v (this and all later entries lost)", err),
+			})
+			return loaded, nil
+		}
+		// Grow the payload buffer only as bytes actually arrive: a tiny
+		// corrupted file claiming a 256 MiB frame must fail with a read
+		// error, not a giant up-front allocation.
+		var payloadBuf bytes.Buffer
+		_, rerr := io.CopyN(&payloadBuf, br, int64(payloadLen))
+		payload := payloadBuf.Bytes()
+		if rerr != nil {
+			if !salvage {
+				return nil, fmt.Errorf("store: entry %d: reading %d-byte payload: %w", i, payloadLen, rerr)
+			}
+			corrupt.Dropped = append(corrupt.Dropped, DroppedEntry{
+				Index:  int(i),
+				Reason: fmt.Sprintf("payload truncated: %v", rerr),
+			})
+			return loaded, nil
+		}
+		stored, err := readUint32(br)
+		if err != nil {
+			if !salvage {
+				return nil, fmt.Errorf("store: entry %d: reading frame CRC: %w", i, err)
+			}
+			corrupt.Dropped = append(corrupt.Dropped, DroppedEntry{Index: int(i), Reason: "frame CRC truncated"})
+			return loaded, nil
+		}
+		digest.Write(payload) //laqy:allow errchecklite hash.Hash Write never fails (documented)
+		if got := crc32.Checksum(payload, castagnoli); got != stored {
+			if !salvage {
+				return nil, fmt.Errorf("store: entry %d: CRC mismatch (stored %08x, computed %08x)", i, stored, got)
+			}
+			corrupt.Dropped = append(corrupt.Dropped, DroppedEntry{
+				Index:  int(i),
+				Reason: fmt.Sprintf("CRC mismatch (stored %08x, computed %08x)", stored, got),
+			})
+			continue // framing preserved: skip just this entry
+		}
+		e, err := decodeEntryPayload(payload, gen.Split(i))
+		if err != nil {
+			if !salvage {
+				return nil, fmt.Errorf("store: entry %d: %w", i, err)
+			}
+			corrupt.Dropped = append(corrupt.Dropped, DroppedEntry{Index: int(i), Reason: err.Error()})
+			continue
+		}
+		loaded = append(loaded, e)
+	}
+	if err := checkFooter(br, count, digest.Sum32(), len(corrupt.Dropped) > 0); err != nil {
+		if !salvage {
+			return nil, err
+		}
+		corrupt.Footer = err.Error()
+	}
+	return loaded, nil
+}
+
+// checkFooter validates the v2 trailer. entriesDropped relaxes the
+// whole-store digest check: when salvage already skipped frames the
+// digest cannot match, and the per-entry CRCs carry the integrity claim.
+func checkFooter(br *bufio.Reader, count uint64, digest uint32, entriesDropped bool) error {
+	var footer bytes.Buffer
+	marker := make([]byte, len(footerMagic))
+	if _, err := io.ReadFull(br, marker); err != nil {
+		return fmt.Errorf("store: reading footer magic: %w", err)
+	}
+	if string(marker) != footerMagic {
+		return fmt.Errorf("store: bad footer magic %q", marker)
+	}
+	footer.Write(marker) //laqy:allow errchecklite bytes.Buffer Write never fails
+	footerCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("store: reading footer entry count: %w", err)
+	}
+	writeUvarint(&footer, footerCount)
+	footerDigest, err := readUint32(br)
+	if err != nil {
+		return fmt.Errorf("store: reading footer digest: %w", err)
+	}
+	writeUint32(&footer, footerDigest)
+	footerCRC, err := readUint32(br)
+	if err != nil {
+		return fmt.Errorf("store: reading footer CRC: %w", err)
+	}
+	if got := crc32.Checksum(footer.Bytes(), castagnoli); got != footerCRC {
+		return fmt.Errorf("store: footer CRC mismatch (stored %08x, computed %08x)", footerCRC, got)
+	}
+	if footerCount != count {
+		return fmt.Errorf("store: footer entry count %d does not match header count %d", footerCount, count)
+	}
+	if !entriesDropped && footerDigest != digest {
+		return fmt.Errorf("store: whole-store digest mismatch (stored %08x, computed %08x)", footerDigest, digest)
+	}
+	return nil
+}
+
+// decodeEntryPayload parses one CRC-validated v2 entry payload.
+func decodeEntryPayload(payload []byte, gen *rng.Lehmer64) (*Entry, error) {
+	br := bufio.NewReader(bytes.NewReader(payload))
+	e, err := readEntry(br, gen)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trailing bytes after entry payload")
+	}
+	return e, nil
+}
+
+// writeEntryPayload encodes one entry. Writing into a bytes.Buffer cannot
+// fail; bufio destinations surface errors on the caller's Flush.
+func writeEntryPayload(w binWriter, e *Entry) {
 	writeString(w, e.Input)
 	// Predicate.
 	cols := e.Predicate.Columns()
@@ -144,11 +505,7 @@ func writeEntry(w *bufio.Writer, e *Entry) error {
 	writeUvarint(w, uint64(e.K))
 	// Sample payload.
 	writeUvarint(w, uint64(e.Sample.NumStrata()))
-	var err error
 	e.Sample.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
-		if err != nil {
-			return
-		}
 		for _, v := range key {
 			writeInt64(w, v)
 		}
@@ -162,10 +519,6 @@ func writeEntry(w *bufio.Writer, e *Entry) error {
 			}
 		}
 	})
-	if err != nil {
-		return err
-	}
-	return w.Flush()
 }
 
 func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
@@ -177,6 +530,9 @@ func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	if nCols > maxSchemaCols {
+		return nil, fmt.Errorf("implausible predicate column count %d", nCols)
+	}
 	pred := algebra.NewPredicate()
 	for c := uint64(0); c < nCols; c++ {
 		name, err := readString(r)
@@ -186,6 +542,9 @@ func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
 		nIvs, err := binary.ReadUvarint(r)
 		if err != nil {
 			return nil, err
+		}
+		if nIvs > maxPredIntervals {
+			return nil, fmt.Errorf("implausible interval count %d", nIvs)
 		}
 		var set algebra.Set
 		for i := uint64(0); i < nIvs; i++ {
@@ -205,7 +564,7 @@ func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nSchema == 0 || nSchema > 1<<16 {
+	if nSchema == 0 || nSchema > maxSchemaCols {
 		return nil, fmt.Errorf("implausible schema size %d", nSchema)
 	}
 	schema := make(sample.Schema, nSchema)
@@ -225,7 +584,7 @@ func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
 	if int(qcsWidth) > len(schema) || qcsWidth > sample.MaxQCS {
 		return nil, fmt.Errorf("invalid QCS width %d for %d columns", qcsWidth, len(schema))
 	}
-	if k == 0 || k > 1<<30 {
+	if k == 0 || k > maxReservoirK {
 		return nil, fmt.Errorf("invalid reservoir capacity %d", k)
 	}
 
@@ -234,7 +593,7 @@ func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nStrata > 1<<26 {
+	if nStrata > maxStrata {
 		return nil, fmt.Errorf("implausible strata count %d", nStrata)
 	}
 	for i := uint64(0); i < nStrata; i++ {
@@ -263,14 +622,39 @@ func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
 		if width != uint64(len(schema)) {
 			return nil, fmt.Errorf("stratum width %d does not match schema of %d columns", width, len(schema))
 		}
+		if resK == 0 || resK > maxReservoirK {
+			return nil, fmt.Errorf("invalid stratum capacity %d", resK)
+		}
 		if count > resK {
 			return nil, fmt.Errorf("stratum holds %d tuples above capacity %d", count, resK)
 		}
-		data := make([]int64, count*width)
-		for j := range data {
-			if data[j], err = readInt64(r); err != nil {
+		// Overflow-checked, capped allocation: width ≤ maxSchemaCols and
+		// count ≤ resK ≤ maxReservoirK, so the uint64 products cannot
+		// overflow; both the stored payload (count·width) and the claimed
+		// capacity (resK·width, which continued sampling may grow into)
+		// are checked against the hard cap before any allocation happens,
+		// closing the corrupt-file OOM vector.
+		if resK*width > maxStratumInts {
+			return nil, fmt.Errorf("stratum capacity %d×%d exceeds the %d-int cap", resK, width, maxStratumInts)
+		}
+		if count*width > maxStratumInts {
+			return nil, fmt.Errorf("stratum payload %d×%d exceeds the %d-int cap", count, width, maxStratumInts)
+		}
+		// Bounded incremental allocation: start small and append as tuples
+		// actually decode, so a truncated stream claiming a huge (but
+		// sub-cap) stratum fails on the read, not on an up-front make.
+		total := count * width
+		initial := total
+		if initial > 4096 {
+			initial = 4096
+		}
+		data := make([]int64, 0, initial)
+		for j := uint64(0); j < total; j++ {
+			v, err := readInt64(r)
+			if err != nil {
 				return nil, err
 			}
+			data = append(data, v)
 		}
 		res, err := sample.RestoreReservoir(int(resK), int(width), weight, data, gen.Split(i+1))
 		if err != nil {
@@ -292,25 +676,39 @@ func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
 	}, nil
 }
 
-func writeUvarint(w *bufio.Writer, v uint64) {
+func writeUvarint(w binWriter, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
-	w.Write(buf[:n]) //laqy:allow errchecklite bufio error is sticky; surfaced by the Flush in Save/writeEntry
+	w.Write(buf[:n]) //laqy:allow errchecklite bytes.Buffer never fails; bufio errors are sticky and surfaced by the caller's Flush
 }
 
-func writeInt64(w *bufio.Writer, v int64) {
+func writeUint32(w binWriter, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.Write(buf[:]) //laqy:allow errchecklite bytes.Buffer never fails; bufio errors are sticky and surfaced by the caller's Flush
+}
+
+func writeInt64(w binWriter, v int64) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(v))
-	w.Write(buf[:]) //laqy:allow errchecklite bufio error is sticky; surfaced by the Flush in Save/writeEntry
+	w.Write(buf[:]) //laqy:allow errchecklite bytes.Buffer never fails; bufio errors are sticky and surfaced by the caller's Flush
 }
 
-func writeFloat64(w *bufio.Writer, v float64) {
+func writeFloat64(w binWriter, v float64) {
 	writeInt64(w, int64(math.Float64bits(v)))
 }
 
-func writeString(w *bufio.Writer, s string) {
+func writeString(w binWriter, s string) {
 	writeUvarint(w, uint64(len(s)))
-	w.WriteString(s) //laqy:allow errchecklite bufio error is sticky; surfaced by the Flush in Save/writeEntry
+	w.WriteString(s) //laqy:allow errchecklite bytes.Buffer never fails; bufio errors are sticky and surfaced by the caller's Flush
+}
+
+func readUint32(r *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
 }
 
 func readInt64(r *bufio.Reader) (int64, error) {
@@ -331,7 +729,7 @@ func readString(r *bufio.Reader) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<20 {
+	if n > maxStringLen {
 		return "", fmt.Errorf("implausible string length %d", n)
 	}
 	buf := make([]byte, n)

@@ -1,0 +1,346 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"laqy/internal/algebra"
+	"laqy/internal/sample"
+)
+
+// saveV1 renders a store in the legacy unframed v1 format (the v2 entry
+// payload encoding is byte-identical to v1's entry encoding, so the
+// read-only v1 loader stays testable without keeping a v1 writer in the
+// library).
+func saveV1(s *Store) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(persistMagicV1)
+	writeUvarint(&buf, uint64(len(s.entries)))
+	for _, e := range s.entries {
+		writeEntryPayload(&buf, e)
+	}
+	return buf.Bytes()
+}
+
+// threeEntryStore builds a store with three distinguishable entries.
+func threeEntryStore(t *testing.T) *Store {
+	t.Helper()
+	s := New(0)
+	for i := 0; i < 3; i++ {
+		lo := int64(i * 10000)
+		if _, err := s.Put(Meta{
+			Input:     fmt.Sprintf("lineorder%d", i),
+			Predicate: algebra.NewPredicate().WithRange("key", lo, lo+9999),
+			Schema:    testSchema, QCSWidth: 1, K: 50,
+		}, makeSample(uint64(100+i), testSchema, 1, 50, 2000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// framePayloads walks a v2 byte stream and returns each entry payload's
+// [start, end) range plus the offset where the footer begins.
+func framePayloads(t *testing.T, data []byte) (payloads [][2]int, footerStart int) {
+	t.Helper()
+	pos := len(persistMagicV2)
+	count, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		t.Fatal("bad header")
+	}
+	pos += n
+	for i := uint64(0); i < count; i++ {
+		plen, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			t.Fatal("bad frame header")
+		}
+		pos += n
+		payloads = append(payloads, [2]int{pos, pos + int(plen)})
+		pos += int(plen) + 4 // payload + CRC
+	}
+	return payloads, pos
+}
+
+func TestSaveWritesV2Magic(t *testing.T) {
+	s := populatedStore(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(persistMagicV2)) {
+		t.Fatalf("Save wrote magic %q", buf.Bytes()[:8])
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(footerMagic)) {
+		t.Fatal("v2 stream is missing its footer")
+	}
+}
+
+func TestLoadV1ReadOnlyCompat(t *testing.T) {
+	orig := populatedStore(t)
+	data := saveV1(orig)
+	loaded := New(0)
+	if err := loaded.Load(bytes.NewReader(data), 9); err != nil {
+		t.Fatalf("v1 load: %v", err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("v1 load restored %d entries", loaded.Len())
+	}
+	m := loaded.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 100, 200))
+	if m == nil || m.Reuse != algebra.ReuseFull {
+		t.Fatalf("lookup after v1 load: %+v", m)
+	}
+	// A v1 store re-saved comes out as v2.
+	var buf bytes.Buffer
+	if err := loaded.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(persistMagicV2)) {
+		t.Fatal("re-save of a v1 store must write v2")
+	}
+}
+
+// TestEveryBitFlipIsDetected sweeps single-bit flips across the whole v2
+// stream: the strict loader must reject every one of them — no silent
+// acceptance of corrupted data anywhere in the file.
+func TestEveryBitFlipIsDetected(t *testing.T) {
+	// A compact two-entry store keeps the exhaustive sweep fast while still
+	// covering every structural region: magic, count, frame headers, entry
+	// payloads, CRCs, and the footer.
+	s := New(0)
+	for i := 0; i < 2; i++ {
+		lo := int64(i * 10000)
+		if _, err := s.Put(Meta{
+			Input:     fmt.Sprintf("lineorder%d", i),
+			Predicate: algebra.NewPredicate().WithRange("key", lo, lo+9999),
+			Schema:    testSchema, QCSWidth: 1, K: 8,
+		}, makeSample(uint64(100+i), testSchema, 1, 8, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	// Exhaustive (stride 1) normally; sampled under -short so the race gate
+	// stays quick. 37 is coprime with the format's power-of-two field sizes,
+	// so sampling still lands in every structural region.
+	stride := 1
+	if testing.Short() || len(clean) > 1<<16 {
+		stride = 37
+	}
+	for off := 0; off < len(clean); off += stride {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), clean...)
+			mut[off] ^= 1 << bit
+			loaded := New(0)
+			if err := loaded.Load(bytes.NewReader(mut), 1); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d went undetected by the strict loader", off, bit)
+			}
+			if loaded.Len() != 0 {
+				t.Fatalf("strict loader installed entries despite corruption at byte %d", off)
+			}
+		}
+	}
+}
+
+// TestSalvageSkipsFlippedEntry flips a bit inside each entry payload in
+// turn and asserts salvage drops exactly that entry, loads the others,
+// and names the drop in the CorruptStoreError.
+func TestSalvageSkipsFlippedEntry(t *testing.T) {
+	s := threeEntryStore(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	payloads, _ := framePayloads(t, clean)
+	if len(payloads) != 3 {
+		t.Fatalf("expected 3 frames, got %d", len(payloads))
+	}
+	for idx, span := range payloads {
+		mut := append([]byte(nil), clean...)
+		mid := (span[0] + span[1]) / 2
+		mut[mid] ^= 0x10
+		loaded := New(0)
+		err := loaded.Salvage(bytes.NewReader(mut), 1)
+		var corrupt *CorruptStoreError
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("entry %d: salvage err = %v, want *CorruptStoreError", idx, err)
+		}
+		if loaded.Len() != 2 || corrupt.Loaded != 2 {
+			t.Fatalf("entry %d: salvaged %d entries (reported %d), want 2", idx, loaded.Len(), corrupt.Loaded)
+		}
+		if len(corrupt.Dropped) != 1 || corrupt.Dropped[0].Index != idx {
+			t.Fatalf("entry %d: dropped = %+v", idx, corrupt.Dropped)
+		}
+		if !strings.Contains(corrupt.Dropped[0].Reason, "CRC") {
+			t.Fatalf("entry %d: reason %q does not name the CRC", idx, corrupt.Dropped[0].Reason)
+		}
+		// The two surviving entries still answer lookups.
+		for i := 0; i < 3; i++ {
+			if i == idx {
+				continue
+			}
+			m := loaded.Lookup(fmt.Sprintf("lineorder%d", i), testSchema, 1, 10,
+				algebra.NewPredicate().WithRange("key", int64(i*10000), int64(i*10000)+100))
+			if m == nil || m.Reuse != algebra.ReuseFull {
+				t.Fatalf("entry %d flipped: surviving entry %d unusable: %+v", idx, i, m)
+			}
+		}
+	}
+}
+
+// TestSalvageTruncations truncates the v2 stream at and inside every
+// frame boundary: strict load always errors; salvage recovers exactly the
+// complete frames before the cut.
+func TestSalvageTruncations(t *testing.T) {
+	s := threeEntryStore(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	payloads, footerStart := framePayloads(t, clean)
+	type cut struct {
+		at   int
+		want int // complete entries recoverable
+	}
+	cuts := []cut{
+		{len(persistMagicV2) + 1, 0},  // inside the header
+		{payloads[0][0] + 10, 0},      // inside entry 0's payload
+		{payloads[0][1] + 2, 0},       // inside entry 0's CRC
+		{payloads[1][0] - 1, 1},       // inside entry 1's frame header
+		{(payloads[1][0] + payloads[1][1]) / 2, 1}, // mid entry 1
+		{payloads[2][1] + 4, 3},       // after the last frame, footer missing
+		{footerStart + 3, 3},          // inside the footer magic
+		{len(clean) - 2, 3},           // inside the footer CRC
+	}
+	for _, c := range cuts {
+		mut := clean[:c.at]
+		strict := New(0)
+		if err := strict.Load(bytes.NewReader(mut), 1); err == nil {
+			t.Fatalf("truncation at %d accepted by strict load", c.at)
+		}
+		loaded := New(0)
+		err := loaded.Salvage(bytes.NewReader(mut), 1)
+		var corrupt *CorruptStoreError
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("truncation at %d: salvage err = %v, want *CorruptStoreError", c.at, err)
+		}
+		if loaded.Len() != c.want || corrupt.Loaded != c.want {
+			t.Fatalf("truncation at %d: salvaged %d entries (reported %d), want %d",
+				c.at, loaded.Len(), corrupt.Loaded, c.want)
+		}
+	}
+}
+
+// TestSalvageV1KeepsPrefix: v1 has no framing, so salvage keeps the
+// entries decoded before the damage and reports the rest unrecoverable.
+func TestSalvageV1KeepsPrefix(t *testing.T) {
+	s := threeEntryStore(t)
+	data := saveV1(s)
+	// Cut inside the last entry: the first two decode cleanly.
+	mut := data[:len(data)-20]
+	loaded := New(0)
+	err := loaded.Salvage(bytes.NewReader(mut), 1)
+	var corrupt *CorruptStoreError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("salvage err = %v, want *CorruptStoreError", err)
+	}
+	if loaded.Len() != 2 || corrupt.Loaded != 2 {
+		t.Fatalf("salvaged %d entries (reported %d), want 2", loaded.Len(), corrupt.Loaded)
+	}
+	if len(corrupt.Dropped) == 0 || !strings.Contains(corrupt.Dropped[0].Reason, "desync") {
+		t.Fatalf("dropped = %+v", corrupt.Dropped)
+	}
+}
+
+// TestSalvageUnsalvageable: wrong magic and unreadable headers are plain
+// errors — nothing to salvage, nothing loaded.
+func TestSalvageUnsalvageable(t *testing.T) {
+	for _, data := range []string{"", "short", "NOTASTORE---", persistMagicV2} {
+		loaded := New(0)
+		err := loaded.Salvage(strings.NewReader(data), 1)
+		if err == nil {
+			t.Fatalf("salvage of %q must error", data)
+		}
+		var corrupt *CorruptStoreError
+		if errors.As(err, &corrupt) {
+			t.Fatalf("salvage of %q: %v should be a plain error, not CorruptStoreError", data, err)
+		}
+		if loaded.Len() != 0 {
+			t.Fatalf("salvage of %q installed %d entries", data, loaded.Len())
+		}
+	}
+}
+
+// TestLoadRejectsOversizedAllocation crafts streams whose size fields
+// claim gigantic strata; the loader must reject them from the size fields
+// alone — before any allocation — closing the corrupt-file OOM vector in
+// both the v1 and v2 paths.
+func TestLoadRejectsOversizedAllocation(t *testing.T) {
+	craft := func(resK, count, width uint64) []byte {
+		var buf bytes.Buffer
+		buf.WriteString(persistMagicV1)
+		writeUvarint(&buf, 1) // one entry
+		writeString(&buf, "t")
+		writeUvarint(&buf, 0) // no predicate columns
+		writeUvarint(&buf, 1) // schema: one column
+		writeString(&buf, "a")
+		writeUvarint(&buf, 0) // qcsWidth
+		writeUvarint(&buf, 5) // k
+		writeUvarint(&buf, 1) // one stratum
+		for i := 0; i < sample.MaxQCS; i++ {
+			writeInt64(&buf, 0)
+		}
+		writeFloat64(&buf, float64(count))
+		writeUvarint(&buf, resK)
+		writeUvarint(&buf, width)
+		writeUvarint(&buf, count)
+		// No tuple data: the loader must fail before trying to read it.
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name               string
+		resK, count, width uint64
+	}{
+		{"huge count", 1 << 29, 1 << 26, 1},
+		{"huge capacity", 1 << 29, 1, 1},
+		{"count over capacity", 8, 1 << 40, 1},
+		{"capacity over format cap", 1 << 40, 1, 1},
+		{"zero capacity", 0, 0, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			loaded := New(0)
+			err := loaded.Load(bytes.NewReader(craft(c.resK, c.count, c.width)), 1)
+			if err == nil {
+				t.Fatal("oversized stratum accepted")
+			}
+		})
+	}
+}
+
+// TestCorruptStoreErrorMessage pins the error rendering surfaced to logs.
+func TestCorruptStoreErrorMessage(t *testing.T) {
+	err := &CorruptStoreError{
+		Path:   "/data/s.laqy",
+		Loaded: 2,
+		Dropped: []DroppedEntry{
+			{Index: 1, Reason: "CRC mismatch (stored 0000abcd, computed 0000ef01)"},
+			{Index: -1, Reason: "tail unrecoverable"},
+		},
+		Footer: "footer CRC mismatch",
+	}
+	msg := err.Error()
+	for _, want := range []string{"/data/s.laqy", "salvaged 2", "dropped 2", "entry 1", "CRC mismatch", "footer"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error message %q missing %q", msg, want)
+		}
+	}
+}

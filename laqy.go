@@ -27,7 +27,9 @@
 package laqy
 
 import (
+	"errors"
 	"fmt"
+	"log"
 	"sync"
 
 	"laqy/internal/core"
@@ -59,6 +61,9 @@ type Config struct {
 	// tightened reuses keep enough per-stratum support. Values ≤ 1 mean
 	// no oversampling.
 	Oversample float64
+	// Warnf receives non-fatal diagnostics (e.g. partially corrupt sample
+	// stores salvaged on LoadSamples). Nil uses the standard logger.
+	Warnf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -246,17 +251,47 @@ func (db *DB) engineWorkers() int {
 	return engine.DefaultWorkers()
 }
 
-// SaveSamples persists the sample store to path (atomic write). Samples
-// built in this session then serve as offline samples in future sessions
-// via LoadSamples — the durable end of LAQy's online/offline continuum.
+// SaveSamples persists the sample store to path durably (checksummed
+// format, temp file + fsync + atomic rename + directory fsync): a crash at
+// any point leaves either the previous store or the new one, never a torn
+// state. Samples built in this session then serve as offline samples in
+// future sessions via LoadSamples — the durable end of LAQy's
+// online/offline continuum. See docs/DURABILITY.md.
 func (db *DB) SaveSamples(path string) error {
 	return db.lazy.Store().SaveFile(path)
 }
 
 // LoadSamples restores previously saved samples into the store, appending
-// to any samples already present.
+// to any samples already present. It degrades gracefully on partial
+// corruption: entries whose checksums fail are skipped (reported through
+// Config.Warnf) and the healthy ones are kept — a dropped sample just
+// rebuilds lazily online the next time its query runs, so a flipped bit
+// on disk never fails startup. Unreadable files (missing, wrong magic)
+// still return an error. Use LoadSamplesStrict to reject any corruption.
 func (db *DB) LoadSamples(path string) error {
+	err := db.lazy.Store().SalvageFile(path, db.cfg.Seed^0xD15C)
+	var corrupt *store.CorruptStoreError
+	if errors.As(err, &corrupt) {
+		db.warnf("laqy: %v (continuing with %d salvaged samples; dropped samples rebuild lazily online)",
+			corrupt, corrupt.Loaded)
+		return nil
+	}
+	return err
+}
+
+// LoadSamplesStrict restores previously saved samples, failing on any
+// corruption without loading anything.
+func (db *DB) LoadSamplesStrict(path string) error {
 	return db.lazy.Store().LoadFile(path, db.cfg.Seed^0xD15C)
+}
+
+// warnf routes a non-fatal diagnostic to the configured sink.
+func (db *DB) warnf(format string, args ...any) {
+	if db.cfg.Warnf != nil {
+		db.cfg.Warnf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // SampleInfo describes one cached sample for observability.

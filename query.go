@@ -220,6 +220,15 @@ func (db *DB) runApprox(plan *sql.Plan) (*Result, error) {
 	// execution rather than return an answer that misses its contract.
 	conf := confidenceOf(plan)
 	if plan.ErrorBound > 0 && !boundsMet(out, plan.ErrorBound, conf) {
+		// Both the resized-K retry and the exact fallback rescan the
+		// data. The first pass may have been served entirely from a
+		// stored sample (offline mode) and so never observed the
+		// context; honor cancellation here before launching either.
+		if ctx := plan.Query.Ctx; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if newK := requiredK(out, k, plan.ErrorBound, conf); newK > k && newK <= maxAutoK {
 			req.K = newK
 			req.Seed = db.nextSeed()
