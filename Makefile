@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet laqy-vet race faults fuzz-smoke bench clean
+.PHONY: all build test lint vet laqy-vet race faults fuzz-smoke bench bench-smoke clean
 
 all: build lint test
 
@@ -21,9 +21,14 @@ vet:
 	$(GO) vet ./...
 
 # laqy-vet is the custom static-analysis suite (tools/laqyvet): rngsource,
-# hotalloc, mergesync, errchecklite. See docs/STATIC_ANALYSIS.md.
+# hotalloc, mergesync, errchecklite, obscheck. See docs/STATIC_ANALYSIS.md.
 laqy-vet:
 	$(GO) run ./cmd/laqy-vet ./...
+
+# CI-sized bench pass that exercises sample reuse and writes the sampler
+# metrics snapshot CI uploads as an artifact (docs/OBSERVABILITY.md).
+bench-smoke:
+	$(GO) run ./cmd/laqy-bench -smoke -metricsout bench-metrics.json
 
 # The sampling engine is morsel-parallel; every PR must pass under the race
 # detector. -short skips the statistical long-haul tests.

@@ -448,3 +448,37 @@ func BenchmarkQueryAPI(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkInstrumentationOverhead guards docs/OBSERVABILITY.md's <2%
+// envelope: the observability layer is per-query (span + a handful of
+// counter increments), never per-row, so the exact Q1.1 hot path — a full
+// fact-table scan with a star join — must cost the same with metrics
+// enabled as with Config.DisableMetrics. Compare:
+//
+//	go test -bench=InstrumentationOverhead -count=10 | benchstat
+const benchQ11 = `SELECT SUM(lo_extendedprice*lo_discount) FROM lineorder, date
+	WHERE lo_orderdate = d_datekey AND d_year = 1993
+	  AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25`
+
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"metrics-on", false},
+		{"metrics-off", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			db := laqy.Open(laqy.Config{DefaultK: 512, Seed: 5, DisableMetrics: tc.disable})
+			if err := db.LoadSSB(benchRows, 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(benchQ11); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

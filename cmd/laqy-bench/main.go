@@ -12,6 +12,12 @@
 //
 // Each experiment prints the same rows/series the paper plots; see
 // EXPERIMENTS.md for paper-vs-measured shape comparisons.
+//
+// -smoke shrinks the run to a CI-sized sanity pass (small dataset, the
+// reuse-sensitive experiments only); -metricsout <path> writes the
+// sampler metrics accumulated across the run as a JSON snapshot — the CI
+// workflow uploads it as a build artifact so reuse-rate regressions show
+// up in the history.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"strings"
 
 	"laqy/internal/bench"
+	"laqy/internal/obs"
 )
 
 func main() {
@@ -32,6 +39,8 @@ func main() {
 	exps := flag.String("exp", "all", "comma-separated experiments to run")
 	csvDir := flag.String("csvdir", "", "also write each experiment as <id>.csv into this directory")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	smoke := flag.Bool("smoke", false, "CI smoke run: small dataset, fast experiment subset")
+	metricsOut := flag.String("metricsout", "", "write a JSON metrics snapshot to this path after the run")
 	flag.Parse()
 
 	if *list {
@@ -40,13 +49,27 @@ func main() {
 		return
 	}
 
-	if err := run(bench.Config{Rows: *rows, K: *k, Seed: *seed, Workers: *workers}, *exps, *csvDir); err != nil {
+	cfg := bench.Config{Rows: *rows, K: *k, Seed: *seed, Workers: *workers}
+	runExps := *exps
+	if *smoke {
+		// A smoke run must finish in CI time while still driving the
+		// lazy sampler through miss/partial/full reuse and the sequence
+		// harness, so the uploaded metrics snapshot carries signal.
+		cfg.Rows = 50_000
+		cfg.K = 256
+		if runExps == "all" {
+			runExps = "fig6,reuse,headline"
+		}
+		fmt.Println("smoke mode: 50000 rows, k=256, experiments:", runExps)
+	}
+
+	if err := run(cfg, runExps, *csvDir, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "laqy-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg bench.Config, exps, csvDir string) error {
+func run(cfg bench.Config, exps, csvDir, metricsOut string) error {
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err
@@ -73,6 +96,9 @@ func run(cfg bench.Config, exps, csvDir string) error {
 	d, err := bench.NewData(cfg)
 	if err != nil {
 		return err
+	}
+	if metricsOut != "" {
+		d.Obs = obs.NewRegistry()
 	}
 	fmt.Println("done.")
 	fmt.Println()
@@ -136,7 +162,7 @@ func run(cfg bench.Config, exps, csvDir string) error {
 	// headline.
 	needSeq := sel("fig11", "fig12", "fig13", "fig14", "fig15", "headline")
 	if !needSeq {
-		return nil
+		return writeMetrics(d, metricsOut)
 	}
 	var results []*bench.SeqResult
 	for _, shape := range []struct{ long, q2 bool }{
@@ -172,6 +198,27 @@ func run(cfg bench.Config, exps, csvDir string) error {
 			return err
 		}
 	}
+	return writeMetrics(d, metricsOut)
+}
+
+// writeMetrics serializes the sampler metrics accumulated across the run
+// to path as JSON (no-op when -metricsout was not given).
+func writeMetrics(d *bench.Data, path string) error {
+	if path == "" || d.Obs == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Obs.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("metrics snapshot written to %s\n", path)
 	return nil
 }
 

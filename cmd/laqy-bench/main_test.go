@@ -43,7 +43,7 @@ func capture(t *testing.T, fn func() error) string {
 
 func TestRunSelectedExperiments(t *testing.T) {
 	cfg := bench.Config{Rows: 30_000, K: 32, Seed: 1, Workers: 2}
-	out := capture(t, func() error { return run(cfg, "table1,fig9,alpha", "") })
+	out := capture(t, func() error { return run(cfg, "table1,fig9,alpha", "", "") })
 	for _, want := range []string{"== table1:", "== fig9a:", "== fig9b:", "== alpha:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
@@ -59,7 +59,7 @@ func TestRunSelectedExperiments(t *testing.T) {
 
 func TestRunSequenceExperiments(t *testing.T) {
 	cfg := bench.Config{Rows: 20_000, K: 16, Seed: 1, Workers: 2}
-	out := capture(t, func() error { return run(cfg, "headline,fig11", "") })
+	out := capture(t, func() error { return run(cfg, "headline,fig11", "", "") })
 	if !strings.Contains(out, "== headline:") || !strings.Contains(out, "== fig11:") {
 		t.Errorf("sequence output incomplete:\n%s", out[:min(len(out), 500)])
 	}
@@ -72,10 +72,30 @@ func min(a, b int) int {
 	return b
 }
 
+func TestRunWritesMetricsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	cfg := bench.Config{Rows: 20_000, K: 16, Seed: 1, Workers: 2}
+	out := capture(t, func() error { return run(cfg, "reuse", "", path) })
+	if !strings.Contains(out, "metrics snapshot written to") {
+		t.Errorf("output missing snapshot confirmation:\n%s", out[:min(len(out), 500)])
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reuse sweep drives the sampler through misses and partial
+	// reuses, so the snapshot must carry the sampler/store counters.
+	for _, want := range []string{"laqy_sampler_online_total", "laqy_store_lookup_miss_total"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+}
+
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	cfg := bench.Config{Rows: 20_000, K: 16, Seed: 1, Workers: 2}
-	capture(t, func() error { return run(cfg, "table1,fig10", dir) })
+	capture(t, func() error { return run(cfg, "table1,fig10", dir, "") })
 	for _, f := range []string{"table1.csv", "fig10a.csv", "fig10b.csv"} {
 		data, err := os.ReadFile(filepath.Join(dir, f))
 		if err != nil {

@@ -9,7 +9,10 @@
 // with a wider BETWEEN range on lo_intkey and watch the mode switch from
 // "online" to "partial" (Δ-sample only) to "offline" (no scan at all).
 //
-// Meta commands: \tables, \stats, \samples, \clear, \save, \load, \help, \q
+// Meta commands: \tables, \stats, \samples, \metrics, \trace on|off,
+// \clear, \save, \load, \help, \q. EXPLAIN <query> prints the plan;
+// EXPLAIN ANALYZE <query> executes it and prints the annotated phase
+// trace.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"laqy"
@@ -126,6 +130,44 @@ func meta(db *laqy.DB, line string) bool {
 			fmt.Printf("  [%d] %s\n      predicate: %s\n      QCS=%v QVS=%v k=%d strata=%d rows=%d weight=%.0f (%d bytes)\n",
 				i, s.Input, s.Predicate, s.QCS, s.QVS, s.K, s.Strata, s.Rows, s.Weight, s.Bytes)
 		}
+	case `\metrics`:
+		m := db.Metrics()
+		names := make([]string, 0, len(m.Counters))
+		for name := range m.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-44s %d\n", name, m.Counters[name])
+		}
+		names = names[:0]
+		for name := range m.Gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-44s %d\n", name, m.Gauges[name])
+		}
+		names = names[:0]
+		for name := range m.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := m.Histograms[name]
+			fmt.Printf("  %-44s count=%d mean=%v\n", name, h.Count, h.Mean)
+		}
+	case `\trace`:
+		switch {
+		case len(fields) == 2 && fields[1] == "on":
+			db.SetTracing(true)
+			fmt.Println("  tracing on: every result now prints its phase trace.")
+		case len(fields) == 2 && fields[1] == "off":
+			db.SetTracing(false)
+			fmt.Println("  tracing off.")
+		default:
+			fmt.Println(`  usage: \trace on|off`)
+		}
 	case `\clear`:
 		db.ClearSamples()
 		fmt.Println("  sample store cleared.")
@@ -155,7 +197,10 @@ func meta(db *laqy.DB, line string) bool {
 	case `\help`:
 		fmt.Println(`  \tables   list tables    \d <t>      describe table   \stats  store stats`)
 		fmt.Println(`  \samples  list samples   \clear      drop samples     \q      quit`)
+		fmt.Println(`  \metrics  metric values  \trace on|off  per-query phase traces`)
 		fmt.Println(`  \save <path>  persist samples (durable)   \load <path>  restore samples`)
+		fmt.Println(`  EXPLAIN <query>          print the plan without executing`)
+		fmt.Println(`  EXPLAIN ANALYZE <query>  execute and print the annotated phase trace`)
 	default:
 		fmt.Println("  unknown command; try \\help")
 	}
@@ -163,19 +208,18 @@ func meta(db *laqy.DB, line string) bool {
 }
 
 func execute(db *laqy.DB, text string) {
-	if up := strings.ToUpper(strings.TrimSpace(text)); strings.HasPrefix(up, "EXPLAIN ") {
-		desc, err := db.Explain(strings.TrimSpace(text)[len("EXPLAIN "):])
-		if err != nil {
-			fmt.Println("error:", err)
-			return
-		}
-		fmt.Print(desc)
-		return
-	}
 	res, err := db.Query(text)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
+	}
+	// EXPLAIN returns only the plan description; EXPLAIN ANALYZE executes
+	// and returns the annotated trace alongside the rows.
+	if res.Explain != "" {
+		fmt.Print(res.Explain)
+		if len(res.Rows) == 0 {
+			return
+		}
 	}
 	header := append(append([]string{}, res.GroupColumns...), res.AggColumns...)
 	fmt.Println(strings.Join(header, " | "))
@@ -204,4 +248,7 @@ func execute(db *laqy.DB, text string) {
 	}
 	fmt.Printf("-- %d rows, mode=%s, scanned=%d, selected=%d, total=%v\n",
 		len(res.Rows), res.Mode, res.Stats.RowsScanned, res.Stats.RowsSelected, res.Stats.Total)
+	if res.Trace != nil && res.Explain == "" {
+		fmt.Print(res.Trace.Render())
+	}
 }

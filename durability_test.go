@@ -29,7 +29,7 @@ func TestCanceledContextSkipsRetryPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if live.Mode != "exact_fallback" {
+	if live.Mode != ModeExactFallback {
 		t.Fatalf("live mode = %q, want exact_fallback", live.Mode)
 	}
 
@@ -107,14 +107,14 @@ func TestLoadSamplesSalvagesCorruptFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Mode != "offline" {
+	if res2.Mode != ModeOffline {
 		t.Fatalf("surviving sample: mode = %q, want offline", res2.Mode)
 	}
 	res1, err := db2.Query(q1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res1.Mode != "online" {
+	if res1.Mode != ModeOnline {
 		t.Fatalf("dropped sample: mode = %q, want online rebuild", res1.Mode)
 	}
 }

@@ -26,7 +26,7 @@ func TestEndToEndExplorationSession(t *testing.T) {
 
 	// Phase 1: initial exploration — online, then expand (partial), then
 	// dashboard refreshes (offline).
-	modes := []string{}
+	modes := []Mode{}
 	for _, r := range []struct{ lo, hi int }{
 		{10_000, 20_000}, // cold
 		{10_000, 35_000}, // extend right
@@ -40,7 +40,7 @@ func TestEndToEndExplorationSession(t *testing.T) {
 		}
 		modes = append(modes, res.Mode)
 	}
-	want := []string{"online", "partial", "partial", "offline", "offline"}
+	want := []Mode{ModeOnline, ModePartial, ModePartial, ModeOffline, ModeOffline}
 	for i := range want {
 		if modes[i] != want[i] {
 			t.Fatalf("phase 1 modes = %v, want %v", modes, want)
@@ -62,7 +62,7 @@ func TestEndToEndExplorationSession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if apx.Mode != "offline" {
+	if apx.Mode != ModeOffline {
 		t.Fatalf("phase 2 mode = %q", apx.Mode)
 	}
 	for i := range exact.Rows {
@@ -88,7 +88,7 @@ func TestEndToEndExplorationSession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Mode != "offline" || res.Stats.RowsScanned != 0 {
+	if res.Mode != ModeOffline || res.Stats.RowsScanned != 0 {
 		t.Fatalf("restored session mode = %q scanned = %d", res.Mode, res.Stats.RowsScanned)
 	}
 
@@ -118,7 +118,7 @@ func TestEndToEndExplorationSession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Mode != "online" {
+	if res2.Mode != ModeOnline {
 		t.Fatalf("post-append join query mode = %q, want online (invalidated)", res2.Mode)
 	}
 }
@@ -172,7 +172,7 @@ func TestEndToEndScanLevelMaintenance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Mode != "offline" {
+	if res.Mode != ModeOffline {
 		t.Fatalf("post-append mode = %q, want offline (maintained)", res.Mode)
 	}
 	exact, err := db.Query(`SELECT lo_quantity, SUM(lo_revenue) FROM lineorder GROUP BY lo_quantity`)

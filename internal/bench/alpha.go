@@ -37,6 +37,7 @@ func Alpha(d *Data) (*Table, error) {
 	for _, alpha := range []float64{1, 1.5, 2, 4} {
 		st := store.New(0)
 		lazy := core.New(st, d.Cfg.Seed)
+		lazy.SetObs(d.Obs)
 		res, err := lazy.Sample(core.Request{
 			Query:      &engine.Query{Fact: d.Lineorder, Filter: wide},
 			Predicate:  wide,

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"laqy/internal/obs"
 	"laqy/internal/ssb"
 	"laqy/internal/storage"
 )
@@ -53,6 +54,10 @@ type Data struct {
 	SSB *ssb.Dataset
 	// Lineorder is the fact table (alias into SSB).
 	Lineorder *storage.Table
+	// Obs, when non-nil, receives metrics from every sampler the
+	// experiments create (cmd/laqy-bench's -metricsout flag). A nil
+	// registry keeps all instruments as no-ops.
+	Obs *obs.Registry
 }
 
 // NewData generates the SSB dataset at the configured scale.

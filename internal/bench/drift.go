@@ -32,7 +32,9 @@ func Drift(d *Data) (*Table, error) {
 	k := d.seqK()
 
 	lazy := core.New(store.New(0), d.Cfg.Seed+1)
+	lazy.SetObs(d.Obs)
 	fullMatch := core.New(store.New(0), d.Cfg.Seed+2)
+	fullMatch.SetObs(d.Obs)
 	var onlineCum, fmCum, lazyCum time.Duration
 	var modes [3]int // offline, partial, online
 

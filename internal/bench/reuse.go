@@ -36,6 +36,7 @@ func ReuseSweep(d *Data) (*Table, error) {
 		qHi := qLo + width - 1
 
 		lazy := core.New(store.New(0), d.Cfg.Seed+uint64(pct))
+		lazy.SetObs(d.Obs)
 		basePred := algebra.NewPredicate().WithRange("lo_intkey", baseLo, baseHi)
 		if _, err := lazy.Sample(core.Request{
 			Query:     &engine.Query{Fact: d.Lineorder, Filter: basePred},

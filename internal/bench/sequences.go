@@ -139,7 +139,9 @@ func RunSequence(d *Data, long, q2 bool) (*SeqResult, error) {
 	steps := d.steps(long)
 	k := d.seqK()
 	lazy := core.New(store.New(0), d.Cfg.Seed+7)
+	lazy.SetObs(d.Obs)
 	fullMatch := core.New(store.New(0), d.Cfg.Seed+8)
+	fullMatch.SetObs(d.Obs)
 	out := &SeqResult{Long: long, Q2: q2, Domain: int64(d.Cfg.Rows)}
 
 	for i, step := range steps {

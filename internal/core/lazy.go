@@ -26,11 +26,13 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"laqy/internal/algebra"
 	"laqy/internal/engine"
 	"laqy/internal/expr"
+	"laqy/internal/obs"
 	"laqy/internal/rng"
 	"laqy/internal/sample"
 	"laqy/internal/store"
@@ -140,13 +142,47 @@ type Result struct {
 // LazySampler binds a sample store to an execution engine.
 type LazySampler struct {
 	store *store.Store
+
+	// genMu serializes gen: concurrent partial merges on different
+	// entries each draw their merge RNG substream from the shared
+	// generator (a DB is documented safe for concurrent queries).
+	genMu sync.Mutex
 	gen   *rng.Lehmer64
+
+	// met holds cached metric instruments; nil instruments (the unwired
+	// default) are no-ops.
+	met samplerMetrics
+}
+
+// samplerMetrics caches the sampler's obs instruments so Algorithm 1's
+// decision points never touch the registry map.
+type samplerMetrics struct {
+	online, partial, offline *obs.Counter
+	supportFallback          *obs.Counter
+	deltaBuilds, merges      *obs.Counter
+	mergeSeconds             *obs.Histogram
 }
 
 // New creates a lazy sampler over the given store. seed drives merge
 // randomness (per-request sampling randomness comes from Request.Seed).
 func New(st *store.Store, seed uint64) *LazySampler {
 	return &LazySampler{store: st, gen: rng.NewLehmer64(seed)}
+}
+
+// SetObs wires the sampler's (and its store's) telemetry into a metrics
+// registry. Call before concurrent use (laqy.Open does). A nil registry
+// leaves the sampler unobserved.
+func (l *LazySampler) SetObs(reg *obs.Registry) {
+	l.met = samplerMetrics{
+		online:          reg.Counter(obs.MSamplerOnline),
+		partial:         reg.Counter(obs.MSamplerPartial),
+		offline:         reg.Counter(obs.MSamplerOffline),
+		supportFallback: reg.Counter(obs.MSamplerSupportFallback),
+		deltaBuilds:     reg.Counter(obs.MDeltaBuilds),
+		merges:          reg.Counter(obs.MSampleMerges),
+		mergeSeconds:    reg.Histogram(obs.MMergeSeconds),
+	}
+	l.store.SetObs(reg)
 }
 
 // Store returns the underlying sample store.
@@ -166,15 +202,48 @@ func InputSignature(q *engine.Query) string {
 	return b.String()
 }
 
-// Sample serves a logical sampler request per Algorithm 1.
+// Sample serves a logical sampler request per Algorithm 1, recording the
+// path taken (online / partial / offline, plus support fallbacks) in the
+// wired metrics registry.
 func (l *LazySampler) Sample(req Request) (*Result, error) {
-	start := time.Now()
+	res, err := l.sample(req)
+	if err == nil && res != nil {
+		switch res.Mode {
+		case ModeOnline:
+			l.met.online.Inc()
+		case ModePartial:
+			l.met.partial.Inc()
+		case ModeOffline:
+			l.met.offline.Inc()
+		}
+		if res.SupportFallback {
+			l.met.supportFallback.Inc()
+		}
+	}
+	return res, err
+}
+
+func (l *LazySampler) sample(req Request) (*Result, error) {
+	start := obs.Clock()
 	if err := validate(&req); err != nil {
 		return nil, err
 	}
 	input := InputSignature(req.Query)
 
+	lsp := obs.SpanFrom(req.Query.Ctx).Start("store lookup")
 	match := l.store.Lookup(input, req.Schema, req.QCSWidth, req.effectiveK(), req.Predicate)
+	switch {
+	case match == nil:
+		lsp.SetAttr("reuse", "miss")
+	case match.Reuse == algebra.ReuseFull:
+		lsp.SetAttr("reuse", "full")
+		lsp.SetAttr("matched", match.Meta.Predicate.String())
+	default:
+		lsp.SetAttr("reuse", "partial")
+		lsp.SetAttr("matched", match.Meta.Predicate.String())
+		lsp.SetAttr("delta", match.Delta.Column+"∈"+match.Delta.Missing.String())
+	}
+	lsp.End()
 	switch {
 	case match == nil:
 		// No overlapping sample: pure online sampling (S_lazy ← S).
@@ -218,7 +287,9 @@ func validate(req *Request) error {
 
 // online builds a full online sample for the request and stores it.
 func (l *LazySampler) online(req Request, input string, start time.Time) (*Result, error) {
-	sam, stats, err := engine.RunStratifiedExprs(req.Query, engine.ExprsFromNames(req.Schema), req.QCSWidth, req.effectiveK(), req.Seed, req.Workers)
+	q := spanQuery(req.Query, "online sample")
+	sam, stats, err := engine.RunStratifiedExprs(q, engine.ExprsFromNames(req.Schema), req.QCSWidth, req.effectiveK(), req.Seed, req.Workers)
+	endSpanQuery(q, &stats)
 	if err != nil {
 		return nil, err
 	}
@@ -246,8 +317,33 @@ func (l *LazySampler) online(req Request, input string, start time.Time) (*Resul
 		Missing:     missing,
 		DeltaColumn: col,
 		Stats:       stats,
-		Total:       time.Since(start),
+		Total:       obs.Since(start),
 	}, nil
+}
+
+// spanQuery returns a copy of q whose context carries a fresh child span
+// named name, so the engine's own pipeline spans nest under the sampler
+// phase that triggered them. When tracing is off it returns q unchanged.
+func spanQuery(q *engine.Query, name string) *engine.Query {
+	sp := obs.SpanFrom(q.Ctx).Start(name)
+	if sp == nil {
+		return q
+	}
+	out := *q
+	out.Ctx = obs.WithSpan(q.Ctx, sp)
+	return &out
+}
+
+// endSpanQuery closes the span opened by spanQuery, annotating it with the
+// engine's row counts.
+func endSpanQuery(q *engine.Query, stats *engine.Stats) {
+	sp := obs.SpanFrom(q.Ctx)
+	if sp == nil {
+		return
+	}
+	sp.SetAttrInt("rows_scanned", stats.RowsScanned)
+	sp.SetAttrInt("rows_selected", stats.RowsSelected)
+	sp.End()
 }
 
 // offline serves a request from a fully subsuming stored sample, tightening
@@ -255,7 +351,9 @@ func (l *LazySampler) online(req Request, input string, start time.Time) (*Resul
 func (l *LazySampler) offline(req Request, match *store.Match, start time.Time) (*Result, error) {
 	res := &Result{Mode: ModeOffline}
 
-	mergeStart := time.Now()
+	mergeStart := obs.Clock()
+	tsp := obs.SpanFrom(req.Query.Ctx).Start("tighten")
+	defer tsp.End()
 	sam := match.Sample
 	tightenPred := tighteningPredicate(match.Meta.Predicate, req.Predicate)
 	if !tightenPred.IsTrue() {
@@ -278,8 +376,8 @@ func (l *LazySampler) offline(req Request, match *store.Match, start time.Time) 
 		res.Stats = repairStats
 	}
 	res.Sample = sam
-	res.MergeTime = time.Since(mergeStart)
-	res.Total = time.Since(start)
+	res.MergeTime = obs.Since(mergeStart)
+	res.Total = obs.Since(start)
 	return res, nil
 }
 
@@ -296,10 +394,14 @@ func (l *LazySampler) partial(req Request, input string, match *store.Match, sta
 	if err != nil {
 		return nil, err
 	}
+	deltaQuery = spanQuery(deltaQuery, "Δ-sample")
+	obs.SpanFrom(deltaQuery.Ctx).SetAttr("missing", delta.Column+"∈"+delta.Missing.String())
 	deltaSample, stats, err := engine.RunStratifiedExprs(deltaQuery, engine.ExprsFromNames(meta.Schema), req.QCSWidth, meta.K, req.Seed, req.Workers)
+	endSpanQuery(deltaQuery, &stats)
 	if err != nil {
 		return nil, err
 	}
+	l.met.deltaBuilds.Inc()
 
 	// Merge Δ with a clone of the stored sample (Algorithm 3) and expand
 	// the stored entry's coverage to the union of predicates. The clone
@@ -308,9 +410,14 @@ func (l *LazySampler) partial(req Request, input string, match *store.Match, sta
 	// under the store lock. Two racing partial merges on one entry both
 	// answer correctly; the later Update wins and the other Δ is simply
 	// not retained.
-	mergeStart := time.Now()
-	merged, err := sample.MergeStratified(match.Sample.Clone(), deltaSample, l.gen.Split(l.gen.Next()))
+	mergeStart := obs.Clock()
+	msp := obs.SpanFrom(req.Query.Ctx).Start("merge")
+	l.genMu.Lock()
+	mergeGen := l.gen.Split(l.gen.Next())
+	l.genMu.Unlock()
+	merged, err := sample.MergeStratified(match.Sample.Clone(), deltaSample, mergeGen)
 	if err != nil {
+		msp.End()
 		return nil, err
 	}
 	storedSet, _ := meta.Predicate.Constraint(delta.Column)
@@ -339,7 +446,11 @@ func (l *LazySampler) partial(req Request, input string, match *store.Match, sta
 			}
 		}
 	}
-	mergeTime := time.Since(mergeStart)
+	mergeTime := obs.Since(mergeStart)
+	msp.SetAttrInt("strata", int64(merged.NumStrata()))
+	msp.End()
+	l.met.merges.Inc()
+	l.met.mergeSeconds.Observe(mergeTime)
 
 	if supportFallback {
 		res, err := l.online(req, input, start)
@@ -356,7 +467,7 @@ func (l *LazySampler) partial(req Request, input string, match *store.Match, sta
 		DeltaColumn: delta.Column,
 		Stats:       stats,
 		MergeTime:   mergeTime,
-		Total:       time.Since(start),
+		Total:       obs.Since(start),
 	}, nil
 }
 

@@ -170,14 +170,17 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 	if rowsScanned < 0 {
 		rowsScanned = 0
 	}
-	return Stats{
+	end := time.Now()
+	stats := Stats{
 		Scan:         time.Duration(scanNanos.Load() / int64(workers)),
 		Process:      time.Duration(processNanos.Load() / int64(workers)),
-		Wall:         time.Since(start),
+		Wall:         end.Sub(start),
 		RowsScanned:  rowsScanned,
 		RowsSelected: selected.Load(),
 		Workers:      workers,
-	}, nil
+	}
+	finishPipeline(q, &stats, len(morsels), start, end)
+	return stats, nil
 }
 
 // stratifiedSink feeds gathered rows into a per-worker stratified sample.

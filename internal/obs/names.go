@@ -1,0 +1,53 @@
+package obs
+
+// Canonical metric names. Instrumented packages reference these constants
+// rather than string literals so the catalog in docs/OBSERVABILITY.md stays
+// the single source of truth and renames touch one file.
+const (
+	// Frontend (laqy / internal/sql).
+	MParseTotal          = "laqy_parse_total"
+	MParseErrors         = "laqy_parse_errors_total"
+	MPlanTotal           = "laqy_plan_total"
+	MPlanErrors          = "laqy_plan_errors_total"
+	MQueriesTotal        = "laqy_queries_total"
+	MQueryErrors         = "laqy_query_errors_total"
+	MQuerySeconds        = "laqy_query_seconds"
+	MErrorRetries        = "laqy_error_retries_total"
+	MExactFallbacks      = "laqy_exact_fallbacks_total"
+	MModePrefix          = "laqy_queries_mode_" // + mode string + "_total"
+	MTracesTotal         = "laqy_traces_total"
+	MExplainAnalyzeTotal = "laqy_explain_analyze_total"
+
+	// Lazy sampler (internal/core).
+	MSamplerOnline          = "laqy_sampler_online_total"
+	MSamplerPartial         = "laqy_sampler_partial_total"
+	MSamplerOffline         = "laqy_sampler_offline_total"
+	MSamplerSupportFallback = "laqy_sampler_support_fallback_total"
+	MDeltaBuilds            = "laqy_sampler_delta_builds_total"
+	MSampleMerges           = "laqy_sampler_merges_total"
+	MMergeSeconds           = "laqy_sampler_merge_seconds"
+
+	// Sample store (internal/store).
+	MStoreLookupFull    = "laqy_store_lookup_full_total"
+	MStoreLookupPartial = "laqy_store_lookup_partial_total"
+	MStoreLookupMiss    = "laqy_store_lookup_miss_total"
+	MStoreEvictions     = "laqy_store_evictions_total"
+	MStorePuts          = "laqy_store_puts_total"
+	MStoreUpdates       = "laqy_store_updates_total"
+	MStoreSamples       = "laqy_store_samples" // gauge
+	MStoreBytes         = "laqy_store_bytes"   // gauge
+	MStoreSaves         = "laqy_store_saves_total"
+	MStoreSaveErrors    = "laqy_store_save_errors_total"
+	MStoreLoads         = "laqy_store_loads_total"
+	MStoreLoadErrors    = "laqy_store_load_errors_total"
+	MStoreSalvaged      = "laqy_store_salvaged_entries_total"
+	MStoreSalvageDrops  = "laqy_store_salvage_dropped_total"
+
+	// Execution engine (internal/engine).
+	MEngineRuns         = "laqy_engine_runs_total"
+	MEngineMorsels      = "laqy_engine_morsels_total"
+	MEngineRowsScanned  = "laqy_engine_rows_scanned_total"
+	MEngineRowsSelected = "laqy_engine_rows_selected_total"
+	MEngineWallSeconds  = "laqy_engine_wall_seconds"
+	MEngineScanSeconds  = "laqy_engine_scan_seconds"
+)

@@ -1,0 +1,345 @@
+// Package obs is LAQy's zero-dependency observability substrate: an
+// atomic, sharded-by-core metrics registry plus per-query trace spans,
+// wired through every layer of the query lifecycle (internal/sql → core →
+// engine → sample → store) and surfaced publicly as laqy.Metrics(),
+// DB.Handler(), Result.Trace and EXPLAIN ANALYZE.
+//
+// Design constraints, in order:
+//
+//  1. The hot path must not notice it. Counters are striped across
+//     cache-line-padded atomic shards (no lock, no false sharing) and
+//     every instrument is nil-safe: a disabled registry hands out nil
+//     instruments whose methods are single-branch no-ops, so the
+//     instrumentation overhead on the exact Q1.1 hot path stays < 2%
+//     (bench_test.go guards this).
+//  2. Zero dependencies. Exposition implements the Prometheus text format
+//     and a JSON snapshot by hand; no client library.
+//  3. One clock seam. Instrumented packages call obs.Clock/obs.Since
+//     instead of time.Now/time.Since directly (enforced by the obscheck
+//     analyzer in laqy-vet), so phase timing is attributable and could be
+//     virtualized for deterministic tests.
+//
+// See docs/OBSERVABILITY.md for the metric catalog and span semantics.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Clock returns the current time. It is the single time source for
+// instrumented packages (core, store, sql): the obscheck analyzer flags
+// direct time.Now() calls there so phase timing always flows through this
+// seam.
+func Clock() time.Time { return time.Now() }
+
+// Since returns the elapsed time since t, measured against Clock.
+func Since(t time.Time) time.Duration { return time.Since(t) }
+
+// numShards stripes counters to avoid cross-core cache-line bouncing. It
+// must be a power of two.
+const numShards = 32
+
+// shard is one cache-line-padded counter cell.
+type shard struct {
+	v atomic.Int64
+	_ [56]byte // pad to 64 bytes so adjacent shards never share a line
+}
+
+// shardIndex picks a shard from the current goroutine's stack address — a
+// cheap, allocation-free proxy for the running core: goroutine stacks are
+// spread across the address space, so concurrent writers land on different
+// shards with high probability. The pointer never escapes (it is only
+// hashed), so the local stays on the stack.
+func shardIndex() int {
+	var x byte
+	p := uintptr(unsafe.Pointer(&x))
+	return int((p>>9)^(p>>17)) & (numShards - 1)
+}
+
+// Counter is a monotonically increasing, sharded atomic counter. The nil
+// Counter is a valid no-op instrument (what a disabled Registry hands out).
+type Counter struct {
+	shards [numShards]shard
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus counter semantics).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// Value sums the shards.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value. The nil Gauge is a valid no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the current value by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value loads the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// numBuckets covers 1ns..~17s in powers of two; the last bucket is the
+// overflow (+Inf) bucket.
+const numBuckets = 35
+
+// Histogram is a duration histogram with power-of-two nanosecond buckets:
+// bucket i counts observations in [2^(i-1), 2^i) ns (bucket 0: < 1ns).
+// The nil Histogram is a valid no-op instrument.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	idx := 0
+	for v := ns; v > 0 && idx < numBuckets-1; v >>= 1 {
+		idx++
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// BucketBound returns the inclusive upper bound of bucket i in nanoseconds
+// (the last bucket is unbounded and reports -1).
+func BucketBound(i int) int64 {
+	if i >= numBuckets-1 {
+		return -1
+	}
+	return int64(1) << uint(i)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count int64
+	// Sum is the total observed duration.
+	Sum time.Duration
+	// Buckets holds per-bucket counts; bucket i covers durations up to
+	// BucketBound(i) nanoseconds.
+	Buckets [numBuckets]int64
+}
+
+// snapshot copies the histogram counters.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sumNs.Load())
+	return s
+}
+
+// Registry is a named collection of instruments. Instruments are created
+// on first use and live for the registry's lifetime; hot paths should
+// resolve instruments once and cache the pointers. The zero value is a
+// live registry; the nil pointer and Disabled hand out nil (no-op)
+// instruments.
+type Registry struct {
+	disabled bool
+
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// Disabled is a registry whose instruments are all no-ops — the baseline
+// side of the instrumentation-overhead comparison.
+var Disabled = &Registry{disabled: true}
+
+// NewRegistry creates an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed. Disabled and
+// nil registries return nil (a valid no-op counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil || r.disabled {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil || r.disabled {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named duration histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil || r.disabled {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = map[string]*Histogram{}
+	}
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a consistent point-in-time copy of a registry's instruments
+// (consistent per instrument; cross-instrument skew is bounded by the copy
+// loop).
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil || r.disabled {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Merge adds another snapshot into this one (counters and gauges sum;
+// histogram buckets add) — used to aggregate per-DB registries into the
+// process-wide laqy.Metrics() view.
+func (s *Snapshot) Merge(o Snapshot) {
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[name] += v
+	}
+	for name, h := range o.Histograms {
+		cur := s.Histograms[name]
+		cur.Count += h.Count
+		cur.Sum += h.Sum
+		for i := range cur.Buckets {
+			cur.Buckets[i] += h.Buckets[i]
+		}
+		s.Histograms[name] = cur
+	}
+}
+
+// sortedKeys returns map keys in deterministic order for exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("laqy_test_total")
+	const workers, per = 16, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if same := reg.Counter("laqy_test_total"); same != c {
+		t.Fatal("Counter did not return the same instrument for the same name")
+	}
+}
+
+func TestDisabledAndNilInstrumentsAreNoOps(t *testing.T) {
+	// The zero value is a live registry; nil and Disabled are no-ops.
+	var zero Registry
+	if zero.Counter("x").Inc(); zero.Counter("x").Value() != 1 {
+		t.Fatal("zero-value registry should be live")
+	}
+	for _, reg := range []*Registry{nil, Disabled} {
+		c := reg.Counter("x")
+		c.Inc()
+		c.Add(5)
+		if c.Value() != 0 {
+			t.Fatal("disabled counter accumulated")
+		}
+		g := reg.Gauge("y")
+		g.Set(3)
+		g.Add(1)
+		if g.Value() != 0 {
+			t.Fatal("disabled gauge accumulated")
+		}
+		h := reg.Histogram("z")
+		h.Observe(time.Second)
+		snap := reg.Snapshot()
+		if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+			t.Fatal("disabled registry produced a non-empty snapshot")
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("laqy_test_seconds")
+	h.Observe(0)
+	h.Observe(3 * time.Nanosecond)  // bucket for <=4ns
+	h.Observe(1 * time.Microsecond) // 1000ns -> <=1024
+	h.Observe(100 * time.Hour)      // overflow bucket
+	h.Observe(-time.Second)         // clamps to 0
+	snap := h.snapshot()
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	if snap.Buckets[numBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", snap.Buckets[numBuckets-1])
+	}
+	var total int64
+	for _, c := range snap.Buckets {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("bucket total = %d, want 5", total)
+	}
+	if BucketBound(0) != 1 || BucketBound(numBuckets-1) != -1 {
+		t.Fatalf("bucket bounds: %d, %d", BucketBound(0), BucketBound(numBuckets-1))
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("laqy_a_total").Add(7)
+	reg.Gauge("laqy_b").Set(-2)
+	reg.Histogram("laqy_c_seconds").Observe(2 * time.Millisecond)
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE laqy_a_total counter\nlaqy_a_total 7\n",
+		"# TYPE laqy_b gauge\nlaqy_b -2\n",
+		"# TYPE laqy_c_seconds histogram\n",
+		`laqy_c_seconds_bucket{le="+Inf"} 1`,
+		"laqy_c_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("laqy_a_total").Add(3)
+	reg.Histogram("laqy_c_seconds").Observe(time.Millisecond)
+	var b strings.Builder
+	if err := reg.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"laqy_a_total": 3`, `"laqy_c_seconds"`, `"count": 1`} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("JSON missing %q in:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestSnapshotMergeAndDiff(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("c").Add(1)
+	b.Counter("c").Add(2)
+	b.Counter("d").Add(5)
+	a.Histogram("h").Observe(time.Second)
+	b.Histogram("h").Observe(time.Second)
+
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	if merged.Counters["c"] != 3 || merged.Counters["d"] != 5 {
+		t.Fatalf("merged counters = %v", merged.Counters)
+	}
+	if h := merged.Histograms["h"]; h.Count != 2 || h.Sum != 2*time.Second {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+
+	before := a.Snapshot()
+	a.Counter("c").Add(4)
+	diff := a.Snapshot().DiffCounters(before)
+	if len(diff) != 1 || diff["c"] != 4 {
+		t.Fatalf("diff = %v", diff)
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace("query")
+	root := tr.Root()
+	child := root.Start("execute")
+	child.SetAttr("mode", "partial")
+	child.SetAttrInt("rows", 42)
+	grand := child.Start("merge")
+	grand.End()
+	child.End()
+	root.Record("parse", Clock().Add(-time.Millisecond), Clock())
+	root.End()
+
+	if got := len(root.Children()); got != 2 {
+		t.Fatalf("root children = %d, want 2", got)
+	}
+	out := tr.Render()
+	for _, want := range []string{"query", "execute", "merge", "parse", "mode=partial", "rows=42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Nil spans are inert end to end.
+	var nilSpan *Span
+	nilSpan.SetAttr("k", "v")
+	nilSpan.End()
+	if s := nilSpan.Start("x"); s != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	if (*Trace)(nil).Render() != "" {
+		t.Fatal("nil trace rendered")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if SpanFrom(nil) != nil || RegistryFrom(nil) != nil {
+		t.Fatal("nil context returned instruments")
+	}
+	if SpanFrom(context.Background()) != nil {
+		t.Fatal("empty context returned a span")
+	}
+	tr := NewTrace("q")
+	reg := NewRegistry()
+	ctx := WithRegistry(WithSpan(context.Background(), tr.Root()), reg)
+	if SpanFrom(ctx) != tr.Root() {
+		t.Fatal("span did not round-trip")
+	}
+	if RegistryFrom(ctx) != reg {
+		t.Fatal("registry did not round-trip")
+	}
+}
+
+func TestTraceConcurrentChildren(t *testing.T) {
+	tr := NewTrace("q")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := tr.Root().Start("worker")
+			s.SetAttr("k", "v")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Root().Children()); got != 8 {
+		t.Fatalf("children = %d, want 8", got)
+	}
+}

@@ -140,4 +140,11 @@ type Statement struct {
 	OrderBy []OrderItem
 	// Limit caps the number of result rows (0 = no limit).
 	Limit int
+	// Explain requests the plan description instead of execution
+	// (EXPLAIN <select>).
+	Explain bool
+	// ExplainAnalyze requests execution plus the annotated per-phase trace
+	// (EXPLAIN ANALYZE <select>). Explain and ExplainAnalyze are mutually
+	// exclusive.
+	ExplainAnalyze bool
 }

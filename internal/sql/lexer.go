@@ -51,6 +51,7 @@ var keywords = map[string]bool{
 	"APPROX": true, "WITH": true, "K": true, "JOIN": true, "ON": true,
 	"ERROR": true, "CONFIDENCE": true,
 	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true, "HAVING": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // lex tokenizes the input, returning a token stream or a positioned error.

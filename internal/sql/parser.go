@@ -7,17 +7,30 @@ import (
 	"laqy/internal/approx"
 )
 
-// Parse compiles a SQL string into a Statement.
+// Parse compiles a SQL string into a Statement. A SELECT may be prefixed
+// with EXPLAIN (plan only) or EXPLAIN ANALYZE (execute and report the
+// annotated trace).
 func Parse(input string) (*Statement, error) {
 	toks, err := lex(input)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	explain, analyze := false, false
+	if p.peek().kind == tokKeyword && p.peek().text == "EXPLAIN" {
+		p.next()
+		explain = true
+		if p.peek().kind == tokKeyword && p.peek().text == "ANALYZE" {
+			p.next()
+			analyze = true
+		}
+	}
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
+	stmt.Explain = explain && !analyze
+	stmt.ExplainAnalyze = analyze
 	// Allow a trailing semicolon.
 	if p.peek().kind == tokSymbol && p.peek().text == ";" {
 		p.next()

@@ -55,6 +55,9 @@ type Plan struct {
 	// Dicts maps dictionary-encoded column names to their dictionaries,
 	// for decoding group keys in results.
 	Dicts map[string]*storage.Dict
+	// Explain requests the plan description instead of execution;
+	// ExplainAnalyze requests execution plus the annotated trace.
+	Explain, ExplainAnalyze bool
 }
 
 // PlanHaving is one resolved HAVING conjunct over a select-list aggregate.
@@ -218,13 +221,15 @@ func PlanStatement(stmt *Statement, catalog *storage.Catalog) (*Plan, error) {
 	}
 
 	plan := &Plan{
-		Query:      q,
-		Predicate:  pred,
-		Approx:     stmt.Approx,
-		K:          stmt.ApproxK,
-		ErrorBound: stmt.ApproxError,
-		Confidence: stmt.ApproxConfidence,
-		Dicts:      dicts,
+		Query:          q,
+		Predicate:      pred,
+		Approx:         stmt.Approx,
+		K:              stmt.ApproxK,
+		ErrorBound:     stmt.ApproxError,
+		Confidence:     stmt.ApproxConfidence,
+		Dicts:          dicts,
+		Explain:        stmt.Explain,
+		ExplainAnalyze: stmt.ExplainAnalyze,
 	}
 
 	// Validate the select list against GROUP BY and collect aggregates.

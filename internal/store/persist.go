@@ -149,6 +149,16 @@ type binWriter interface {
 // Save serializes the store's entries to w in format v2. The LRU clock is
 // not persisted; loaded entries start fresh.
 func (s *Store) Save(w io.Writer) error {
+	err := s.save(w)
+	if err != nil {
+		s.met.saveErrors.Inc()
+	} else {
+		s.met.saves.Inc()
+	}
+	return err
+}
+
+func (s *Store) save(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -277,6 +287,22 @@ func (s *Store) SalvageFileFS(fsys iofault.FS, path string, seed uint64) error {
 // installed only after the whole stream is processed, so a strict failure
 // leaves the store unchanged.
 func (s *Store) load(r io.Reader, seed uint64, salvage bool, path string) error {
+	err := s.loadInner(r, seed, salvage, path)
+	switch e := err.(type) {
+	case nil:
+		s.met.loads.Inc()
+	case *CorruptStoreError:
+		// Salvage recovered what it could: the load itself succeeded.
+		s.met.loads.Inc()
+		s.met.salvaged.Add(int64(e.Loaded))
+		s.met.salvageDropped.Add(int64(len(e.Dropped)))
+	default:
+		s.met.loadErrors.Inc()
+	}
+	return err
+}
+
+func (s *Store) loadInner(r io.Reader, seed uint64, salvage bool, path string) error {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, len(persistMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -315,6 +341,7 @@ func (s *Store) load(r io.Reader, seed uint64, salvage bool, path string) error 
 		s.entries = append(s.entries, e)
 	}
 	s.enforceBudgetLocked()
+	s.refreshGaugesLocked()
 	s.mu.Unlock()
 	if len(corrupt.Dropped) > 0 || corrupt.Footer != "" {
 		corrupt.Loaded = len(loaded)

@@ -211,14 +211,14 @@ func TestSalvageTruncations(t *testing.T) {
 		want int // complete entries recoverable
 	}
 	cuts := []cut{
-		{len(persistMagicV2) + 1, 0},  // inside the header
-		{payloads[0][0] + 10, 0},      // inside entry 0's payload
-		{payloads[0][1] + 2, 0},       // inside entry 0's CRC
-		{payloads[1][0] - 1, 1},       // inside entry 1's frame header
+		{len(persistMagicV2) + 1, 0},               // inside the header
+		{payloads[0][0] + 10, 0},                   // inside entry 0's payload
+		{payloads[0][1] + 2, 0},                    // inside entry 0's CRC
+		{payloads[1][0] - 1, 1},                    // inside entry 1's frame header
 		{(payloads[1][0] + payloads[1][1]) / 2, 1}, // mid entry 1
-		{payloads[2][1] + 4, 3},       // after the last frame, footer missing
-		{footerStart + 3, 3},          // inside the footer magic
-		{len(clean) - 2, 3},           // inside the footer CRC
+		{payloads[2][1] + 4, 3},                    // after the last frame, footer missing
+		{footerStart + 3, 3},                       // inside the footer magic
+		{len(clean) - 2, 3},                        // inside the footer CRC
 	}
 	for _, c := range cuts {
 		mut := clean[:c.at]

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"laqy/internal/algebra"
+	"laqy/internal/obs"
 	"laqy/internal/sample"
 )
 
@@ -81,6 +82,11 @@ type Match struct {
 	Reuse algebra.Reuse
 	// Delta is non-nil for partial reuse: the missing range to Δ-sample.
 	Delta *algebra.Delta
+	// Bytes is the entry's estimated footprint, snapshotted under the
+	// store lock. Populated by List only (Lookup leaves it 0 to keep the
+	// hot path free of the per-stratum size walk); readers must use it
+	// instead of Entry.SizeBytes, which races with concurrent Updates.
+	Bytes int64
 }
 
 // Stats counts lookup outcomes, the reuse telemetry behind Figures 9–10.
@@ -98,12 +104,57 @@ type Store struct {
 	budget  int64 // bytes; 0 = unbounded
 	clock   int64
 	stats   Stats
+
+	// met holds cached metric instruments (nil instruments are no-ops, so
+	// an unwired store costs one predictable branch per event).
+	met storeMetrics
+}
+
+// storeMetrics caches the store's obs instruments so the hot lookup path
+// never touches the registry map.
+type storeMetrics struct {
+	lookupFull, lookupPartial, lookupMiss *obs.Counter
+	evictions, puts, updates              *obs.Counter
+	saves, saveErrors                     *obs.Counter
+	loads, loadErrors                     *obs.Counter
+	salvaged, salvageDropped              *obs.Counter
+	samples, bytes                        *obs.Gauge
 }
 
 // New creates a store with the given storage budget in bytes (0 =
 // unbounded).
 func New(budgetBytes int64) *Store {
 	return &Store{budget: budgetBytes}
+}
+
+// SetObs wires the store's telemetry into a metrics registry. Call before
+// concurrent use (laqy.Open does). A nil registry leaves the store
+// unobserved.
+func (s *Store) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = storeMetrics{
+		lookupFull:     reg.Counter(obs.MStoreLookupFull),
+		lookupPartial:  reg.Counter(obs.MStoreLookupPartial),
+		lookupMiss:     reg.Counter(obs.MStoreLookupMiss),
+		evictions:      reg.Counter(obs.MStoreEvictions),
+		puts:           reg.Counter(obs.MStorePuts),
+		updates:        reg.Counter(obs.MStoreUpdates),
+		saves:          reg.Counter(obs.MStoreSaves),
+		saveErrors:     reg.Counter(obs.MStoreSaveErrors),
+		loads:          reg.Counter(obs.MStoreLoads),
+		loadErrors:     reg.Counter(obs.MStoreLoadErrors),
+		salvaged:       reg.Counter(obs.MStoreSalvaged),
+		salvageDropped: reg.Counter(obs.MStoreSalvageDrops),
+		samples:        reg.Gauge(obs.MStoreSamples),
+		bytes:          reg.Gauge(obs.MStoreBytes),
+	}
+}
+
+// refreshGaugesLocked publishes the store's current footprint.
+func (s *Store) refreshGaugesLocked() {
+	s.met.samples.Set(int64(len(s.entries)))
+	s.met.bytes.Set(s.totalBytesLocked())
 }
 
 // Len returns the number of stored samples.
@@ -163,6 +214,7 @@ func (s *Store) Lookup(input string, schema sample.Schema, qcsWidth, k int, pred
 			s.clock++
 			e.lastUsed = s.clock
 			s.stats.Full++
+			s.met.lookupFull.Inc()
 			return &Match{Entry: e, Meta: e.Meta, Sample: e.Sample, Reuse: algebra.ReuseFull}
 		case algebra.ReusePartial:
 			missing := delta.Missing.Count()
@@ -176,9 +228,11 @@ func (s *Store) Lookup(input string, schema sample.Schema, qcsWidth, k int, pred
 		s.clock++
 		best.Entry.lastUsed = s.clock
 		s.stats.Partial++
+		s.met.lookupPartial.Inc()
 		return best
 	}
 	s.stats.Miss++
+	s.met.lookupMiss.Inc()
 	return nil
 }
 
@@ -200,7 +254,9 @@ func (s *Store) Put(meta Meta, sam *sample.Stratified) (*Entry, error) {
 	s.clock++
 	e := &Entry{Meta: meta, Sample: sam, lastUsed: s.clock}
 	s.entries = append(s.entries, e)
+	s.met.puts.Inc()
 	s.enforceBudgetLocked()
+	s.refreshGaugesLocked()
 	return e, nil
 }
 
@@ -213,7 +269,9 @@ func (s *Store) Update(e *Entry, sam *sample.Stratified, pred algebra.Predicate)
 	e.Predicate = pred
 	s.clock++
 	e.lastUsed = s.clock
+	s.met.updates.Inc()
 	s.enforceBudgetLocked()
+	s.refreshGaugesLocked()
 }
 
 // Remove deletes an entry (e.g. on explicit invalidation after data
@@ -224,6 +282,7 @@ func (s *Store) Remove(e *Entry) {
 	for i, x := range s.entries {
 		if x == e {
 			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			s.refreshGaugesLocked()
 			return
 		}
 	}
@@ -234,6 +293,7 @@ func (s *Store) Clear() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.entries = nil
+	s.refreshGaugesLocked()
 }
 
 // TotalBytes returns the store's current estimated footprint.
@@ -281,6 +341,7 @@ func (s *Store) enforceBudgetLocked() {
 		}
 		s.entries = append(s.entries[:oldest], s.entries[oldest+1:]...)
 		s.stats.Evicted++
+		s.met.evictions.Inc()
 	}
 }
 
@@ -292,7 +353,7 @@ func (s *Store) List() []Match {
 	defer s.mu.Unlock()
 	out := make([]Match, 0, len(s.entries))
 	for _, e := range s.entries {
-		out = append(out, Match{Entry: e, Meta: e.Meta, Sample: e.Sample})
+		out = append(out, Match{Entry: e, Meta: e.Meta, Sample: e.Sample, Bytes: e.SizeBytes()})
 	}
 	return out
 }
@@ -313,5 +374,6 @@ func (s *Store) RemoveWhere(pred func(Meta) bool) int {
 		}
 	}
 	s.entries = kept
+	s.refreshGaugesLocked()
 	return removed
 }

@@ -31,9 +31,11 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 
 	"laqy/internal/core"
 	"laqy/internal/engine"
+	"laqy/internal/obs"
 	"laqy/internal/sample"
 	"laqy/internal/ssb"
 	"laqy/internal/storage"
@@ -61,9 +63,20 @@ type Config struct {
 	// tightened reuses keep enough per-stratum support. Values ≤ 1 mean
 	// no oversampling.
 	Oversample float64
+	// Logger receives leveled diagnostics. It supersedes Warnf: when both
+	// are set, Logger wins.
+	Logger Logger
 	// Warnf receives non-fatal diagnostics (e.g. partially corrupt sample
-	// stores salvaged on LoadSamples). Nil uses the standard logger.
+	// stores salvaged on LoadSamples).
+	//
+	// Deprecated: set Logger instead; Warnf remains as a compatibility
+	// shim receiving LogWarn and LogError messages. When neither is set
+	// the standard logger is used.
 	Warnf func(format string, args ...any)
+	// DisableMetrics turns off the metrics registry: all instruments
+	// become no-ops and Metrics()/Handler() report nothing. Tracing
+	// (SetTracing, EXPLAIN ANALYZE) is independent and stays available.
+	DisableMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +94,12 @@ type DB struct {
 	catalog *storage.Catalog
 	lazy    *core.LazySampler
 
+	// reg is the DB's metrics registry (obs.Disabled when
+	// Config.DisableMetrics); met caches the frontend instruments.
+	reg     *obs.Registry
+	met     dbMetrics
+	traceOn atomic.Bool
+
 	mu         sync.Mutex
 	queryCount uint64
 }
@@ -88,11 +107,20 @@ type DB struct {
 // Open creates an empty DB.
 func Open(cfg Config) *DB {
 	cfg = cfg.withDefaults()
-	return &DB{
+	reg := obs.NewRegistry()
+	if cfg.DisableMetrics {
+		reg = obs.Disabled
+	}
+	db := &DB{
 		cfg:     cfg,
 		catalog: storage.NewCatalog(),
-		lazy:    core.New(store.New(cfg.StoreBudgetBytes), cfg.Seed^0x1A97),
+		lazy:    core.New(store.New(cfg.StoreBudgetBytes), mergeSeed(cfg.Seed)),
+		reg:     reg,
 	}
+	db.met = newDBMetrics(reg)
+	db.lazy.SetObs(reg)
+	registerRegistry(reg)
+	return db
 }
 
 // TableBuilder assembles an in-memory table column by column. All columns
@@ -234,15 +262,6 @@ func (db *DB) SampleStoreStats() SampleStoreStats {
 // ClearSamples drops all cached samples (e.g. after a data refresh).
 func (db *DB) ClearSamples() { db.lazy.Store().Clear() }
 
-// nextSeed derives a per-query sampling seed so that identical query
-// sequences reproduce identical samples.
-func (db *DB) nextSeed() uint64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.queryCount++
-	return db.cfg.Seed + db.queryCount*0x9E3779B97F4A7C15
-}
-
 // engineWorkers resolves the configured parallelism.
 func (db *DB) engineWorkers() int {
 	if db.cfg.Workers > 0 {
@@ -269,10 +288,10 @@ func (db *DB) SaveSamples(path string) error {
 // on disk never fails startup. Unreadable files (missing, wrong magic)
 // still return an error. Use LoadSamplesStrict to reject any corruption.
 func (db *DB) LoadSamples(path string) error {
-	err := db.lazy.Store().SalvageFile(path, db.cfg.Seed^0xD15C)
+	err := db.lazy.Store().SalvageFile(path, storeFileSeed(db.cfg.Seed))
 	var corrupt *store.CorruptStoreError
 	if errors.As(err, &corrupt) {
-		db.warnf("laqy: %v (continuing with %d salvaged samples; dropped samples rebuild lazily online)",
+		db.logf(LogWarn, "laqy: %v (continuing with %d salvaged samples; dropped samples rebuild lazily online)",
 			corrupt, corrupt.Loaded)
 		return nil
 	}
@@ -282,11 +301,20 @@ func (db *DB) LoadSamples(path string) error {
 // LoadSamplesStrict restores previously saved samples, failing on any
 // corruption without loading anything.
 func (db *DB) LoadSamplesStrict(path string) error {
-	return db.lazy.Store().LoadFile(path, db.cfg.Seed^0xD15C)
+	return db.lazy.Store().LoadFile(path, storeFileSeed(db.cfg.Seed))
 }
 
-// warnf routes a non-fatal diagnostic to the configured sink.
-func (db *DB) warnf(format string, args ...any) {
+// logf routes a diagnostic to the configured sink: Config.Logger first,
+// then the deprecated Config.Warnf (LogWarn and above only), then the
+// standard logger (LogWarn and above only).
+func (db *DB) logf(level LogLevel, format string, args ...any) {
+	if db.cfg.Logger != nil {
+		db.cfg.Logger.Logf(level, format, args...)
+		return
+	}
+	if level < LogWarn {
+		return
+	}
 	if db.cfg.Warnf != nil {
 		db.cfg.Warnf(format, args...)
 		return
@@ -327,7 +355,7 @@ func (db *DB) Samples() []SampleInfo {
 			K:         m.Meta.K,
 			Strata:    m.Sample.NumStrata(),
 			Weight:    m.Sample.TotalWeight(),
-			Bytes:     m.Entry.SizeBytes(),
+			Bytes:     m.Bytes,
 		}
 		m.Sample.ForEach(func(_ sample.StratumKey, r *sample.Reservoir) {
 			info.Rows += r.Len()

@@ -62,7 +62,7 @@ func TestExactQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Approximate || res.Mode != "exact" {
+	if res.Approximate || res.Mode != ModeExact {
 		t.Fatalf("mode = %q", res.Mode)
 	}
 	if len(res.Rows) != 3 {
@@ -101,7 +101,7 @@ func TestApproxAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !approxRes.Approximate || approxRes.Mode != "online" {
+	if !approxRes.Approximate || approxRes.Mode != ModeOnline {
 		t.Fatalf("mode = %q", approxRes.Mode)
 	}
 	if len(approxRes.Rows) != len(exact.Rows) {
@@ -137,7 +137,7 @@ func TestLazyReuseAcrossQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Mode != "online" {
+	if r1.Mode != ModeOnline {
 		t.Fatalf("first query mode = %q", r1.Mode)
 	}
 	// Same query again: full reuse, no scan.
@@ -145,7 +145,7 @@ func TestLazyReuseAcrossQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r2.Mode != "offline" {
+	if r2.Mode != ModeOffline {
 		t.Fatalf("repeat query mode = %q", r2.Mode)
 	}
 	if r2.Stats.RowsScanned != 0 {
@@ -156,7 +156,7 @@ func TestLazyReuseAcrossQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r3.Mode != "partial" {
+	if r3.Mode != ModePartial {
 		t.Fatalf("expanded query mode = %q", r3.Mode)
 	}
 	if r3.Stats.RowsSelected != 10000 {
@@ -233,7 +233,7 @@ func TestQ2StyleJoinApprox(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Mode != "online" {
+	if r1.Mode != ModeOnline {
 		t.Fatalf("mode = %q", r1.Mode)
 	}
 	// Same join query again: offline reuse despite the joins.
@@ -241,7 +241,7 @@ func TestQ2StyleJoinApprox(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r2.Mode != "offline" {
+	if r2.Mode != ModeOffline {
 		t.Fatalf("repeat mode = %q", r2.Mode)
 	}
 	// A different region is a predicate mismatch on two columns → online.
@@ -254,7 +254,7 @@ func TestQ2StyleJoinApprox(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r3.Mode != "online" {
+	if r3.Mode != ModeOnline {
 		t.Fatalf("different region+range mode = %q", r3.Mode)
 	}
 }
@@ -320,7 +320,7 @@ func TestSaveLoadSamplesAcrossSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Mode != "offline" {
+	if res.Mode != ModeOffline {
 		t.Fatalf("restored sample not reused: mode = %q", res.Mode)
 	}
 	if res.Stats.RowsScanned != 0 {
@@ -332,7 +332,7 @@ func TestSaveLoadSamplesAcrossSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Mode != "partial" {
+	if res2.Mode != ModePartial {
 		t.Fatalf("extension after load: mode = %q", res2.Mode)
 	}
 	if err := db2.LoadSamples(filepath.Join(t.TempDir(), "nope")); err == nil {
@@ -351,7 +351,7 @@ func TestErrorBoundClause(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strict.Mode != "exact_fallback" {
+	if strict.Mode != ModeExactFallback {
 		t.Fatalf("mode = %q, want exact_fallback", strict.Mode)
 	}
 	for _, row := range strict.Rows {
@@ -367,7 +367,7 @@ func TestErrorBoundClause(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loose.Mode != "online" {
+	if loose.Mode != ModeOnline {
 		t.Fatalf("mode = %q, want online (bound met)", loose.Mode)
 	}
 }
@@ -421,8 +421,8 @@ func TestConcurrentApproxQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Mode == "" {
-		t.Fatal("no mode reported")
+	if !res.Mode.Approximate() {
+		t.Fatalf("mode = %v, want an approximate mode", res.Mode)
 	}
 }
 
@@ -533,7 +533,7 @@ func TestAppendMaintainsSamples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Mode != "offline" {
+	if res.Mode != ModeOffline {
 		t.Fatalf("mode after append = %q", res.Mode)
 	}
 	var total float64
@@ -620,7 +620,7 @@ func TestErrorBoundResizing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Mode == "exact_fallback" {
+	if res.Mode == ModeExactFallback {
 		t.Fatal("resizing should have met a 3% bound without exact fallback")
 	}
 	if !res.Approximate {
@@ -646,7 +646,7 @@ func TestErrorBoundResizing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Mode != "offline" {
+	if res2.Mode != ModeOffline {
 		t.Fatalf("repeat mode = %q, want offline (resized sample reused)", res2.Mode)
 	}
 }
@@ -667,14 +667,14 @@ func TestKAwareReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if small.Mode != "offline" {
+	if small.Mode != ModeOffline {
 		t.Fatalf("smaller-k request mode = %q, want offline", small.Mode)
 	}
 	big, err := db.Query(q(2000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if big.Mode != "online" {
+	if big.Mode != ModeOnline {
 		t.Fatalf("larger-k request mode = %q, want online (insufficient capacity)", big.Mode)
 	}
 }
@@ -749,7 +749,7 @@ func TestQueryContextCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Mode != "online" {
+	if res.Mode != ModeOnline {
 		t.Fatalf("mode after canceled attempts = %q", res.Mode)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"laqy/internal/approx"
 	"laqy/internal/core"
 	"laqy/internal/engine"
+	"laqy/internal/obs"
 	"laqy/internal/sample"
 	"laqy/internal/sql"
 )
@@ -82,13 +83,27 @@ type Result struct {
 	Rows []Row
 	// Approximate reports sampling-based execution.
 	Approximate bool
-	// Mode is "exact", or the sampling path taken: "online" (full sample
-	// built), "partial" (Δ-sample + merge — the lazy path), or "offline"
-	// (full sample reuse, no data scan).
-	Mode string
+	// Mode is the execution path taken: ModeExact, or for APPROX queries
+	// ModeOnline (full sample built), ModePartial (Δ-sample + merge — the
+	// lazy path), ModeOffline (full sample reuse, no data scan), or
+	// ModeExactFallback (error bound unmeetable by sampling).
+	Mode Mode
 	// Stats is the execution breakdown.
 	Stats ExecStats
+	// Trace is the annotated phase tree of this execution; non-nil when
+	// tracing is enabled (SetTracing) or the statement was EXPLAIN
+	// ANALYZE.
+	Trace *QueryTrace
+	// Explain holds rendered EXPLAIN output: the plan description for
+	// EXPLAIN, or the annotated trace for EXPLAIN ANALYZE ("" otherwise).
+	Explain string
 }
+
+// ModeString returns Mode.String().
+//
+// Deprecated: compare Result.Mode against the Mode constants instead; this
+// exists for code written against the former string-typed field.
+func (r *Result) ModeString() string { return r.Mode.String() }
 
 // Query parses, plans, and executes a SQL statement. Aggregation queries
 // are supported; the APPROX clause selects sampling-based execution with
@@ -100,19 +115,72 @@ func (db *DB) Query(text string) (*Result, error) {
 // QueryContext is Query with cancellation: scans abort at the next morsel
 // boundary once ctx is done, returning the context's error.
 func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
+	parseStart := obs.Clock()
 	stmt, err := sql.Parse(text)
+	db.met.parse.Inc()
 	if err != nil {
+		db.met.parseErrors.Inc()
 		return nil, err
 	}
+	parseEnd := obs.Clock()
 	plan, err := sql.PlanStatement(stmt, db.catalog)
+	db.met.plan.Inc()
 	if err != nil {
+		db.met.planErrors.Inc()
 		return nil, err
+	}
+	planEnd := obs.Clock()
+	if plan.Explain {
+		return &Result{Explain: plan.Describe()}, nil
+	}
+	return db.execute(ctx, plan, parseStart, parseEnd, planEnd)
+}
+
+// execute runs a planned statement with the observability plumbing: the
+// metrics registry (and, when tracing, the root span) ride the context
+// through core → engine → store, and the parse/plan phases measured by
+// QueryContext are recorded retroactively on the trace.
+func (db *DB) execute(ctx context.Context, plan *sql.Plan, parseStart, parseEnd, planEnd time.Time) (*Result, error) {
+	start := obs.Clock()
+	db.met.queries.Inc()
+	var tr *obs.Trace
+	if db.traceOn.Load() || plan.ExplainAnalyze {
+		tr = obs.NewTrace("query")
+		tr.Root().Record("parse", parseStart, parseEnd)
+		tr.Root().Record("plan", parseEnd, planEnd)
+		db.met.traces.Inc()
+	}
+	ctx = obs.WithRegistry(ctx, db.reg)
+	if tr != nil {
+		ctx = obs.WithSpan(ctx, tr.Root())
 	}
 	plan.Query.Ctx = ctx
+
+	var res *Result
+	var err error
 	if plan.Approx {
-		return db.runApprox(plan)
+		res, err = db.runApprox(plan)
+	} else {
+		res, err = db.runExact(plan)
 	}
-	return db.runExact(plan)
+	if err != nil {
+		db.met.queryErrors.Inc()
+		return nil, err
+	}
+	db.met.querySeconds.Observe(obs.Since(start))
+	db.met.mode(res.Mode).Inc()
+	if tr != nil {
+		root := tr.Root()
+		root.SetAttr("mode", res.Mode.String())
+		root.SetAttrInt("rows", int64(len(res.Rows)))
+		root.End()
+		res.Trace = traceFromObs(tr)
+		if plan.ExplainAnalyze {
+			db.met.explainAnalyze.Inc()
+			res.Explain = tr.Render()
+		}
+	}
+	return res, nil
 }
 
 // aggLabel renders the aggregate's result-column label (the AS alias when
@@ -142,7 +210,7 @@ func decodeGroups(plan *sql.Plan, key engine.GroupKey) []GroupValue {
 }
 
 func (db *DB) runExact(plan *sql.Plan) (*Result, error) {
-	start := time.Now()
+	start := obs.Clock()
 	// Each aggregate reads its own value column; COUNT(*) rides on the
 	// first captured value column.
 	rideOn := plan.Schema[len(plan.GroupBy)]
@@ -159,7 +227,7 @@ func (db *DB) runExact(plan *sql.Plan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := newResult(plan, false, "exact")
+	out := newResult(plan, false, ModeExact)
 	for _, key := range res.Keys() {
 		row := Row{Groups: decodeGroups(plan, key), Aggs: make([]AggValue, len(plan.Aggs))}
 		for i, a := range plan.Aggs {
@@ -168,13 +236,13 @@ func (db *DB) runExact(plan *sql.Plan) (*Result, error) {
 		}
 		out.Rows = append(out.Rows, row)
 	}
-	out.Stats = toExecStats(stats, 0, time.Since(start))
+	out.Stats = toExecStats(stats, 0, obs.Since(start))
 	finishRows(plan, out)
 	return out, nil
 }
 
 func (db *DB) runApprox(plan *sql.Plan) (*Result, error) {
-	start := time.Now()
+	start := obs.Clock()
 	k := plan.K
 	if k == 0 {
 		k = db.cfg.DefaultK
@@ -195,21 +263,9 @@ func (db *DB) runApprox(plan *sql.Plan) (*Result, error) {
 		return nil, err
 	}
 
-	out := newResult(plan, true, res.Mode.String())
-	rideOnIdx := len(plan.GroupBy)
-	res.Sample.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
-		row := Row{Groups: decodeGroups(plan, key), Aggs: make([]AggValue, len(plan.Aggs))}
-		for i, a := range plan.Aggs {
-			colIdx := rideOnIdx
-			if a.Column != "" {
-				colIdx = plan.Schema.Index(a.Column)
-			}
-			e := approx.FromReservoir(r, colIdx, a.Kind)
-			row.Aggs[i] = AggValue{Value: e.Value, StdErr: e.StdErr, Support: e.Support}
-		}
-		out.Rows = append(out.Rows, row)
-	})
-	out.Stats = toExecStats(res.Stats, res.MergeTime, time.Since(start))
+	out := newResult(plan, true, modeFromCore(res.Mode))
+	out.Rows = rowsFromSample(plan, res)
+	out.Stats = toExecStats(res.Stats, res.MergeTime, obs.Since(start))
 	finishRows(plan, out)
 
 	// APPROX ERROR e [CONFIDENCE c]: when an estimate's realized bound
@@ -230,39 +286,52 @@ func (db *DB) runApprox(plan *sql.Plan) (*Result, error) {
 			}
 		}
 		if newK := requiredK(out, k, plan.ErrorBound, conf); newK > k && newK <= maxAutoK {
+			db.met.retries.Inc()
 			req.K = newK
 			req.Seed = db.nextSeed()
 			res, err = db.lazy.Sample(req)
 			if err != nil {
 				return nil, err
 			}
-			resized := newResult(plan, true, res.Mode.String())
-			res.Sample.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
-				row := Row{Groups: decodeGroups(plan, key), Aggs: make([]AggValue, len(plan.Aggs))}
-				for i, a := range plan.Aggs {
-					colIdx := rideOnIdx
-					if a.Column != "" {
-						colIdx = plan.Schema.Index(a.Column)
-					}
-					e := approx.FromReservoir(r, colIdx, a.Kind)
-					row.Aggs[i] = AggValue{Value: e.Value, StdErr: e.StdErr, Support: e.Support}
-				}
-				resized.Rows = append(resized.Rows, row)
-			})
-			resized.Stats = toExecStats(res.Stats, res.MergeTime, time.Since(start))
+			resized := newResult(plan, true, modeFromCore(res.Mode))
+			resized.Rows = rowsFromSample(plan, res)
+			resized.Stats = toExecStats(res.Stats, res.MergeTime, obs.Since(start))
 			finishRows(plan, resized)
 			out = resized
 		}
 		if !boundsMet(out, plan.ErrorBound, conf) {
+			db.met.exactFallbacks.Inc()
 			exact, err := db.runExact(plan)
 			if err != nil {
 				return nil, err
 			}
-			exact.Mode = "exact_fallback"
+			exact.Mode = ModeExactFallback
 			return exact, nil
 		}
 	}
 	return out, nil
+}
+
+// rowsFromSample materializes result rows from a logical sample: one row
+// per stratum, each aggregate estimated from the stratum's reservoir.
+// COUNT(*) rides on the first captured value column. Both the first-pass
+// and the error-driven resized-K materializations in runApprox use this.
+func rowsFromSample(plan *sql.Plan, res *core.Result) []Row {
+	rideOnIdx := len(plan.GroupBy)
+	var rows []Row
+	res.Sample.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
+		row := Row{Groups: decodeGroups(plan, key), Aggs: make([]AggValue, len(plan.Aggs))}
+		for i, a := range plan.Aggs {
+			colIdx := rideOnIdx
+			if a.Column != "" {
+				colIdx = plan.Schema.Index(a.Column)
+			}
+			e := approx.FromReservoir(r, colIdx, a.Kind)
+			row.Aggs[i] = AggValue{Value: e.Value, StdErr: e.StdErr, Support: e.Support}
+		}
+		rows = append(rows, row)
+	})
+	return rows
 }
 
 // maxAutoK caps error-driven reservoir growth; beyond it exact execution
@@ -430,7 +499,7 @@ func boundsMet(res *Result, bound, confidence float64) bool {
 	return true
 }
 
-func newResult(plan *sql.Plan, approximate bool, mode string) *Result {
+func newResult(plan *sql.Plan, approximate bool, mode Mode) *Result {
 	out := &Result{
 		GroupColumns: append([]string{}, plan.GroupBy...),
 		Approximate:  approximate,

@@ -1,0 +1,38 @@
+package laqy
+
+// Seed derivation. Every stream of randomness in a DB is derived from the
+// single Config.Seed through the fixed constants below, so that two DBs
+// opened with the same seed and fed the same query sequence produce
+// byte-identical samples (asserted by TestSeedReproducibility). The
+// constants only decorrelate the streams from each other; their values are
+// arbitrary but frozen — changing any of them silently changes every
+// sample a given seed produces.
+const (
+	// seedMergeXor decorrelates the lazy sampler's merge randomness
+	// (Algorithm 3's reservoir coin flips) from per-query sampling.
+	seedMergeXor = 0x1A97
+	// seedStoreFileXor decorrelates the RNG substreams assigned to
+	// reservoirs restored from a persisted sample store.
+	seedStoreFileXor = 0xD15C
+	// seedQueryStep spaces per-query seeds along a Weyl sequence
+	// (2^64/φ, the golden-ratio increment), so consecutive queries get
+	// well-separated seeds even for small Config.Seed values.
+	seedQueryStep = 0x9E3779B97F4A7C15
+)
+
+// mergeSeed derives the sampler's merge-randomness seed.
+func mergeSeed(seed uint64) uint64 { return seed ^ seedMergeXor }
+
+// storeFileSeed derives the seed for reservoirs restored via LoadSamples.
+func storeFileSeed(seed uint64) uint64 { return seed ^ seedStoreFileXor }
+
+// nextSeed derives the sampling seed for the next query in sequence.
+// Identical query sequences against a fixed Config.Seed therefore
+// reproduce identical samples (with Workers: 1; morsel scheduling is
+// nondeterministic across workers).
+func (db *DB) nextSeed() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.queryCount++
+	return db.cfg.Seed + db.queryCount*seedQueryStep
+}

@@ -1,0 +1,142 @@
+package laqy
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSeedReproducibility opens two DBs with the same Config.Seed, runs
+// the identical query sequence through both, and asserts the persisted
+// sample stores are byte-identical — the contract seed.go's frozen
+// constants exist to protect. Workers: 1 because morsel→worker assignment
+// is scheduling-dependent at higher parallelism.
+func TestSeedReproducibility(t *testing.T) {
+	run := func() []byte {
+		db := Open(Config{Workers: 1, DefaultK: 256, Seed: 1234})
+		if err := db.LoadSSB(20_000, 9); err != nil {
+			t.Fatal(err)
+		}
+		queries := []string{
+			`SELECT lo_quantity, SUM(lo_revenue) FROM lineorder
+				WHERE lo_intkey BETWEEN 0 AND 5000 GROUP BY lo_quantity APPROX`,
+			`SELECT lo_quantity, SUM(lo_revenue) FROM lineorder
+				WHERE lo_intkey BETWEEN 0 AND 9000 GROUP BY lo_quantity APPROX`, // partial
+			`SELECT d_year, SUM(lo_revenue) FROM lineorder, date
+				WHERE lo_orderdate = d_datekey AND lo_intkey BETWEEN 2000 AND 7000
+				GROUP BY d_year APPROX`,
+			`SELECT lo_quantity, SUM(lo_revenue) FROM lineorder
+				WHERE lo_intkey BETWEEN 1000 AND 8000 GROUP BY lo_quantity APPROX`, // offline tighten
+		}
+		for _, q := range queries {
+			if _, err := db.Query(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := db.lazy.Store().Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed + same query sequence produced different sample stores (%d vs %d bytes)", len(a), len(b))
+	}
+
+	// A different seed must not reproduce the same store (the constants
+	// derive distinct streams, not a fixed one).
+	db := Open(Config{Workers: 1, DefaultK: 256, Seed: 4321})
+	if err := db.LoadSSB(20_000, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT lo_quantity, SUM(lo_revenue) FROM lineorder
+		WHERE lo_intkey BETWEEN 0 AND 5000 GROUP BY lo_quantity APPROX`); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.lazy.Store().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, buf.Bytes()) {
+		t.Fatal("different seeds produced identical sample stores")
+	}
+}
+
+// TestConcurrentQueriesAndTelemetry hammers one DB from eight query
+// goroutines while others poll every telemetry surface. It exists to run
+// under `make race` (-race -short): the assertions are deliberately loose,
+// the race detector is the real check.
+func TestConcurrentQueriesAndTelemetry(t *testing.T) {
+	db := Open(Config{Workers: 2, DefaultK: 128, Seed: 11})
+	if err := db.LoadSSB(20_000, 5); err != nil {
+		t.Fatal(err)
+	}
+	db.SetTracing(true)
+	const (
+		queryGoroutines = 8
+		queriesEach     = 12
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, queryGoroutines*queriesEach)
+	for g := 0; g < queryGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < queriesEach; i++ {
+				hi := 1000 + (g*queriesEach+i)%16*500
+				q := fmt.Sprintf(`SELECT lo_quantity, SUM(lo_revenue) FROM lineorder
+					WHERE lo_intkey BETWEEN 0 AND %d GROUP BY lo_quantity APPROX`, hi)
+				if i%4 == 3 {
+					q = "EXPLAIN ANALYZE " + q
+				}
+				res, err := db.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Mode.Approximate() {
+					errs <- fmt.Errorf("mode = %q", res.Mode)
+					return
+				}
+			}
+		}(g)
+	}
+	// Telemetry readers race against the queries on purpose.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = db.Samples()
+				_ = db.SampleStoreStats()
+				_ = db.Metrics()
+				_ = Metrics()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	m := db.Metrics()
+	if got := m.Counters["laqy_queries_total"]; got != queryGoroutines*queriesEach {
+		t.Fatalf("queries_total = %d, want %d", got, queryGoroutines*queriesEach)
+	}
+	st := db.SampleStoreStats()
+	if st.FullReuses+st.PartialReuses+st.Misses != queryGoroutines*queriesEach {
+		t.Fatalf("store lookups don't add up: %+v", st)
+	}
+}

@@ -1,4 +1,4 @@
-// Package laqyvet assembles the project's static-analysis suite: four
+// Package laqyvet assembles the project's static-analysis suite: five
 // analyzers enforcing the invariants the paper's correctness and
 // performance claims rest on but the compiler cannot check. See
 // docs/STATIC_ANALYSIS.md for the full policy and annotation grammar.
@@ -9,6 +9,7 @@ import (
 	"laqy/tools/laqyvet/errchecklite"
 	"laqy/tools/laqyvet/hotalloc"
 	"laqy/tools/laqyvet/mergesync"
+	"laqy/tools/laqyvet/obscheck"
 	"laqy/tools/laqyvet/rngsource"
 )
 
@@ -18,6 +19,7 @@ func All() []*analysis.Analyzer {
 		errchecklite.Analyzer,
 		hotalloc.Analyzer,
 		mergesync.Analyzer,
+		obscheck.Analyzer,
 		rngsource.Analyzer,
 	}
 }

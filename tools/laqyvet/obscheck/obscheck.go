@@ -1,0 +1,109 @@
+// Package obscheck enforces the observability seam in instrumented
+// packages (docs/OBSERVABILITY.md): any package wired into internal/obs
+// must route phase timing through obs.Clock/obs.Since and counters through
+// obs instruments, never around them.
+//
+// The rule fires in every package that imports laqy/internal/obs, with two
+// structural exceptions:
+//
+//   - laqy/internal/obs itself: it IS the seam (Clock wraps time.Now);
+//   - laqy/internal/engine: the morsel hot loop reads the wall clock
+//     directly by design — a seam indirection per morsel is measurable
+//     there, and engine timing is aggregated after the fact in
+//     finishPipeline (see internal/engine/obs.go).
+//
+// Findings:
+//
+//   - calls to time.Now or time.Since: phase timing that bypasses the
+//     seam cannot be stubbed in tests and silently splits the codebase
+//     into two clocks;
+//   - calls to sync/atomic Add*/CompareAndSwap* functions: a hand-rolled
+//     counter next to an obs.Counter is invisible to /metrics and the
+//     Prometheus exposition.
+//
+// Suppress a deliberate exception with `//laqy:allow obscheck <why>` on
+// the offending line or the line above.
+package obscheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"laqy/tools/laqyvet/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "obscheck",
+	Doc:  "instrumented packages must use obs.Clock/obs.Since and obs instruments, not raw time.Now or sync/atomic counters",
+	Run:  run,
+}
+
+// obsPath is the import path that marks a package as instrumented.
+const obsPath = "laqy/internal/obs"
+
+// exempt lists packages the rule structurally does not apply to.
+var exempt = map[string]bool{
+	obsPath:                true, // the seam itself
+	"laqy/internal/engine": true, // hot loop; aggregated in finishPipeline
+	"laqy/internal/bench":  true, // wall-clock timings ARE its measurements
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || exempt[pass.Pkg.Path()] {
+		return nil
+	}
+	if !importsObs(pass.Files) {
+		return nil // uninstrumented package: not obscheck's business
+	}
+	for _, f := range pass.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			pkg, name := fn.Pkg().Path(), fn.Name()
+			var msg string
+			switch {
+			case pkg == "time" && name == "Now":
+				msg = "call to time.Now in an instrumented package; use obs.Clock() so the clock seam stays injectable"
+			case pkg == "time" && name == "Since":
+				msg = "call to time.Since in an instrumented package; use obs.Since() so the clock seam stays injectable"
+			case pkg == "sync/atomic" && (strings.HasPrefix(name, "Add") || strings.HasPrefix(name, "CompareAndSwap")):
+				msg = "raw sync/atomic counter mutation (" + name + ") in an instrumented package; use an obs.Counter so the value reaches /metrics"
+			default:
+				return true
+			}
+			if analysis.LineAllowed(pass.Fset, file, call.Pos(), "obscheck") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s", msg)
+			return true
+		})
+	}
+	return nil
+}
+
+// importsObs reports whether any file imports laqy/internal/obs.
+func importsObs(files []*ast.File) bool {
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == obsPath {
+				return true
+			}
+		}
+	}
+	return false
+}

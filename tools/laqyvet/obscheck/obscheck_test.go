@@ -1,0 +1,16 @@
+package obscheck_test
+
+import (
+	"testing"
+
+	"laqy/tools/laqyvet/analysistest"
+	"laqy/tools/laqyvet/obscheck"
+)
+
+func TestObsCheck(t *testing.T) {
+	analysistest.Run(t, obscheck.Analyzer, "src/obscheck/a")
+}
+
+func TestObsCheckSkipsUninstrumented(t *testing.T) {
+	analysistest.Run(t, obscheck.Analyzer, "src/obscheck/b")
+}

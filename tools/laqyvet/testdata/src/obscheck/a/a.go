@@ -1,0 +1,28 @@
+// Package a is obscheck golden testdata: an instrumented package (it
+// imports laqy/internal/obs) that bypasses the clock seam and hand-rolls
+// an atomic counter.
+package a
+
+import (
+	"sync/atomic"
+	"time"
+
+	"laqy/internal/obs"
+)
+
+var hits int64
+
+// Phase times a phase the wrong way and the right way.
+func Phase(reg *obs.Registry) time.Duration {
+	start := time.Now()       // want `call to time.Now in an instrumented package`
+	atomic.AddInt64(&hits, 1) // want `raw sync/atomic counter mutation \(AddInt64\)`
+	reg.Counter("a_phase_total").Inc()
+	good := obs.Clock()
+	_ = obs.Since(good)
+	allowed := time.Now() //laqy:allow obscheck deliberate wall-clock read in testdata
+	_ = allowed
+	return time.Since(start) // want `call to time.Since in an instrumented package`
+}
+
+// Load is fine: only Add*/CompareAndSwap* mutations are counters.
+func Load() int64 { return atomic.LoadInt64(&hits) }

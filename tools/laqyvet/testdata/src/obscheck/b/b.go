@@ -1,0 +1,18 @@
+// Package b is obscheck golden testdata: an UNinstrumented package (no
+// laqy/internal/obs import) is outside the rule — raw clocks and atomics
+// are not findings here.
+package b
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+var n int64
+
+// Tick may use the raw clock freely.
+func Tick() time.Duration {
+	start := time.Now()
+	atomic.AddInt64(&n, 1)
+	return time.Since(start)
+}
