@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet laqy-vet race faults fuzz-smoke bench bench-smoke clean
+.PHONY: all build test lint vet laqy-vet race stress faults fuzz-smoke bench bench-smoke clean
 
 all: build lint test
 
@@ -20,8 +20,9 @@ lint: vet laqy-vet
 vet:
 	$(GO) vet ./...
 
-# laqy-vet is the custom static-analysis suite (tools/laqyvet): rngsource,
-# hotalloc, mergesync, errchecklite, obscheck. See docs/STATIC_ANALYSIS.md.
+# laqy-vet is the custom static-analysis suite (tools/laqyvet): ctxpoll,
+# rngsource, hotalloc, mergesync, errchecklite, obscheck. See
+# docs/STATIC_ANALYSIS.md.
 laqy-vet:
 	$(GO) run ./cmd/laqy-vet ./...
 
@@ -34,6 +35,20 @@ bench-smoke:
 # detector. -short skips the statistical long-haul tests.
 race:
 	CGO_ENABLED=1 $(GO) test -race -short ./...
+
+# The robustness gate (docs/GOVERNANCE.md): the governor and degradation
+# suites twice under the race detector to shake out ordering-dependent
+# bugs, then the 64-client chaos storm (chaos_test.go) — mixed
+# exact/approx load, random deadlines and cancellations, injected store
+# faults — which writes the governor metrics snapshot CI uploads as an
+# artifact.
+stress:
+	CGO_ENABLED=1 $(GO) test -race -count=2 ./internal/governor
+	CGO_ENABLED=1 $(GO) test -race -count=2 \
+		-run 'TestGovernor|TestDeadline|TestOverload|TestDefaultQueryTimeout|TestConcurrentEvictionNeverDropsNewest' \
+		. ./internal/store
+	CGO_ENABLED=1 LAQY_STRESS_METRICS_OUT=$(CURDIR)/stress-metrics.json \
+		$(GO) test -race -count=1 -run 'TestChaosStorm' -v .
 
 # The durability gate: the fault-injection filesystem model, the
 # crash-at-every-syscall replay of SaveFile, and the salvage/bit-flip

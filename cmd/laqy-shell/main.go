@@ -10,21 +10,29 @@
 // "online" to "partial" (Δ-sample only) to "offline" (no scan at all).
 //
 // Meta commands: \tables, \stats, \samples, \metrics, \trace on|off,
-// \clear, \save, \load, \help, \q. EXPLAIN <query> prints the plan;
-// EXPLAIN ANALYZE <query> executes it and prints the annotated phase
-// trace.
+// \timeout <dur>, \governor, \clear, \save, \load, \help, \q.
+// EXPLAIN <query> prints the plan; EXPLAIN ANALYZE <query> executes it
+// and prints the annotated phase trace.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"laqy"
 )
+
+// queryTimeout is the session deadline set by \timeout; zero means none.
+// Under a deadline the governor degrades queries (exact → approximate →
+// stale stored serve) instead of letting them run long — see
+// docs/GOVERNANCE.md.
+var queryTimeout time.Duration
 
 func main() {
 	rows := flag.Int("rows", 1_000_000, "lineorder rows to generate")
@@ -168,6 +176,43 @@ func meta(db *laqy.DB, line string) bool {
 		default:
 			fmt.Println(`  usage: \trace on|off`)
 		}
+	case `\timeout`:
+		switch {
+		case len(fields) == 1:
+			if queryTimeout > 0 {
+				fmt.Printf("  query timeout: %v\n", queryTimeout)
+			} else {
+				fmt.Println("  query timeout: off")
+			}
+		case len(fields) == 2 && fields[1] == "off":
+			queryTimeout = 0
+			fmt.Println("  query timeout off.")
+		case len(fields) == 2:
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d <= 0 {
+				fmt.Println(`  usage: \timeout <dur>|off  (e.g. \timeout 50ms)`)
+				return true
+			}
+			queryTimeout = d
+			fmt.Printf("  query timeout: %v (queries under pressure degrade to approximation).\n", d)
+		default:
+			fmt.Println(`  usage: \timeout <dur>|off`)
+		}
+	case `\governor`:
+		g := db.GovernorStats()
+		if !g.Enabled {
+			fmt.Println("  governor: disabled (no admission control or degradation).")
+			return true
+		}
+		fmt.Printf("  slots:     %d/%d in use, %d/%d queued\n",
+			g.SlotsInUse, g.Slots, g.Queued, g.QueueDepth)
+		if g.MemLimit > 0 {
+			fmt.Printf("  memory:    %d/%d bytes in use (per-query cap %d)\n",
+				g.MemUsed, g.MemLimit, g.QueryMemLimit)
+		} else {
+			fmt.Println("  memory:    accounting disabled")
+		}
+		fmt.Printf("  mean hold: %v (drives Retry-After on overload)\n", g.MeanHold)
 	case `\clear`:
 		db.ClearSamples()
 		fmt.Println("  sample store cleared.")
@@ -198,6 +243,8 @@ func meta(db *laqy.DB, line string) bool {
 		fmt.Println(`  \tables   list tables    \d <t>      describe table   \stats  store stats`)
 		fmt.Println(`  \samples  list samples   \clear      drop samples     \q      quit`)
 		fmt.Println(`  \metrics  metric values  \trace on|off  per-query phase traces`)
+		fmt.Println(`  \timeout <dur>|off  per-query deadline (degrades under pressure)`)
+		fmt.Println(`  \governor  admission slots, queue, and memory budget status`)
 		fmt.Println(`  \save <path>  persist samples (durable)   \load <path>  restore samples`)
 		fmt.Println(`  EXPLAIN <query>          print the plan without executing`)
 		fmt.Println(`  EXPLAIN ANALYZE <query>  execute and print the annotated phase trace`)
@@ -208,7 +255,13 @@ func meta(db *laqy.DB, line string) bool {
 }
 
 func execute(db *laqy.DB, text string) {
-	res, err := db.Query(text)
+	ctx := context.Background()
+	if queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, queryTimeout)
+		defer cancel()
+	}
+	res, err := db.QueryContext(ctx, text)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -248,6 +301,17 @@ func execute(db *laqy.DB, text string) {
 	}
 	fmt.Printf("-- %d rows, mode=%s, scanned=%d, selected=%d, total=%v\n",
 		len(res.Rows), res.Mode, res.Stats.RowsScanned, res.Stats.RowsSelected, res.Stats.Total)
+	if len(res.Degradations) > 0 {
+		var steps []string
+		for _, d := range res.Degradations {
+			steps = append(steps, d.String())
+		}
+		stale := ""
+		if res.Stale {
+			stale = " (stale: stored sample served as-is; CIs widened)"
+		}
+		fmt.Printf("-- degraded: %s%s\n", strings.Join(steps, ", "), stale)
+	}
 	if res.Trace != nil && res.Explain == "" {
 		fmt.Print(res.Trace.Render())
 	}

@@ -4,6 +4,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"laqy"
 )
@@ -162,5 +163,57 @@ func TestMetaDescribe(t *testing.T) {
 	out = captureStdout(t, func() { meta(db, `\d`) })
 	if !strings.Contains(out, "usage") {
 		t.Fatalf("missing usage:\n%s", out)
+	}
+}
+
+func TestMetaTimeout(t *testing.T) {
+	db := testDB(t)
+	t.Cleanup(func() { queryTimeout = 0 })
+
+	out := captureStdout(t, func() { meta(db, `\timeout`) })
+	if !strings.Contains(out, "off") {
+		t.Fatalf("default should be off:\n%s", out)
+	}
+	out = captureStdout(t, func() { meta(db, `\timeout 50ms`) })
+	if !strings.Contains(out, "50ms") || queryTimeout != 50*time.Millisecond {
+		t.Fatalf("set 50ms (got %v):\n%s", queryTimeout, out)
+	}
+	out = captureStdout(t, func() { meta(db, `\timeout`) })
+	if !strings.Contains(out, "50ms") {
+		t.Fatalf("show current:\n%s", out)
+	}
+	out = captureStdout(t, func() { meta(db, `\timeout bogus`) })
+	if !strings.Contains(out, "usage") || queryTimeout != 50*time.Millisecond {
+		t.Fatalf("bad duration must not change the setting:\n%s", out)
+	}
+	out = captureStdout(t, func() { meta(db, `\timeout off`) })
+	if !strings.Contains(out, "off") || queryTimeout != 0 {
+		t.Fatalf("turn off:\n%s", out)
+	}
+}
+
+func TestExecuteHonorsTimeout(t *testing.T) {
+	db := testDB(t)
+	queryTimeout = time.Nanosecond
+	t.Cleanup(func() { queryTimeout = 0 })
+	out := captureStdout(t, func() {
+		execute(db, `SELECT SUM(lo_revenue) FROM lineorder`)
+	})
+	if !strings.Contains(out, "error:") || !strings.Contains(out, "deadline") {
+		t.Fatalf("1ns timeout should fail with a deadline error:\n%s", out)
+	}
+}
+
+func TestMetaGovernor(t *testing.T) {
+	db := testDB(t)
+	out := captureStdout(t, func() { meta(db, `\governor`) })
+	if !strings.Contains(out, "slots:") || !strings.Contains(out, "mean hold:") {
+		t.Fatalf("governor status:\n%s", out)
+	}
+
+	off := laqy.Open(laqy.Config{Workers: 1, Governor: laqy.GovernorConfig{Disable: true}})
+	out = captureStdout(t, func() { meta(off, `\governor`) })
+	if !strings.Contains(out, "disabled") {
+		t.Fatalf("disabled governor:\n%s", out)
 	}
 }

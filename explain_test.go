@@ -55,6 +55,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 		"query <dur> [mode=online rows=7]",
 		"  parse <dur>",
 		"  plan <dur>",
+		"  admission <dur>",
 		"  store lookup <dur> [reuse=miss]",
 		"  online sample <dur> [rows_scanned=30000 rows_selected=10001]",
 		"    pipeline <dur> [workers=1 morsels=1 rows_scanned=30000 rows_selected=10001]",
@@ -74,6 +75,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 		"query <dur> [mode=partial rows=7]",
 		"  parse <dur>",
 		"  plan <dur>",
+		"  admission <dur>",
 		"  store lookup <dur> [reuse=partial matched=lo_intkey ∈ [0,10000] delta=lo_intkey∈[10001,20000]]",
 		"  Δ-sample <dur> [missing=lo_intkey∈[10001,20000] rows_scanned=30000 rows_selected=10000]",
 		"    pipeline <dur> [workers=1 morsels=1 rows_scanned=30000 rows_selected=10000]",
@@ -91,7 +93,7 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 	for _, c := range res2.Trace.Root.Children {
 		names = append(names, c.Name)
 	}
-	want := []string{"parse", "plan", "store lookup", "Δ-sample", "merge"}
+	want := []string{"parse", "plan", "admission", "store lookup", "Δ-sample", "merge"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("typed trace children = %v, want %v", names, want)
 	}

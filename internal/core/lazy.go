@@ -24,7 +24,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"time"
@@ -32,6 +35,7 @@ import (
 	"laqy/internal/algebra"
 	"laqy/internal/engine"
 	"laqy/internal/expr"
+	"laqy/internal/governor"
 	"laqy/internal/obs"
 	"laqy/internal/rng"
 	"laqy/internal/sample"
@@ -103,6 +107,18 @@ type Request struct {
 	// oversampling. Figure 4 shows the extra capacity has a marginal
 	// effect on build time.
 	Oversample float64
+	// Budget, when non-nil, charges estimated reservoir memory before any
+	// build: online builds shrink K (halving, floor minReservoirK) to fit
+	// — recorded as a shrink_reservoir degradation — and Δ-builds that do
+	// not fit degrade to serving the stored sample as-is. The nil budget
+	// grants everything.
+	Budget *governor.QueryBudget
+	// ServeStored is the bottom rung of the degradation ladder: answer
+	// only from the store, never scanning. A partial match is served
+	// as-is (Result.Stale, widened CI, extrapolated totals) instead of
+	// Δ-sampled; a miss (or an unservable tightening) returns
+	// governor.ErrNoStoredSample so the caller picks the next rung.
+	ServeStored bool
 }
 
 // effectiveK returns the reservoir capacity after applying α.
@@ -137,6 +153,24 @@ type Result struct {
 	// SupportFallback reports that a reuse opportunity was abandoned
 	// because a tightened stratum lacked support (§5.2.3).
 	SupportFallback bool
+	// Stale reports a ServeStored answer: the sample covers only part of
+	// the request predicate and no Δ-scan repaired it. Estimates must be
+	// labeled and widened via Coverage/Extrapolate/CIScale.
+	Stale bool
+	// Coverage estimates the fraction of the request's predicate domain
+	// the served sample covers on the delta column (1 when not stale).
+	// It is a value-domain estimate assuming uniform density.
+	Coverage float64
+	// Extrapolate is the factor extensive estimates (SUM, COUNT) must be
+	// scaled by to compensate for the uncovered range (1/Coverage; zero
+	// means "not set", treat as 1).
+	Extrapolate float64
+	// CIScale inflates reported standard errors on stale serves (zero
+	// means "not set", treat as 1).
+	CIScale float64
+	// Degradations lists the governance steps taken while serving this
+	// request (shrunk reservoirs, skipped Δ-builds).
+	Degradations []governor.Degradation
 }
 
 // LazySampler binds a sample store to an execution engine.
@@ -228,6 +262,11 @@ func (l *LazySampler) sample(req Request) (*Result, error) {
 	if err := validate(&req); err != nil {
 		return nil, err
 	}
+	// Prompt cancellation: observe the context before the store lookup,
+	// not only at the engine's morsel boundaries.
+	if err := ctxErr(req.Query.Ctx); err != nil {
+		return nil, err
+	}
 	input := InputSignature(req.Query)
 
 	lsp := obs.SpanFrom(req.Query.Ctx).Start("store lookup")
@@ -246,6 +285,10 @@ func (l *LazySampler) sample(req Request) (*Result, error) {
 	lsp.End()
 	switch {
 	case match == nil:
+		if req.ServeStored {
+			// Bottom rung: nothing stored, nothing to serve.
+			return nil, governor.ErrNoStoredSample
+		}
 		// No overlapping sample: pure online sampling (S_lazy ← S).
 		res, err := l.online(req, input, start)
 		return res, err
@@ -254,6 +297,11 @@ func (l *LazySampler) sample(req Request) (*Result, error) {
 		res, err := l.offline(req, match, start)
 		if err != nil || !res.SupportFallback {
 			return res, err
+		}
+		if req.ServeStored {
+			// The fallback would scan; in reuse-only mode an unsupported
+			// tightening is unservable.
+			return nil, governor.ErrNoStoredSample
 		}
 		// Conservative support fallback: full online sampling.
 		onlineRes, err := l.online(req, input, start)
@@ -264,12 +312,26 @@ func (l *LazySampler) sample(req Request) (*Result, error) {
 		return onlineRes, nil
 
 	default: // partial reuse: Δ-sample + merge
+		if req.ServeStored {
+			return l.serveStored(req, match, start, governor.Degradation{
+				Step:   governor.DegradeSkipDelta,
+				Reason: "deadline pressure",
+			})
+		}
 		if req.DisablePartial {
 			// Full-match-only baseline: a partial overlap is a miss.
 			return l.online(req, input, start)
 		}
 		return l.partial(req, input, match, start)
 	}
+}
+
+// ctxErr reports the context's error; a nil context never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 func validate(req *Request) error {
@@ -285,10 +347,64 @@ func validate(req *Request) error {
 	return nil
 }
 
+// minReservoirK floors the memory-degradation halving: below this the
+// sample is statistically useless and the query fails with the typed
+// budget error instead.
+const minReservoirK = 16
+
+// sampleMemEstimate is the up-front reservation for a stratified reservoir
+// build: k tuples × width int64 columns × an estimated stratum count, for
+// each worker partial plus the merged result. Deliberately coarse — the
+// budget is soft and the estimate errs high so denials land before the
+// allocation, not after.
+func sampleMemEstimate(k, width, workers int) int64 {
+	if workers <= 0 {
+		workers = engine.DefaultWorkers()
+	}
+	const estStrata = 8
+	return int64(k) * int64(width) * 8 * estStrata * int64(workers+1)
+}
+
+// shrinkToBudget reserves build memory for a k-capacity reservoir,
+// halving k until the reservation fits (degradation: shrink_reservoir) or
+// the floor is hit (the typed budget error propagates and fails only this
+// query).
+func shrinkToBudget(b *governor.QueryBudget, k, width, workers int) (int, *governor.Degradation, error) {
+	if b == nil {
+		return k, nil, nil
+	}
+	orig := k
+	for {
+		err := b.Reserve(sampleMemEstimate(k, width, workers))
+		if err == nil {
+			if k == orig {
+				return k, nil, nil
+			}
+			return k, &governor.Degradation{
+				Step:   governor.DegradeShrinkReservoir,
+				Reason: "memory budget",
+				Detail: fmt.Sprintf("k %d → %d", orig, k),
+			}, nil
+		}
+		if !errors.Is(err, governor.ErrMemoryBudget) || k/2 < minReservoirK {
+			return 0, nil, err
+		}
+		k /= 2
+	}
+}
+
 // online builds a full online sample for the request and stores it.
 func (l *LazySampler) online(req Request, input string, start time.Time) (*Result, error) {
+	k, shrink, err := shrinkToBudget(req.Budget, req.effectiveK(), len(req.Schema), req.Workers)
+	if err != nil {
+		return nil, err
+	}
+	var degradations []governor.Degradation
+	if shrink != nil {
+		degradations = append(degradations, *shrink)
+	}
 	q := spanQuery(req.Query, "online sample")
-	sam, stats, err := engine.RunStratifiedExprs(q, engine.ExprsFromNames(req.Schema), req.QCSWidth, req.effectiveK(), req.Seed, req.Workers)
+	sam, stats, err := engine.RunStratifiedExprs(q, engine.ExprsFromNames(req.Schema), req.QCSWidth, k, req.Seed, req.Workers)
 	endSpanQuery(q, &stats)
 	if err != nil {
 		return nil, err
@@ -298,7 +414,7 @@ func (l *LazySampler) online(req Request, input string, start time.Time) (*Resul
 		Predicate: req.Predicate,
 		Schema:    req.Schema,
 		QCSWidth:  req.QCSWidth,
-		K:         req.effectiveK(),
+		K:         k,
 	}, sam)
 	if err != nil {
 		return nil, err
@@ -312,12 +428,13 @@ func (l *LazySampler) online(req Request, input string, start time.Time) (*Resul
 		missing, _ = req.Predicate.Constraint(col)
 	}
 	return &Result{
-		Sample:      sam,
-		Mode:        ModeOnline,
-		Missing:     missing,
-		DeltaColumn: col,
-		Stats:       stats,
-		Total:       obs.Since(start),
+		Sample:       sam,
+		Mode:         ModeOnline,
+		Missing:      missing,
+		DeltaColumn:  col,
+		Stats:        stats,
+		Total:        obs.Since(start),
+		Degradations: degradations,
 	}, nil
 }
 
@@ -387,6 +504,25 @@ func (l *LazySampler) offline(req Request, match *store.Match, start time.Time) 
 // beyond the query range).
 func (l *LazySampler) partial(req Request, input string, match *store.Match, start time.Time) (*Result, error) {
 	meta, delta := match.Meta, match.Delta
+
+	// Prompt cancellation before committing to the Δ-scan.
+	if err := ctxErr(req.Query.Ctx); err != nil {
+		return nil, err
+	}
+	// Charge the Δ-build's reservoir memory. K cannot shrink here — the
+	// Δ-sample must merge with the stored sample at its capacity — so a
+	// denial degrades one rung instead: serve the stored sample as-is.
+	if req.Budget != nil {
+		if err := req.Budget.Reserve(sampleMemEstimate(meta.K, len(meta.Schema), req.Workers)); err != nil {
+			if errors.Is(err, governor.ErrMemoryBudget) {
+				return l.serveStored(req, match, start, governor.Degradation{
+					Step:   governor.DegradeSkipDelta,
+					Reason: "memory budget",
+				})
+			}
+			return nil, err
+		}
+	}
 
 	// Build the Δ-query: the request predicate with the delta column
 	// restricted to the missing range, pushed down into the engine query.
@@ -469,6 +605,79 @@ func (l *LazySampler) partial(req Request, input string, match *store.Match, sta
 		MergeTime:   mergeTime,
 		Total:       obs.Since(start),
 	}, nil
+}
+
+// serveStored is the bottom rung of the degradation ladder: answer a
+// partially-matching request from the stored sample alone — no Δ-scan, no
+// support repair. The sample is tightened to the query predicate where the
+// stored coverage extends beyond it; the uncovered remainder (the Δ-range
+// a normal partial serve would have sampled) is compensated statistically
+// instead of physically: extensive estimates (SUM, COUNT) are extrapolated
+// by 1/coverage and standard errors inflated by the same factor, under a
+// uniform-density assumption over the predicate's value domain. The answer
+// is always labeled (Result.Stale + a skip_delta degradation) — a degraded
+// answer may be wrong-er, but never silently so.
+func (l *LazySampler) serveStored(req Request, match *store.Match, start time.Time, deg governor.Degradation) (*Result, error) {
+	meta, delta := match.Meta, match.Delta
+	sp := obs.SpanFrom(req.Query.Ctx).Start("serve stored")
+	sp.SetAttr("missing", delta.Column+"∈"+delta.Missing.String())
+	defer sp.End()
+
+	answer := match.Sample
+	tightenPred := tighteningPredicate(meta.Predicate, req.Predicate)
+	if !tightenPred.IsTrue() {
+		matcher, err := expr.TupleMatcher(tightenPred, meta.Schema)
+		if err != nil {
+			// The sample lacks a column the query constrains: unservable.
+			return nil, governor.ErrNoStoredSample
+		}
+		answer = answer.Filter(matcher)
+	}
+	cov := coverageEstimate(req.Predicate, delta.Column, delta.Missing)
+	if cov <= 0 {
+		return nil, governor.ErrNoStoredSample
+	}
+	scale := 1.0
+	if cov < 1 {
+		scale = 1 / cov
+	}
+	if deg.Detail == "" {
+		deg.Detail = fmt.Sprintf("coverage %.0f%%", cov*100)
+	}
+	sp.SetAttr("degraded", deg.String())
+	return &Result{
+		Sample:       answer,
+		Mode:         ModeOffline,
+		Missing:      delta.Missing,
+		DeltaColumn:  delta.Column,
+		Stale:        true,
+		Coverage:     cov,
+		Extrapolate:  scale,
+		CIScale:      scale,
+		Degradations: []governor.Degradation{deg},
+		Total:        obs.Since(start),
+	}, nil
+}
+
+// coverageEstimate estimates the fraction of the query constraint on col
+// that remains covered after removing the missing Δ-range — a value-domain
+// ratio (uniform-density assumption). Unknowable domains (unconstrained or
+// saturating counts) report full coverage: no extrapolation rather than a
+// garbage factor.
+func coverageEstimate(pred algebra.Predicate, col string, missing algebra.Set) float64 {
+	qs, ok := pred.Constraint(col)
+	if !ok {
+		return 1
+	}
+	total := qs.Count()
+	miss := missing.Intersect(qs).Count()
+	if total <= 0 || total == math.MaxInt64 || miss <= 0 {
+		return 1
+	}
+	if miss >= total {
+		return 0
+	}
+	return 1 - float64(miss)/float64(total)
 }
 
 // applyDelta clones q, restricting the delta column's predicate to the

@@ -92,15 +92,15 @@ func (s *exprSource) gather(out, scratch []int64, sel []int32, dimRows [][]int32
 	gatherOperand(scratch, s.right, sel, dimRows, n)
 	switch s.op {
 	case '*':
-		for i := 0; i < n; i++ {
+		for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 			out[i] *= scratch[i]
 		}
 	case '+':
-		for i := 0; i < n; i++ {
+		for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 			out[i] += scratch[i]
 		}
 	case '-':
-		for i := 0; i < n; i++ {
+		for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 			out[i] -= scratch[i]
 		}
 	}
@@ -112,13 +112,13 @@ func (s *exprSource) gather(out, scratch []int64, sel []int32, dimRows [][]int32
 //laqy:hot per-chunk inner loop of every scan
 func gatherOperand(out []int64, src columnSource, sel []int32, dimRows [][]int32, n int) {
 	if src.joinIdx < 0 {
-		for i := 0; i < n; i++ {
+		for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 			out[i] = src.vec[sel[i]]
 		}
 		return
 	}
 	rows := dimRows[src.joinIdx]
-	for i := 0; i < n; i++ {
+	for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 		out[i] = src.vec[rows[i]]
 	}
 }
@@ -129,15 +129,15 @@ func gatherOperand(out []int64, src columnSource, sel []int32, dimRows [][]int32
 func combineLit(out []int64, op byte, lit int64, n int) {
 	switch op {
 	case '*':
-		for i := 0; i < n; i++ {
+		for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 			out[i] *= lit
 		}
 	case '+':
-		for i := 0; i < n; i++ {
+		for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 			out[i] += lit
 		}
 	case '-':
-		for i := 0; i < n; i++ {
+		for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 			out[i] -= lit
 		}
 	}

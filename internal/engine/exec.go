@@ -58,6 +58,17 @@ type rowSink interface {
 	consume(cols [][]int64, n int)
 }
 
+// failableSink is a rowSink that can fail mid-run (e.g. a memory-budget
+// denial while growing a hash table). runPipeline polls sinkErr at morsel
+// boundaries: a non-nil error aborts the whole run — all workers, not just
+// the one that tripped — and becomes the run's error. consume must be a
+// no-op once sinkErr is non-nil, so one morsel of overrun is the worst
+// case (the budget is soft by design).
+type failableSink interface {
+	rowSink
+	sinkErr() error
+}
+
 // DefaultWorkers returns the engine's default parallelism.
 func DefaultWorkers() int { return runtime.NumCPU() }
 
@@ -94,7 +105,7 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 	morsels := storage.MorselsRange(q.ScanFrom, q.Fact.NumRows(), 0)
 	var next atomic.Int64
 	var scanNanos, processNanos, selected atomic.Int64
-	var canceled atomic.Bool
+	var canceled, aborted atomic.Bool
 	start := time.Now()
 
 	var wg sync.WaitGroup
@@ -113,6 +124,7 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 				}
 			}()
 			sink := sinks[w]
+			fsink, failable := sink.(failableSink)
 			sel := make([]int32, 0, storage.DefaultMorselSize)
 			dimRows := make([][]int32, len(joinTables))
 			for j := range dimRows {
@@ -133,6 +145,17 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 					canceled.Store(true)
 					break
 				}
+				if aborted.Load() {
+					break
+				}
+				if failable {
+					if err := fsink.sinkErr(); err != nil {
+						// Worker-slot write: each goroutine owns workerErrs[w].
+						workerErrs[w] = err
+						aborted.Store(true)
+						break
+					}
+				}
 				mo := morsels[m]
 
 				t0 := time.Now()
@@ -152,6 +175,14 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 				}
 				localProcess += time.Since(t1).Nanoseconds()
 				localSelected += int64(n)
+			}
+			// A denial during the final morsel has no next boundary to be
+			// polled at: re-check before the worker retires.
+			if failable && workerErrs[w] == nil {
+				if err := fsink.sinkErr(); err != nil {
+					workerErrs[w] = err
+					aborted.Store(true)
+				}
 			}
 			scanNanos.Add(localScan)
 			processNanos.Add(localProcess)
@@ -193,7 +224,7 @@ type stratifiedSink struct {
 //
 //laqy:hot per-row sink on the scan path
 func (s *stratifiedSink) consume(cols [][]int64, n int) {
-	for i := 0; i < n; i++ {
+	for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 		for c := range cols {
 			s.tuple[c] = cols[c][i]
 		}
@@ -300,7 +331,7 @@ type reservoirSink struct {
 //
 //laqy:hot per-row sink on the scan path
 func (s *reservoirSink) consume(cols [][]int64, n int) {
-	for i := 0; i < n; i++ {
+	for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 		for c := range cols {
 			s.tuple[c] = cols[c][i]
 		}
@@ -364,7 +395,7 @@ func RunGroupByExprs(q *Query, groupCols []string, aggExprs []ColumnExpr, worker
 	sinks := make([]rowSink, workers)
 	partials := make([]*groupBySink, workers)
 	for w := 0; w < workers; w++ {
-		partials[w] = newGroupBySink(len(groupCols), len(aggExprs))
+		partials[w] = newGroupBySink(len(groupCols), len(aggExprs), q.Budget)
 		sinks[w] = partials[w]
 	}
 	stats, err := runPipeline(q, needed, workers, sinks)
@@ -390,7 +421,7 @@ type scanSink struct {
 func (s *scanSink) consume(cols [][]int64, n int) {
 	acc := int64(0)
 	col := cols[0]
-	for i := 0; i < n; i++ {
+	for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 		acc += col[i]
 	}
 	s.sum += float64(acc)

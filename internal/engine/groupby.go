@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"laqy/internal/approx"
+	"laqy/internal/governor"
 	"laqy/internal/sample"
 )
 
@@ -114,6 +115,18 @@ func (r *GroupResult) ValueAt(key GroupKey, col int, kind approx.AggKind) (float
 	}
 }
 
+// groupByReserveChunk is how many new groups one memory reservation
+// covers. Chunking keeps the budget mutex off the per-row path: the sink
+// touches the budget once per chunk of distinct groups, not per row.
+const groupByReserveChunk = 1024
+
+// groupBytesPerEntry estimates the resident cost of one hash-table entry:
+// the key (MaxQCS int64s), the aggState slice header + backing array, and
+// amortized map-bucket overhead.
+func groupBytesPerEntry(valueCols int) int64 {
+	return int64(8*sample.MaxQCS + 24 + 32*valueCols + 48)
+}
+
 // groupBySink is the per-worker exact aggregation state. Layout contract:
 // the first groupWidth gathered columns are the grouping key, the
 // remaining are the aggregated value columns.
@@ -121,27 +134,52 @@ type groupBySink struct {
 	groupWidth int
 	valueCols  int
 	groups     map[GroupKey][]aggState
+
+	// budget, when non-nil, is charged for every chunk of new groups;
+	// headroom counts the groups remaining in the current chunk. A denial
+	// is latched in err, after which consume is a no-op and runPipeline
+	// aborts the run at the next morsel boundary.
+	budget   *governor.QueryBudget
+	headroom int
+	err      error
 }
 
-func newGroupBySink(groupWidth, valueCols int) *groupBySink {
+func newGroupBySink(groupWidth, valueCols int, budget *governor.QueryBudget) *groupBySink {
 	return &groupBySink{
 		groupWidth: groupWidth,
 		valueCols:  valueCols,
 		groups:     make(map[GroupKey][]aggState),
+		budget:     budget,
 	}
 }
+
+// sinkErr implements failableSink.
+func (s *groupBySink) sinkErr() error { return s.err }
 
 // consume folds each gathered row into the worker's aggregation states.
 //
 //laqy:hot per-row sink on the scan path
 func (s *groupBySink) consume(cols [][]int64, n int) {
-	for i := 0; i < n; i++ {
+	if s.err != nil {
+		return
+	}
+	for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 		var key GroupKey
 		for c := 0; c < s.groupWidth; c++ {
 			key[c] = cols[c][i]
 		}
 		states, ok := s.groups[key]
 		if !ok {
+			if s.budget != nil {
+				if s.headroom == 0 {
+					if err := s.budget.Reserve(int64(groupByReserveChunk) * groupBytesPerEntry(s.valueCols)); err != nil {
+						s.err = err //laqy:allow hotalloc budget denial latch, at most once per run
+						return
+					}
+					s.headroom = groupByReserveChunk
+				}
+				s.headroom--
+			}
 			states = make([]aggState, s.valueCols)
 			s.groups[key] = states
 		}

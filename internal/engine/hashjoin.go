@@ -57,7 +57,7 @@ func buildJoinTables(q *Query) ([]joinTable, error) {
 //laqy:hot per-chunk join probe on the scan path
 func (jt *joinTable) probe(sel []int32, dimRows [][]int32, j int) int {
 	out := 0
-	for i, idx := range sel {
+	for i, idx := range sel { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 		row, ok := jt.rowByKey[jt.factKeyVec[idx]]
 		if !ok {
 			continue

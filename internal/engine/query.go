@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"laqy/internal/algebra"
+	"laqy/internal/governor"
 	"laqy/internal/storage"
 )
 
@@ -55,6 +56,11 @@ type Query struct {
 	// boundary and the run returns the context's error. A nil Ctx never
 	// cancels.
 	Ctx context.Context
+	// Budget, when non-nil, charges transient sink memory (group-by hash
+	// tables) against the query's soft memory budget; a denial aborts the
+	// run with a typed *governor.MemoryBudgetError at the next morsel
+	// boundary, failing only this query. The nil budget grants everything.
+	Budget *governor.QueryBudget
 }
 
 // columnSource locates a column needed downstream: either a fact column or

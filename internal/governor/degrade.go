@@ -1,0 +1,90 @@
+package governor
+
+import "laqy/internal/obs"
+
+// The degradation ladder. Under deadline pressure the planner walks down
+// it instead of letting the query abort at a morsel boundary:
+//
+//	exact ──▶ approximate (Δ-build as needed) ──▶ serve stored sample as-is
+//
+// plus two orthogonal degradations the memory budget and retry policy can
+// apply at any rung (shrink the reservoir; skip a retry). Every step taken
+// is recorded on the query's Result.Degradations and in metrics, so a
+// degraded answer is always labeled as such — the BlinkDB contract of
+// bounded response time via bounded (but disclosed) error.
+
+// DegradeStep identifies one rung taken on the degradation ladder.
+type DegradeStep int
+
+const (
+	// DegradeNone is the zero value; it never appears in a Degradation.
+	DegradeNone DegradeStep = iota
+	// DegradeExactToApprox: an exact-mode query was answered from a
+	// sample because the predicted exact scan would miss the deadline.
+	DegradeExactToApprox
+	// DegradeSkipDelta: a partial-coverage stored sample was served as-is
+	// (widened CI, extrapolated aggregates) instead of building the
+	// Δ-sample, because the Δ scan would miss the deadline.
+	DegradeSkipDelta
+	// DegradeShrinkReservoir: the reservoir capacity K was reduced to fit
+	// the memory budget instead of failing the query.
+	DegradeShrinkReservoir
+	// DegradeSkipRetry: a quality retry (e.g. the APPROX ERROR resize
+	// rebuild) was skipped because the deadline or attempt budget ran
+	// out; the best-so-far answer was returned.
+	DegradeSkipRetry
+)
+
+// String returns the snake_case step name used in metrics, EXPLAIN
+// ANALYZE annotations, and Degradation rendering.
+func (s DegradeStep) String() string {
+	switch s {
+	case DegradeExactToApprox:
+		return "exact_to_approx"
+	case DegradeSkipDelta:
+		return "skip_delta"
+	case DegradeShrinkReservoir:
+		return "shrink_reservoir"
+	case DegradeSkipRetry:
+		return "skip_retry"
+	default:
+		return "none"
+	}
+}
+
+// Degradation records one step taken for one query: which rung, why the
+// governor took it, and an optional human-oriented detail ("k 131072 →
+// 16384").
+type Degradation struct {
+	// Step is the rung taken.
+	Step DegradeStep
+	// Reason is the trigger, e.g. "deadline pressure" or "memory budget".
+	Reason string
+	// Detail optionally quantifies the step.
+	Detail string
+}
+
+// String renders "step (reason; detail)" for traces and error messages.
+func (d Degradation) String() string {
+	s := d.Step.String()
+	switch {
+	case d.Reason != "" && d.Detail != "":
+		return s + " (" + d.Reason + "; " + d.Detail + ")"
+	case d.Reason != "":
+		return s + " (" + d.Reason + ")"
+	case d.Detail != "":
+		return s + " (" + d.Detail + ")"
+	default:
+		return s
+	}
+}
+
+// RecordDegradation bumps the per-step degradation counter
+// (laqy_governor_degrade_<step>_total). Nil-safe on both the governor and
+// its registry.
+func (g *Governor) RecordDegradation(step DegradeStep) {
+	if g == nil || g.reg == nil {
+		return
+	}
+	g.reg.Counter(obs.MGovDegradePrefix + step.String() + "_total").Inc()
+}

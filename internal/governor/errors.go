@@ -1,0 +1,79 @@
+package governor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOverloaded is the sentinel all admission-control rejections wrap:
+// errors.Is(err, ErrOverloaded) identifies a query that was refused (or
+// timed out) at the door rather than failed while executing. Overload is
+// retryable by definition — the same query succeeds once concurrent load
+// drains; errors.As with *OverloadedError recovers the suggested backoff.
+var ErrOverloaded = errors.New("overloaded")
+
+// OverloadedError is the typed admission-control rejection. It wraps
+// ErrOverloaded and carries everything a well-behaved client needs to
+// retry politely.
+type OverloadedError struct {
+	// Reason distinguishes "queue full" (immediate rejection: the bounded
+	// wait queue had no room) from "queue timeout" (the query waited its
+	// full admission budget without getting a slot).
+	Reason string
+	// Waited is how long the query sat in the admission queue (zero for
+	// immediate rejections).
+	Waited time.Duration
+	// Queued and QueueLimit describe the wait queue at rejection time.
+	Queued, QueueLimit int
+	// Slots is the governor's total slot weight.
+	Slots int
+	// RetryAfter is the governor's backoff suggestion, estimated from the
+	// observed mean slot-hold time and the queue depth at rejection.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("governor: overloaded (%s: %d/%d queued, %d slots; retry after %v)",
+		e.Reason, e.Queued, e.QueueLimit, e.Slots, e.RetryAfter)
+}
+
+// Unwrap links the typed error to the ErrOverloaded sentinel.
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// Retryable reports that overload errors are safe to retry (the query
+// never started executing).
+func (e *OverloadedError) Retryable() bool { return true }
+
+// ErrMemoryBudget is the sentinel all memory-budget denials wrap:
+// errors.Is(err, ErrMemoryBudget) identifies a query that was failed —
+// never the process — because its transient memory (reservoir builds,
+// group-by hash tables) would have exceeded the configured budget and
+// degradation (shrinking the reservoir) could not absorb the overrun.
+var ErrMemoryBudget = errors.New("memory budget exceeded")
+
+// MemoryBudgetError is the typed memory-budget denial.
+type MemoryBudgetError struct {
+	// Requested is the reservation that failed, in bytes.
+	Requested int64
+	// Scope is "query" or "global": which budget the reservation hit.
+	Scope string
+	// Used and Limit describe the exhausted budget at denial time.
+	Used, Limit int64
+}
+
+// Error implements error.
+func (e *MemoryBudgetError) Error() string {
+	return fmt.Sprintf("governor: %s memory budget exceeded (requested %d bytes, %d/%d in use)",
+		e.Scope, e.Requested, e.Used, e.Limit)
+}
+
+// Unwrap links the typed error to the ErrMemoryBudget sentinel.
+func (e *MemoryBudgetError) Unwrap() error { return ErrMemoryBudget }
+
+// ErrNoStoredSample reports that a degraded request demanded reuse
+// (ServeStored) but the store had no overlapping sample to serve; the
+// caller decides the next rung of the ladder (usually: run the query
+// undegraded and accept the deadline miss).
+var ErrNoStoredSample = errors.New("governor: no stored sample to serve degraded request")

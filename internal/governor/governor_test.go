@@ -1,0 +1,433 @@
+package governor
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"laqy/internal/obs"
+)
+
+func newTest(cfg Config) *Governor {
+	g := New(cfg)
+	g.SetObs(obs.NewRegistry())
+	return g
+}
+
+func TestAcquireFastPath(t *testing.T) {
+	g := newTest(Config{Slots: 4})
+	l, err := g.Acquire(context.Background(), WeightExact)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if got := g.Stats().InUse; got != WeightExact {
+		t.Fatalf("InUse = %d, want %d", got, WeightExact)
+	}
+	l.Release()
+	l.Release() // idempotent
+	if got := g.Stats().InUse; got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+}
+
+func TestNilGovernorAdmitsEverything(t *testing.T) {
+	var g *Governor
+	l, err := g.Acquire(context.Background(), 10)
+	if err != nil || l != nil {
+		t.Fatalf("nil governor: lease=%v err=%v", l, err)
+	}
+	l.Release() // nil lease no-op
+	if b := g.NewQueryBudget(); b != nil {
+		t.Fatalf("nil governor budget = %v, want nil", b)
+	}
+	g.RecordDegradation(DegradeSkipDelta)
+	g.ObserveScan(100, time.Millisecond)
+	if d := g.EstimateScan(100); d != 0 {
+		t.Fatalf("nil EstimateScan = %v, want 0", d)
+	}
+}
+
+func TestQueueFullRejectsTyped(t *testing.T) {
+	g := newTest(Config{Slots: 1, QueueDepth: 1})
+	l, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	// Park one waiter to fill the queue.
+	parked := make(chan struct{})
+	var parkedLease *Lease
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(parked)
+		pl, perr := g.Acquire(context.Background(), 1)
+		if perr != nil {
+			t.Errorf("parked Acquire: %v", perr)
+			return
+		}
+		parkedLease = pl
+	}()
+	<-parked
+	waitForQueued(t, g, 1)
+
+	_, err = g.Acquire(context.Background(), 1)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err %T is not *OverloadedError", err)
+	}
+	if oe.Reason != "queue full" || oe.QueueLimit != 1 || oe.RetryAfter <= 0 {
+		t.Fatalf("unexpected OverloadedError: %+v", oe)
+	}
+	if !oe.Retryable() {
+		t.Fatal("overload must be retryable")
+	}
+
+	l.Release()
+	wg.Wait()
+	parkedLease.Release()
+	if got := g.Stats().InUse; got != 0 {
+		t.Fatalf("InUse = %d, want 0", got)
+	}
+}
+
+func TestQueueTimeout(t *testing.T) {
+	g := newTest(Config{Slots: 1, QueueDepth: 4, QueueTimeout: 10 * time.Millisecond})
+	l, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer l.Release()
+	_, err = g.Acquire(context.Background(), 1)
+	var oe *OverloadedError
+	if !errors.As(err, &oe) || oe.Reason != "queue timeout" {
+		t.Fatalf("err = %v, want queue timeout OverloadedError", err)
+	}
+	if oe.Waited <= 0 {
+		t.Fatalf("Waited = %v, want > 0", oe.Waited)
+	}
+	if got := g.Stats().Queued; got != 0 {
+		t.Fatalf("Queued after timeout = %d, want 0", got)
+	}
+}
+
+func TestAcquireCtxCancel(t *testing.T) {
+	g := newTest(Config{Slots: 1, QueueDepth: 4})
+	l, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer l.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, aerr := g.Acquire(ctx, 1)
+		done <- aerr
+	}()
+	waitForQueued(t, g, 1)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled Acquire hung")
+	}
+	if got := g.Stats().Queued; got != 0 {
+		t.Fatalf("Queued after cancel = %d, want 0", got)
+	}
+}
+
+func TestFIFOGrantOrder(t *testing.T) {
+	g := newTest(Config{Slots: 2})
+	l, err := g.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Serialize queue entry so FIFO order is deterministic.
+			for g.Stats().Queued != i {
+				time.Sleep(time.Millisecond)
+			}
+			wl, werr := g.Acquire(context.Background(), 2)
+			if werr != nil {
+				t.Errorf("waiter %d: %v", i, werr)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			wl.Release()
+		}()
+	}
+	waitForQueued(t, g, 3)
+	l.Release()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+}
+
+// waitForQueued polls until the governor reports n queued admissions.
+func waitForQueued(t *testing.T, g *Governor, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second) //laqy:allow obscheck test-only wall-clock wait
+	for g.Stats().Queued < n {
+		if time.Now().After(deadline) { //laqy:allow obscheck test-only wall-clock wait
+			t.Fatalf("timed out waiting for %d queued (have %d)", n, g.Stats().Queued)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestOverweightAcquireClampsToPool(t *testing.T) {
+	g := newTest(Config{Slots: 2})
+	l, err := g.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatalf("overweight Acquire: %v", err)
+	}
+	if got := g.Stats().InUse; got != 2 {
+		t.Fatalf("InUse = %d, want clamp to 2", got)
+	}
+	l.Release()
+}
+
+func TestMemoryBudgetQueryAndGlobal(t *testing.T) {
+	g := newTest(Config{MemoryBytes: 1000, QueryMemoryBytes: 600})
+	b1 := g.NewQueryBudget()
+	b2 := g.NewQueryBudget()
+	if b1 == nil || b2 == nil {
+		t.Fatal("budgets should be live when limits are set")
+	}
+	if err := b1.Reserve(600); err != nil {
+		t.Fatalf("b1.Reserve(600): %v", err)
+	}
+	// Per-query limit trips first.
+	err := b1.Reserve(1)
+	var me *MemoryBudgetError
+	if !errors.As(err, &me) || me.Scope != "query" {
+		t.Fatalf("err = %v, want query-scope MemoryBudgetError", err)
+	}
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Fatal("want errors.Is(err, ErrMemoryBudget)")
+	}
+	// Global limit trips for the second query.
+	err = b2.Reserve(500)
+	if !errors.As(err, &me) || me.Scope != "global" {
+		t.Fatalf("err = %v, want global-scope MemoryBudgetError", err)
+	}
+	if rem := b2.Remaining(); rem != 400 {
+		t.Fatalf("b2.Remaining() = %d, want 400", rem)
+	}
+	// Denial charges nothing.
+	if got := b2.Used(); got != 0 {
+		t.Fatalf("b2.Used() = %d, want 0 after denial", got)
+	}
+	b1.ReleaseAll()
+	if err := b2.Reserve(500); err != nil {
+		t.Fatalf("b2.Reserve after release: %v", err)
+	}
+	b2.ReleaseAll()
+	if got := g.Stats().MemUsed; got != 0 {
+		t.Fatalf("global MemUsed = %d, want 0", got)
+	}
+}
+
+func TestQueryBudgetDisabledIsNil(t *testing.T) {
+	g := newTest(Config{})
+	if b := g.NewQueryBudget(); b != nil {
+		t.Fatalf("budget = %v, want nil when limits unset", b)
+	}
+	var b *QueryBudget
+	if err := b.Reserve(1 << 40); err != nil {
+		t.Fatalf("nil budget Reserve: %v", err)
+	}
+	b.Release(1)
+	b.ReleaseAll()
+	if rem := b.Remaining(); rem != -1 {
+		t.Fatalf("nil Remaining = %d, want -1", rem)
+	}
+}
+
+func TestRetryPolicyDo(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, Seed: 42}
+	var attempts int
+	err := p.Do(context.Background(), func(attempt int) (bool, error) {
+		attempts = attempt
+		if attempt < 3 {
+			return false, errors.New("not yet")
+		}
+		return true, nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("Do: err=%v attempts=%d", err, attempts)
+	}
+
+	// Budget exhaustion returns the last error.
+	sentinel := errors.New("still failing")
+	err = RetryPolicy{MaxAttempts: 2, Seed: 42}.Do(context.Background(), func(int) (bool, error) {
+		return false, sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+
+	// Cancellation wins over backoff.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Hour, Seed: 42}.Do(ctx, func(int) (bool, error) {
+		return false, sentinel
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRetryPolicyBackoffIsCtxAware(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now() //laqy:allow obscheck test-only wall-clock measurement
+	done := make(chan error, 1)
+	go func() {
+		done <- RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Hour, Seed: 7}.Do(ctx, func(int) (bool, error) {
+			return false, errors.New("retry")
+		})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("backoff ignored cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second { //laqy:allow obscheck test-only wall-clock measurement
+		t.Fatalf("backoff slept %v despite cancellation", elapsed)
+	}
+}
+
+func TestScanCostModel(t *testing.T) {
+	g := newTest(Config{})
+	if d := g.EstimateScan(1000); d != 0 {
+		t.Fatalf("cold EstimateScan = %v, want 0", d)
+	}
+	g.ObserveScan(1000, time.Millisecond) // 1µs/row
+	if d := g.EstimateScan(2000); d < time.Millisecond || d > 4*time.Millisecond {
+		t.Fatalf("EstimateScan = %v, want ~2ms", d)
+	}
+	// SetScanCost freezes the model against further observations.
+	g.SetScanCost(1e6) // 1ms/row
+	g.ObserveScan(1000, time.Millisecond)
+	if d := g.EstimateScan(10); d != 10*time.Millisecond {
+		t.Fatalf("frozen EstimateScan = %v, want 10ms", d)
+	}
+	g.SetScanCost(0) // unfreeze + reset
+	if d := g.EstimateScan(10); d != 0 {
+		t.Fatalf("reset EstimateScan = %v, want 0", d)
+	}
+}
+
+func TestDegradationStringsAndMetrics(t *testing.T) {
+	steps := map[DegradeStep]string{
+		DegradeNone:            "none",
+		DegradeExactToApprox:   "exact_to_approx",
+		DegradeSkipDelta:       "skip_delta",
+		DegradeShrinkReservoir: "shrink_reservoir",
+		DegradeSkipRetry:       "skip_retry",
+	}
+	for step, want := range steps {
+		if got := step.String(); got != want {
+			t.Fatalf("DegradeStep(%d).String() = %q, want %q", step, got, want)
+		}
+	}
+	d := Degradation{Step: DegradeShrinkReservoir, Reason: "memory budget", Detail: "k 1024 → 64"}
+	if got := d.String(); got != "shrink_reservoir (memory budget; k 1024 → 64)" {
+		t.Fatalf("Degradation.String() = %q", got)
+	}
+
+	reg := obs.NewRegistry()
+	g := New(Config{})
+	g.SetObs(reg)
+	g.RecordDegradation(DegradeExactToApprox)
+	g.RecordDegradation(DegradeExactToApprox)
+	snap := reg.Snapshot()
+	if got := snap.Counters["laqy_governor_degrade_exact_to_approx_total"]; got != 2 {
+		t.Fatalf("degrade counter = %d, want 2", got)
+	}
+}
+
+func TestObsWiring(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := New(Config{Slots: 3, QueueDepth: 2, QueueTimeout: 5 * time.Millisecond})
+	g.SetObs(reg)
+
+	l, _ := g.Acquire(context.Background(), 1)
+	_, err := g.Acquire(context.Background(), 3) // must queue, then time out
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want overload", err)
+	}
+	l.Release()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.MGovAdmitted]; got != 1 {
+		t.Fatalf("admitted = %d, want 1", got)
+	}
+	if got := snap.Counters[obs.MGovQueueTimeouts]; got != 1 {
+		t.Fatalf("queue timeouts = %d, want 1", got)
+	}
+	if got := snap.Gauges[obs.MGovSlotsTotal]; got != 3 {
+		t.Fatalf("slots gauge = %d, want 3", got)
+	}
+	if got := snap.Gauges[obs.MGovSlotsInUse]; got != 0 {
+		t.Fatalf("in-use gauge = %d, want 0", got)
+	}
+	if h := snap.Histograms[obs.MGovWaitSeconds]; h.Count != 1 {
+		t.Fatalf("wait histogram count = %d, want 1", h.Count)
+	}
+}
+
+func TestConcurrentAcquireReleaseRace(t *testing.T) {
+	g := newTest(Config{Slots: 4, QueueDepth: 64, MemoryBytes: 1 << 20, QueryMemoryBytes: 1 << 16})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+				w := 1 + (i+j)%2
+				l, err := g.Acquire(ctx, w)
+				if err == nil {
+					b := g.NewQueryBudget()
+					_ = b.Reserve(128)
+					b.ReleaseAll()
+					l.Release()
+				} else if !errors.Is(err, ErrOverloaded) && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					t.Errorf("unexpected Acquire error: %v", err)
+				}
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := g.Stats()
+	if st.InUse != 0 || st.Queued != 0 || st.MemUsed != 0 {
+		t.Fatalf("leaked state after storm: %+v", st)
+	}
+}

@@ -1,0 +1,140 @@
+package governor
+
+// Memory budgeting: soft byte accounting for a query's transient state —
+// reservoir Δ-builds in internal/core and group-by hash tables in
+// internal/engine. "Soft" means the engine asks before growing and the
+// budget can say no; nothing is measured after the fact and nothing is
+// ever killed. A denial fails (or degrades) only the requesting query,
+// never the process.
+
+// QueryBudget tracks one query's reservations against the per-query limit
+// and the governor's global pool. Methods are safe for concurrent use by
+// the engine's morsel workers. The nil QueryBudget is a valid no-op that
+// grants everything — it is what NewQueryBudget returns when accounting is
+// disabled, so callers thread it unconditionally.
+type QueryBudget struct {
+	g     *Governor
+	limit int64 // per-query cap; 0 = unlimited
+	used  int64 // guarded by g.mu (reservations are coarse-grained)
+}
+
+// NewQueryBudget hands out a budget for one query, or nil when neither a
+// per-query nor a global limit is configured (the no-op fast path).
+func (g *Governor) NewQueryBudget() *QueryBudget {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	disabled := g.memLimit == 0 && g.queryMemLimit == 0
+	limit := g.queryMemLimit
+	g.mu.Unlock()
+	if disabled {
+		return nil
+	}
+	return &QueryBudget{g: g, limit: limit}
+}
+
+// Reserve asks for n more bytes. On denial it returns a typed
+// *MemoryBudgetError (wrapping ErrMemoryBudget) identifying which budget —
+// "query" or "global" — was exhausted; no bytes are charged on denial.
+// Reserve(0) and negative n are no-ops.
+func (b *QueryBudget) Reserve(n int64) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	g := b.g
+	g.mu.Lock()
+	if b.limit > 0 && b.used+n > b.limit {
+		used, limit := b.used, b.limit
+		g.mu.Unlock()
+		g.memDenied.Inc()
+		return &MemoryBudgetError{Requested: n, Scope: "query", Used: used, Limit: limit}
+	}
+	if g.memLimit > 0 && g.memUsed+n > g.memLimit {
+		used, limit := g.memUsed, g.memLimit
+		g.mu.Unlock()
+		g.memDenied.Inc()
+		return &MemoryBudgetError{Requested: n, Scope: "global", Used: used, Limit: limit}
+	}
+	b.used += n
+	g.memUsed += n
+	total := g.memUsed
+	g.mu.Unlock()
+	g.memGauge.Set(total)
+	return nil
+}
+
+// Release returns n bytes to both pools. Over-release is clamped (the
+// engine releases its estimate, which may have been shrunk).
+func (b *QueryBudget) Release(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	g := b.g
+	g.mu.Lock()
+	if n > b.used {
+		n = b.used
+	}
+	b.used -= n
+	g.memUsed -= n
+	if g.memUsed < 0 {
+		g.memUsed = 0 // invariant: paired Reserve/Release; clamp defensively
+	}
+	total := g.memUsed
+	g.mu.Unlock()
+	g.memGauge.Set(total)
+}
+
+// ReleaseAll returns everything this query still holds. Called (deferred)
+// at query end so a failed or degraded query can never leak global budget.
+func (b *QueryBudget) ReleaseAll() {
+	if b == nil {
+		return
+	}
+	g := b.g
+	g.mu.Lock()
+	n := b.used
+	b.used = 0
+	g.memUsed -= n
+	if g.memUsed < 0 {
+		g.memUsed = 0
+	}
+	total := g.memUsed
+	g.mu.Unlock()
+	g.memGauge.Set(total)
+}
+
+// Used reports the bytes currently charged to this query.
+func (b *QueryBudget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	b.g.mu.Lock()
+	defer b.g.mu.Unlock()
+	return b.used
+}
+
+// Remaining reports the tightest headroom across the per-query and global
+// limits, or -1 when both are unlimited (nil receiver included). The core
+// sampler uses this to shrink a reservoir to fit instead of failing.
+func (b *QueryBudget) Remaining() int64 {
+	if b == nil {
+		return -1
+	}
+	g := b.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rem := int64(-1)
+	if b.limit > 0 {
+		rem = b.limit - b.used
+	}
+	if g.memLimit > 0 {
+		if gr := g.memLimit - g.memUsed; rem < 0 || gr < rem {
+			rem = gr
+		}
+	}
+	if rem < 0 && (b.limit > 0 || g.memLimit > 0) {
+		rem = 0
+	}
+	return rem
+}

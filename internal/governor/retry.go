@@ -1,0 +1,104 @@
+package governor
+
+import (
+	"context"
+	"time"
+
+	"laqy/internal/obs"
+	"laqy/internal/rng"
+)
+
+// RetryPolicy is the generalized bounded-retry loop that replaces ad-hoc
+// single-retry code (notably the APPROX ERROR reservoir-resize retry in
+// runApprox): capped attempts, exponential backoff with multiplicative
+// jitter, and context-aware sleeping so a canceled query never sits in a
+// backoff timer.
+type RetryPolicy struct {
+	// MaxAttempts caps the total number of attempts (not retries); values
+	// below 1 behave as 1.
+	MaxAttempts int
+	// BaseBackoff is the sleep before attempt 2; it doubles per attempt.
+	// Zero means no sleeping (retry immediately), which is right for
+	// in-process rework like a reservoir rebuild.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling. Zero means uncapped.
+	MaxBackoff time.Duration
+	// Jitter is the ± fraction applied to each sleep (0.2 = ±20%). It
+	// decorrelates clients that were rejected by the same overload spike.
+	Jitter float64
+	// Seed feeds the jitter RNG; zero derives one from the clock. Tests
+	// set it for reproducible schedules.
+	Seed uint64
+}
+
+// Do runs fn until it reports done, the attempt budget is exhausted, or
+// ctx is canceled. fn receives the 1-based attempt number and returns
+// (done, err): done=true stops the loop and returns err as the final
+// result (nil for success); done=false requests another attempt, with err
+// remembered as the best-so-far answer should the budget run out.
+// Cancellation during backoff returns ctx.Err() joined to nothing — the
+// last fn error is deliberately dropped there because the caller asked to
+// stop, not the callee.
+func (p RetryPolicy) Do(ctx context.Context, fn func(attempt int) (done bool, err error)) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = uint64(obs.Clock().UnixNano())
+	}
+	jrng := rng.NewLehmer64(seed)
+
+	var lastErr error
+	backoff := p.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		done, err := fn(attempt)
+		if done {
+			return err
+		}
+		lastErr = err
+		if attempt >= attempts {
+			return lastErr
+		}
+		if backoff > 0 {
+			sleep := backoff
+			if p.Jitter > 0 {
+				// Multiplicative jitter in [1-j, 1+j).
+				f := 1 + p.Jitter*(2*jrng.Float64()-1)
+				sleep = time.Duration(float64(sleep) * f)
+			}
+			if err := sleepCtx(ctx, sleep); err != nil {
+				return err
+			}
+			backoff *= 2
+			if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
+				backoff = p.MaxBackoff
+			}
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	if ctx == nil {
+		<-timer.C
+		return nil
+	}
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -50,4 +50,17 @@ const (
 	MEngineRowsSelected = "laqy_engine_rows_selected_total"
 	MEngineWallSeconds  = "laqy_engine_wall_seconds"
 	MEngineScanSeconds  = "laqy_engine_scan_seconds"
+
+	// Resource governor (internal/governor). See docs/GOVERNANCE.md.
+	MGovAdmitted      = "laqy_governor_admitted_total"
+	MGovRejected      = "laqy_governor_rejected_total"       // bounded queue full
+	MGovQueueTimeouts = "laqy_governor_queue_timeouts_total" // admission wait exceeded
+	MGovCanceled      = "laqy_governor_admission_canceled_total"
+	MGovWaitSeconds   = "laqy_governor_wait_seconds"
+	MGovSlotsTotal    = "laqy_governor_slots_total"   // gauge
+	MGovSlotsInUse    = "laqy_governor_slots_in_use"  // gauge
+	MGovQueueDepth    = "laqy_governor_queue_depth"   // gauge (queued admissions)
+	MGovDegradePrefix = "laqy_governor_degrade_"      // + step string + "_total"
+	MGovMemReserved   = "laqy_governor_mem_reserved_bytes" // gauge
+	MGovMemDenied     = "laqy_governor_mem_denied_total"
 )

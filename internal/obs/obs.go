@@ -30,14 +30,44 @@ import (
 	"unsafe"
 )
 
+// clockOverride, when non-nil, replaces the wall clock — the injectable
+// half of the clock seam. It is an atomic pointer so tests (notably the
+// governor chaos harness, which simulates slow scans and deadline pressure
+// without sleeping) can install and remove a fake clock while instrumented
+// code runs concurrently.
+var clockOverride atomic.Pointer[func() time.Time]
+
 // Clock returns the current time. It is the single time source for
-// instrumented packages (core, store, sql): the obscheck analyzer flags
-// direct time.Now() calls there so phase timing always flows through this
-// seam.
-func Clock() time.Time { return time.Now() }
+// instrumented packages (core, store, sql, governor): the obscheck
+// analyzer flags direct time.Now() calls there so phase timing always
+// flows through this seam and can be virtualized in tests via SetClock.
+func Clock() time.Time {
+	if f := clockOverride.Load(); f != nil {
+		return (*f)()
+	}
+	return time.Now()
+}
+
+// SetClock installs fn as the process-wide clock behind Clock/Since and
+// returns a function restoring the real clock. Passing nil restores the
+// real clock immediately. This is a test seam (deterministic deadline and
+// degradation tests); production code must not call it.
+func SetClock(fn func() time.Time) (restore func()) {
+	if fn == nil {
+		clockOverride.Store(nil)
+		return func() {}
+	}
+	clockOverride.Store(&fn)
+	return func() { clockOverride.Store(nil) }
+}
 
 // Since returns the elapsed time since t, measured against Clock.
-func Since(t time.Time) time.Duration { return time.Since(t) }
+func Since(t time.Time) time.Duration {
+	if f := clockOverride.Load(); f != nil {
+		return (*f)().Sub(t)
+	}
+	return time.Since(t)
+}
 
 // numShards stripes counters to avoid cross-core cache-line bouncing. It
 // must be a power of two.

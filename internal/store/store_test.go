@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sync"
 	"testing"
 
 	"laqy/internal/algebra"
@@ -246,3 +247,103 @@ func TestConcurrentAccess(t *testing.T) {
 }
 
 func newTestGen() *rng.Lehmer64 { return rng.NewLehmer64(1) }
+
+// TestConcurrentEvictionNeverDropsNewest is a concurrency property test
+// for the eviction invariants under Puts racing budget enforcement:
+//
+//  1. After every operation the store is within budget, or holds exactly
+//     one (oversized) entry.
+//  2. The newest entry is never the one evicted: if a worker's
+//     freshly-put entry is gone, something strictly newer must have
+//     displaced it — an eviction that removed the newest-at-that-moment
+//     entry while older ones survived is a violation.
+//
+// The budget fits ~3 entries while 8 workers hammer Puts and Lookups, so
+// enforcement runs on nearly every operation. Run under -race via the
+// stress target.
+func TestConcurrentEvictionNeverDropsNewest(t *testing.T) {
+	one := makeSample(20, testSchema, 1, 10, 1000)
+	perEntry := (&Entry{Meta: meta(algebra.NewPredicate()), Sample: one}).SizeBytes()
+	s := New(perEntry * 3)
+
+	const workers = 8
+	const putsPerWorker = 200
+
+	// Checker: between operations (under s.mu) the budget invariant must
+	// hold exactly — enforcement runs before the lock is released.
+	stop := make(chan struct{})
+	checkerDone := make(chan struct{})
+	go func() {
+		defer close(checkerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.mu.Lock()
+			total := s.totalBytesLocked()
+			n := len(s.entries)
+			budget := s.budget
+			s.mu.Unlock()
+			if total > budget && n > 1 {
+				t.Errorf("budget invariant violated: %d entries, %d bytes > budget %d", n, total, budget)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < putsPerWorker; i++ {
+				lo := int64(w*putsPerWorker + i)
+				e, err := s.Put(meta(algebra.NewPredicate().WithRange("key", lo, lo)),
+					makeSample(uint64(w*1000+i), testSchema, 1, 10, 1000))
+				if err != nil {
+					t.Errorf("worker %d: Put: %v", w, err)
+					return
+				}
+				// Newest-survives detector: if our entry is already gone,
+				// a strictly newer one must exist among the survivors.
+				s.mu.Lock()
+				present := false
+				var maxUsed int64 = -1
+				for _, q := range s.entries {
+					if q == e {
+						present = true
+					}
+					if q.lastUsed > maxUsed {
+						maxUsed = q.lastUsed
+					}
+				}
+				s.mu.Unlock()
+				if !present && maxUsed < e.lastUsed {
+					t.Errorf("worker %d: newest entry (clock %d) evicted; survivors max clock %d", w, e.lastUsed, maxUsed)
+					return
+				}
+				// Lookups shuffle LRU order to vary which entry eviction
+				// must protect.
+				if i%3 == 0 {
+					s.Lookup("lineorder", testSchema, 1, 10,
+						algebra.NewPredicate().WithRange("key", lo, lo))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-checkerDone
+
+	if s.Len() < 1 {
+		t.Fatal("store drained to zero entries")
+	}
+	if got := s.Stats(); got.Evicted == 0 {
+		t.Fatal("no evictions happened; the test exerted no budget pressure")
+	}
+	if total := s.TotalBytes(); total > perEntry*3 {
+		t.Fatalf("final size %d exceeds budget %d", total, perEntry*3)
+	}
+}

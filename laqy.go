@@ -32,9 +32,11 @@ import (
 	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"laqy/internal/core"
 	"laqy/internal/engine"
+	"laqy/internal/governor"
 	"laqy/internal/obs"
 	"laqy/internal/sample"
 	"laqy/internal/ssb"
@@ -77,6 +79,15 @@ type Config struct {
 	// become no-ops and Metrics()/Handler() report nothing. Tracing
 	// (SetTracing, EXPLAIN ANALYZE) is independent and stays available.
 	DisableMetrics bool
+	// DefaultQueryTimeout applies a deadline to every query whose context
+	// does not already carry one (0 = none). Under deadline pressure the
+	// planner degrades along the ladder (exact → approximate → serve
+	// stored sample) instead of aborting; see docs/GOVERNANCE.md.
+	DefaultQueryTimeout time.Duration
+	// Governor tunes admission control, memory budgeting, and the
+	// degradation ladder; the zero value enables production-safe
+	// defaults. See docs/GOVERNANCE.md.
+	Governor GovernorConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +104,9 @@ type DB struct {
 	cfg     Config
 	catalog *storage.Catalog
 	lazy    *core.LazySampler
+	// gov is the resource governor (nil when Config.Governor.Disable);
+	// the nil governor admits everything and accounts nothing.
+	gov *governor.Governor
 
 	// reg is the DB's metrics registry (obs.Disabled when
 	// Config.DisableMetrics); met caches the frontend instruments.
@@ -116,6 +130,16 @@ func Open(cfg Config) *DB {
 		catalog: storage.NewCatalog(),
 		lazy:    core.New(store.New(cfg.StoreBudgetBytes), mergeSeed(cfg.Seed)),
 		reg:     reg,
+	}
+	if !cfg.Governor.Disable {
+		db.gov = governor.New(governor.Config{
+			Slots:            cfg.Governor.Slots,
+			QueueDepth:       cfg.Governor.QueueDepth,
+			QueueTimeout:     cfg.Governor.QueueTimeout,
+			MemoryBytes:      cfg.Governor.MemoryBytes,
+			QueryMemoryBytes: cfg.Governor.QueryMemoryBytes,
+		})
+		db.gov.SetObs(reg)
 	}
 	db.met = newDBMetrics(reg)
 	db.lazy.SetObs(reg)

@@ -2,6 +2,7 @@ package laqy
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"laqy/internal/approx"
 	"laqy/internal/core"
 	"laqy/internal/engine"
+	"laqy/internal/governor"
 	"laqy/internal/obs"
 	"laqy/internal/sample"
 	"laqy/internal/sql"
@@ -97,6 +99,15 @@ type Result struct {
 	// Explain holds rendered EXPLAIN output: the plan description for
 	// EXPLAIN, or the annotated trace for EXPLAIN ANALYZE ("" otherwise).
 	Explain string
+	// Stale reports a degraded answer served from a stored sample that only
+	// partially covers the query's predicate: no data was scanned, extensive
+	// aggregates were extrapolated, and confidence intervals widened. Always
+	// accompanied by a DegradeSkipDelta entry in Degradations.
+	Stale bool
+	// Degradations lists the governance steps taken to produce this answer
+	// under deadline or memory pressure (empty for undegraded queries). A
+	// degraded answer is always labeled; see docs/GOVERNANCE.md.
+	Degradations []Degradation
 }
 
 // ModeString returns Mode.String().
@@ -136,13 +147,26 @@ func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
 	return db.execute(ctx, plan, parseStart, parseEnd, planEnd)
 }
 
-// execute runs a planned statement with the observability plumbing: the
-// metrics registry (and, when tracing, the root span) ride the context
-// through core → engine → store, and the parse/plan phases measured by
-// QueryContext are recorded retroactively on the trace.
+// execute runs a planned statement with the observability and governance
+// plumbing: the metrics registry (and, when tracing, the root span) ride
+// the context through core → engine → store; the parse/plan phases measured
+// by QueryContext are recorded retroactively on the trace; and the query
+// passes the resource governor — default deadline, admission control,
+// memory budget, and (under deadline pressure) the degradation ladder.
 func (db *DB) execute(ctx context.Context, plan *sql.Plan, parseStart, parseEnd, planEnd time.Time) (*Result, error) {
 	start := obs.Clock()
 	db.met.queries.Inc()
+
+	// Default deadline: queries that arrive without one inherit the
+	// configured budget, so the degradation ladder has a target to honor.
+	if db.cfg.DefaultQueryTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, db.cfg.DefaultQueryTimeout)
+			defer cancel()
+		}
+	}
+
 	var tr *obs.Trace
 	if db.traceOn.Load() || plan.ExplainAnalyze {
 		tr = obs.NewTrace("query")
@@ -150,22 +174,60 @@ func (db *DB) execute(ctx context.Context, plan *sql.Plan, parseStart, parseEnd,
 		tr.Root().Record("plan", parseEnd, planEnd)
 		db.met.traces.Inc()
 	}
+
+	// Admission: hold a weighted slot for the query's lifetime. Overload is
+	// reported as a typed *OverloadedError before any work is done, so a
+	// saturated server sheds load at the door instead of thrashing.
+	if db.gov != nil {
+		weight := governor.WeightExact
+		if plan.Approx {
+			weight = governor.WeightApprox
+		}
+		admStart := obs.Clock()
+		lease, err := db.gov.Acquire(ctx, weight)
+		if err != nil {
+			db.met.queryErrors.Inc()
+			return nil, err
+		}
+		defer lease.Release()
+		if tr != nil {
+			tr.Root().Record("admission", admStart, obs.Clock())
+		}
+	}
+
 	ctx = obs.WithRegistry(ctx, db.reg)
 	if tr != nil {
 		ctx = obs.WithSpan(ctx, tr.Root())
 	}
 	plan.Query.Ctx = ctx
 
+	// Memory budget: transient query state (reservoir builds, group-by hash
+	// tables) is charged against it; ReleaseAll on the way out keeps the
+	// global pool clean whatever path the query took.
+	budget := db.gov.NewQueryBudget()
+	defer budget.ReleaseAll()
+	plan.Query.Budget = budget
+
 	var res *Result
 	var err error
 	if plan.Approx {
-		res, err = db.runApprox(plan)
+		_, reuseOnly := db.deadlinePressure(ctx, plan)
+		res, err = db.runApprox(plan, reuseOnly)
+		if reuseOnly && errors.Is(err, governor.ErrNoStoredSample) {
+			// Bottom rung unservable (nothing stored): build the sample
+			// anyway and let the deadline cancel the scan if it must — a
+			// best-effort answer beats refusing a legitimate query.
+			res, err = db.runApprox(plan, false)
+		}
 	} else {
-		res, err = db.runExact(plan)
+		res, err = db.runExactOrDegrade(ctx, plan)
 	}
 	if err != nil {
 		db.met.queryErrors.Inc()
 		return nil, err
+	}
+	for _, d := range res.Degradations {
+		db.gov.RecordDegradation(d.Step)
 	}
 	db.met.querySeconds.Observe(obs.Since(start))
 	db.met.mode(res.Mode).Inc()
@@ -173,6 +235,9 @@ func (db *DB) execute(ctx context.Context, plan *sql.Plan, parseStart, parseEnd,
 		root := tr.Root()
 		root.SetAttr("mode", res.Mode.String())
 		root.SetAttrInt("rows", int64(len(res.Rows)))
+		if len(res.Degradations) > 0 {
+			root.SetAttr("degraded", degradationsString(res.Degradations))
+		}
 		root.End()
 		res.Trace = traceFromObs(tr)
 		if plan.ExplainAnalyze {
@@ -180,6 +245,66 @@ func (db *DB) execute(ctx context.Context, plan *sql.Plan, parseStart, parseEnd,
 			res.Explain = tr.Render()
 		}
 	}
+	return res, nil
+}
+
+// deadlinePressure consults the governor's scan cost model against the
+// context deadline and reports which degradation rungs apply: degrade
+// (an exact scan would miss the deadline → answer from a sample) and
+// reuseOnly (even a sample build would miss it → serve a stored sample
+// as-is, skipping the Δ scan). A cold cost model, a missing deadline, or
+// DisableDegradation all report no pressure, so first queries and
+// opted-out configurations run undegraded.
+func (db *DB) deadlinePressure(ctx context.Context, plan *sql.Plan) (degrade, reuseOnly bool) {
+	if db.gov == nil || db.cfg.Governor.DisableDegradation || plan.Query.Fact == nil {
+		return false, false
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return false, false
+	}
+	est := db.gov.EstimateScan(int64(plan.Query.Fact.NumRows()))
+	if est == 0 {
+		return false, false
+	}
+	remaining := deadline.Sub(obs.Clock())
+	if remaining <= 0 {
+		return true, true
+	}
+	if est > remaining {
+		degrade = true
+		// A sample build still scans (online or Δ). When even a quarter of
+		// the full scan would blow the deadline, only a zero-scan stored
+		// serve can answer in time.
+		if est/4 > remaining {
+			reuseOnly = true
+		}
+	}
+	return degrade, reuseOnly
+}
+
+// runExactOrDegrade is the exact path's entry to the degradation ladder:
+// under deadline pressure the query is answered from a sample instead
+// (labeled DegradeExactToApprox); when the bottom rung has nothing stored
+// to serve, it falls back to the undegraded exact scan and accepts the
+// deadline risk — a late exact answer beats no answer only when there is
+// no approximate one to give.
+func (db *DB) runExactOrDegrade(ctx context.Context, plan *sql.Plan) (*Result, error) {
+	degrade, reuseOnly := db.deadlinePressure(ctx, plan)
+	if !degrade {
+		return db.runExact(plan)
+	}
+	res, err := db.runApprox(plan, reuseOnly)
+	if err != nil {
+		if errors.Is(err, governor.ErrNoStoredSample) {
+			return db.runExact(plan)
+		}
+		return nil, err
+	}
+	res.Degradations = append([]Degradation{{
+		Step:   DegradeExactToApprox,
+		Reason: "deadline pressure",
+	}}, res.Degradations...)
 	return res, nil
 }
 
@@ -227,6 +352,7 @@ func (db *DB) runExact(plan *sql.Plan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.gov.ObserveScan(stats.RowsScanned, stats.Scan)
 	out := newResult(plan, false, ModeExact)
 	for _, key := range res.Keys() {
 		row := Row{Groups: decodeGroups(plan, key), Aggs: make([]AggValue, len(plan.Aggs))}
@@ -241,63 +367,91 @@ func (db *DB) runExact(plan *sql.Plan) (*Result, error) {
 	return out, nil
 }
 
-func (db *DB) runApprox(plan *sql.Plan) (*Result, error) {
+// runApprox answers a query from the lazy sampler. serveStored is the
+// degradation ladder's bottom rung: the store must answer as-is (no scan);
+// a store miss surfaces governor.ErrNoStoredSample so the caller can pick
+// the next rung (build anyway, or run exact).
+func (db *DB) runApprox(plan *sql.Plan, serveStored bool) (*Result, error) {
 	start := obs.Clock()
 	k := plan.K
 	if k == 0 {
 		k = db.cfg.DefaultK
 	}
 	req := core.Request{
-		Query:      plan.Query,
-		Predicate:  plan.Predicate,
-		Schema:     plan.Schema,
-		QCSWidth:   plan.QCSWidth(),
-		K:          k,
-		Seed:       db.nextSeed(),
-		Workers:    db.engineWorkers(),
-		MinSupport: db.cfg.MinSupport,
-		Oversample: db.cfg.Oversample,
+		Query:       plan.Query,
+		Predicate:   plan.Predicate,
+		Schema:      plan.Schema,
+		QCSWidth:    plan.QCSWidth(),
+		K:           k,
+		Seed:        db.nextSeed(),
+		Workers:     db.engineWorkers(),
+		MinSupport:  db.cfg.MinSupport,
+		Oversample:  db.cfg.Oversample,
+		Budget:      plan.Query.Budget,
+		ServeStored: serveStored,
 	}
 	res, err := db.lazy.Sample(req)
 	if err != nil {
 		return nil, err
 	}
+	db.gov.ObserveScan(res.Stats.RowsScanned, res.Stats.Scan)
 
 	out := newResult(plan, true, modeFromCore(res.Mode))
 	out.Rows = rowsFromSample(plan, res)
 	out.Stats = toExecStats(res.Stats, res.MergeTime, obs.Since(start))
+	out.Stale = res.Stale
+	out.Degradations = append(out.Degradations, res.Degradations...)
 	finishRows(plan, out)
 
 	// APPROX ERROR e [CONFIDENCE c]: when an estimate's realized bound
-	// exceeds the target, first retry once with a reservoir capacity sized
-	// from the observed variance (stderr scales with 1/√k, so the needed
-	// capacity is computable); if the resized sample still misses — or the
-	// required capacity is impractically large — fall back to exact
-	// execution rather than return an answer that misses its contract.
+	// exceeds the target, retry with a reservoir capacity sized from the
+	// observed variance (stderr scales with 1/√k, so the needed capacity is
+	// computable); if the resized sample still misses — or the required
+	// capacity is impractically large — fall back to exact execution rather
+	// than return an answer that misses its contract. The loop runs under
+	// the governor's bounded RetryPolicy (which honors cancellation before
+	// each rescan); a deadline that expires mid-retry returns the
+	// best-so-far answer labeled DegradeSkipRetry instead of nothing. In
+	// serveStored mode the enforcement is skipped entirely: the answer is
+	// already labeled degraded, and any retry would scan.
 	conf := confidenceOf(plan)
-	if plan.ErrorBound > 0 && !boundsMet(out, plan.ErrorBound, conf) {
-		// Both the resized-K retry and the exact fallback rescan the
-		// data. The first pass may have been served entirely from a
-		// stored sample (offline mode) and so never observed the
-		// context; honor cancellation here before launching either.
-		if ctx := plan.Query.Ctx; ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+	if plan.ErrorBound > 0 && !serveStored && !boundsMet(out, plan.ErrorBound, conf) {
+		policy := governor.RetryPolicy{MaxAttempts: approxRetryAttempts}
+		rerr := policy.Do(plan.Query.Ctx, func(int) (bool, error) {
+			newK := requiredK(out, req.K, plan.ErrorBound, conf)
+			if newK <= req.K || newK > maxAutoK {
+				// No finite resize helps; stop and let the exact
+				// fallback below decide.
+				return true, nil
 			}
-		}
-		if newK := requiredK(out, k, plan.ErrorBound, conf); newK > k && newK <= maxAutoK {
 			db.met.retries.Inc()
 			req.K = newK
 			req.Seed = db.nextSeed()
-			res, err = db.lazy.Sample(req)
+			res, err := db.lazy.Sample(req)
 			if err != nil {
-				return nil, err
+				return true, err
 			}
+			db.gov.ObserveScan(res.Stats.RowsScanned, res.Stats.Scan)
 			resized := newResult(plan, true, modeFromCore(res.Mode))
 			resized.Rows = rowsFromSample(plan, res)
 			resized.Stats = toExecStats(res.Stats, res.MergeTime, obs.Since(start))
+			resized.Degradations = append(resized.Degradations, res.Degradations...)
 			finishRows(plan, resized)
 			out = resized
+			return boundsMet(out, plan.ErrorBound, conf), nil
+		})
+		if rerr != nil {
+			if errors.Is(rerr, context.DeadlineExceeded) &&
+				db.gov != nil && !db.cfg.Governor.DisableDegradation {
+				// The deadline ran out mid-retry: the best-so-far answer,
+				// labeled, beats no answer (the BlinkDB trade).
+				out.Degradations = append(out.Degradations, Degradation{
+					Step:   DegradeSkipRetry,
+					Reason: "deadline",
+				})
+				return out, nil
+			}
+			return nil, rerr
 		}
 		if !boundsMet(out, plan.ErrorBound, conf) {
 			db.met.exactFallbacks.Inc()
@@ -312,12 +466,34 @@ func (db *DB) runApprox(plan *sql.Plan) (*Result, error) {
 	return out, nil
 }
 
+// approxRetryAttempts bounds the APPROX ERROR resize loop: the attempts
+// after the first pass, each resizing the reservoir from the latest
+// observed variance. Two attempts generalize the former single-retry
+// policy — the second fires only when the first resize's own variance
+// estimate asks for still more capacity under maxAutoK.
+const approxRetryAttempts = 2
+
 // rowsFromSample materializes result rows from a logical sample: one row
 // per stratum, each aggregate estimated from the stratum's reservoir.
 // COUNT(*) rides on the first captured value column. Both the first-pass
 // and the error-driven resized-K materializations in runApprox use this.
+//
+// A stale serve (degraded stored sample covering only part of the
+// predicate) is adjusted here: extensive aggregates (SUM, COUNT) scale by
+// the coverage extrapolation factor — their standard errors with them —
+// and every standard error is additionally widened by CIScale, so the
+// reported uncertainty discloses the unobserved range.
 func rowsFromSample(plan *sql.Plan, res *core.Result) []Row {
 	rideOnIdx := len(plan.GroupBy)
+	extrapolate, ciScale := 1.0, 1.0
+	if res.Stale {
+		if res.Extrapolate > 0 {
+			extrapolate = res.Extrapolate
+		}
+		if res.CIScale > 0 {
+			ciScale = res.CIScale
+		}
+	}
 	var rows []Row
 	res.Sample.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
 		row := Row{Groups: decodeGroups(plan, key), Aggs: make([]AggValue, len(plan.Aggs))}
@@ -327,6 +503,11 @@ func rowsFromSample(plan *sql.Plan, res *core.Result) []Row {
 				colIdx = plan.Schema.Index(a.Column)
 			}
 			e := approx.FromReservoir(r, colIdx, a.Kind)
+			if a.Kind == approx.Sum || a.Kind == approx.Count {
+				e.Value *= extrapolate
+				e.StdErr *= extrapolate
+			}
+			e.StdErr *= ciScale
 			row.Aggs[i] = AggValue{Value: e.Value, StdErr: e.StdErr, Support: e.Support}
 		}
 		rows = append(rows, row)

@@ -1,0 +1,150 @@
+// Package ctxpoll enforces cancellation reachability in the scan and
+// sampling hot paths (laqy/internal/engine, laqy/internal/core).
+//
+// The governor's whole contract — overload sheds at the admission door,
+// deadlines degrade instead of hanging — rests on one mechanical property:
+// every long-running loop eventually observes its context. A `//laqy:hot`
+// function whose outermost loop never polls ctx.Err()/ctx.Done() (directly,
+// or by calling a helper that takes the context) is a loop cancellation
+// cannot reach; a canceled query would spin there until the scan finishes
+// anyway.
+//
+// The analyzer checks each outermost loop of every //laqy:hot function in
+// the gated packages: the loop (anywhere inside it, including nested
+// function literals such as worker goroutines) must poll the context, or
+// carry a `//laqy:allow ctxpoll <why>` suppression on the loop line or the
+// line above. The escape exists for per-row/per-chunk kernels: polling a
+// context per tuple would destroy the throughput the paper's design
+// depends on, so leaf kernels are exempted and their *callers* — the
+// morsel drivers — carry the poll, once per morsel.
+//
+// A poll is any of:
+//   - a call to .Err() or .Done() on a context.Context value;
+//   - a call passing a context.Context argument (a delegated check such as
+//     core's ctxErr helper).
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"laqy/tools/laqyvet/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "outermost loops in //laqy:hot functions of the scan/sampling packages must poll the query context (or carry //laqy:allow ctxpoll)",
+	Run:  run,
+}
+
+// gated lists the packages whose hot loops sit on the query's cancellation
+// path. Other packages' hot kernels (e.g. internal/sample's per-tuple
+// admission) are always leaf kernels below a gated driver, so the rule
+// does not apply to them directly.
+var gated = map[string]bool{
+	"laqy/internal/engine": true,
+	"laqy/internal/core":   true,
+}
+
+// applies also admits the analyzer's own golden testdata package.
+func applies(path string) bool {
+	return gated[path] || strings.Contains(path, "testdata/src/ctxpoll")
+}
+
+// hotDirective marks a hot function (shared with the hotalloc analyzer).
+const hotDirective = "//laqy:hot"
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !applies(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHot(fn) {
+				continue
+			}
+			checkOutermostLoops(pass, f, fn.Body)
+		}
+	}
+	return nil
+}
+
+// isHot reports whether the function's doc comment carries //laqy:hot.
+func isHot(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotDirective || strings.HasPrefix(c.Text, hotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkOutermostLoops reports each outermost for/range loop under n that
+// neither polls the context nor carries a suppression. Nested loops are
+// not checked separately: the requirement is per cancellation region, and
+// an outer loop that polls covers everything it contains.
+func checkOutermostLoops(pass *analysis.Pass, file *ast.File, n ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+		default:
+			return true
+		}
+		if !pollsContext(pass, node) && !analysis.LineAllowed(pass.Fset, file, node.Pos(), "ctxpoll") {
+			pass.Reportf(node.Pos(),
+				"//laqy:hot loop never polls the context: cancellation and deadlines cannot reach it (poll ctx.Err() per chunk, or annotate //laqy:allow ctxpoll on leaf kernels whose caller polls)")
+		}
+		return false // outermost only; the loop's own subtree was judged as one region
+	})
+}
+
+// pollsContext reports whether the loop's subtree contains a context poll:
+// .Err()/.Done() on a context value, or a call that passes a context (a
+// delegated poll).
+func pollsContext(pass *analysis.Pass, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Err" || sel.Sel.Name == "Done") &&
+			isContext(pass, sel.X) {
+			found = true
+			return false
+		}
+		for _, arg := range call.Args {
+			if isContext(pass, arg) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isContext reports whether e's static type is context.Context.
+func isContext(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"laqy/tools/laqyvet/analysistest"
+	"laqy/tools/laqyvet/ctxpoll"
+)
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, ctxpoll.Analyzer, "src/ctxpoll/a")
+}

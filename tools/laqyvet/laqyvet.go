@@ -1,4 +1,4 @@
-// Package laqyvet assembles the project's static-analysis suite: five
+// Package laqyvet assembles the project's static-analysis suite: six
 // analyzers enforcing the invariants the paper's correctness and
 // performance claims rest on but the compiler cannot check. See
 // docs/STATIC_ANALYSIS.md for the full policy and annotation grammar.
@@ -6,6 +6,7 @@ package laqyvet
 
 import (
 	"laqy/tools/laqyvet/analysis"
+	"laqy/tools/laqyvet/ctxpoll"
 	"laqy/tools/laqyvet/errchecklite"
 	"laqy/tools/laqyvet/hotalloc"
 	"laqy/tools/laqyvet/mergesync"
@@ -16,6 +17,7 @@ import (
 // All returns the full analyzer suite in deterministic order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ctxpoll.Analyzer,
 		errchecklite.Analyzer,
 		hotalloc.Analyzer,
 		mergesync.Analyzer,

@@ -1,0 +1,88 @@
+// Package a is ctxpoll golden testdata: hot loops that do and do not poll
+// their context, plus the per-row-kernel suppression.
+package a
+
+import "context"
+
+// helper is a delegated poll target (like core's ctxErr).
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// DriverDirect polls ctx.Err() per chunk: clean.
+//
+//laqy:hot morsel driver, direct poll
+func DriverDirect(ctx context.Context, rows []int64) int64 {
+	var total int64
+	for i, v := range rows {
+		if i%1024 == 0 && ctx.Err() != nil {
+			return total
+		}
+		total += v
+	}
+	return total
+}
+
+// DriverDelegated polls through a helper that takes the context: clean.
+//
+//laqy:hot morsel driver, delegated poll
+func DriverDelegated(ctx context.Context, rows []int64) int64 {
+	var total int64
+	for _, v := range rows {
+		if helper(ctx) != nil {
+			return total
+		}
+		total += v
+	}
+	return total
+}
+
+// DriverDone selects on ctx.Done() inside a worker literal; the poll in
+// the nested literal covers the spawn loop.
+//
+//laqy:hot worker spawner
+func DriverDone(ctx context.Context, rows []int64) {
+	for w := 0; w < 4; w++ {
+		go func() {
+			for range rows {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+			}
+		}()
+	}
+}
+
+// Unpolled never observes the context: a canceled query spins here until
+// the scan ends on its own.
+//
+//laqy:hot runaway scan
+func Unpolled(ctx context.Context, rows []int64) int64 {
+	var total int64
+	for _, v := range rows { // want `//laqy:hot loop never polls the context`
+		total += v
+	}
+	_ = ctx
+	return total
+}
+
+// Kernel is a leaf per-row kernel: polling per tuple would wreck
+// throughput, so the loop is exempted and the caller polls per morsel.
+//
+//laqy:hot per-row leaf kernel
+func Kernel(rows []int64) int64 {
+	var total int64
+	for _, v := range rows { //laqy:allow ctxpoll leaf kernel; morsel driver polls
+		total += v
+	}
+	return total
+}
+
+// Cold is unannotated: ctxpoll does not apply.
+func Cold(rows []int64) int64 {
+	var total int64
+	for _, v := range rows {
+		total += v
+	}
+	return total
+}
