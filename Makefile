@@ -66,8 +66,19 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzSetAlgebra -fuzztime=$(FUZZTIME) -run '^$$' ./internal/algebra
 	$(GO) test -fuzz=FuzzStoreLoad -fuzztime=$(FUZZTIME) -run '^$$' ./internal/store
 
+# Full benchmark pass: the paper-figure benches in the root package plus
+# the hot-path microbenches (selection kernels, reservoir admission,
+# zone-map pruning). Raw output lands in bench-raw.txt; cmd/benchjson
+# converts it to the machine-diffable BENCH_PR5.json that CI uploads as an
+# artifact (docs/PERFORMANCE.md). Raise BENCHTIME for stable numbers,
+# e.g. `make bench BENCHTIME=100x`.
+BENCHTIME ?= 1x
+BENCHPKGS = . ./internal/expr ./internal/sample ./internal/engine
+
 bench:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run '^$$' $(BENCHPKGS) > bench-raw.txt
+	@cat bench-raw.txt
+	$(GO) run ./cmd/benchjson -in bench-raw.txt -out BENCH_PR5.json
 
 clean:
 	$(GO) clean ./...

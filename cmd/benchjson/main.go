@@ -1,0 +1,156 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document (BENCH_PR5.json in CI) that downstream tooling can diff across
+// builds. The raw benchmark lines are preserved verbatim in the document,
+// so `jq -r .raw[]` reconstructs input benchstat consumes directly —
+// nothing is lost by storing JSON only.
+//
+// Usage:
+//
+//	go test -bench=. -run '^$' ./... > bench-raw.txt
+//	go run ./cmd/benchjson -in bench-raw.txt -out BENCH_PR5.json
+//
+// With -in - (the default) it reads stdin, so it also works as a pipe sink.
+// Stdlib only, by project policy.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Pkg is the Go package the benchmark ran in.
+	Pkg string `json:"pkg"`
+	// Name is the full benchmark name including sub-benchmark path and
+	// GOMAXPROCS suffix, e.g. "BenchmarkSelect/sel1pct-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value: "ns/op", "MB/s", "B/op", "allocs/op" and
+	// any custom b.ReportMetric units ("draws/tuple", "pruned-frac", ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	Date       string            `json:"date"`
+	Env        map[string]string `json:"env"` // goos, goarch, cpu, pkg-independent headers
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Raw        []string          `json:"raw"`
+}
+
+// parse consumes go-test bench output and builds the document. Unknown
+// lines (PASS, ok, test logs) are kept in Raw but produce no benchmark
+// entries; malformed Benchmark lines are reported as errors.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{
+		Date: time.Now().UTC().Format(time.RFC3339),
+		Env:  map[string]string{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		doc.Raw = append(doc.Raw, line)
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			doc.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line, pkg)
+			if err != nil {
+				return nil, err
+			}
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseBenchLine parses a single result line:
+//
+//	BenchmarkSelect/sel1pct-8   100   90339 ns/op   5803.54 MB/s
+func parseBenchLine(line, pkg string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("benchjson: short benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchjson: bad iteration count in %q: %v", line, err)
+	}
+	b := Benchmark{
+		Pkg:        pkg,
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("benchjson: unpaired value/unit in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchjson: bad metric value in %q: %v", line, err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}
+
+func run(in io.Reader, outPath string) error {
+	doc, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines in input")
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(outPath, buf, 0o644)
+}
+
+func main() {
+	inPath := flag.String("in", "-", "input file with go test -bench output, - for stdin")
+	outPath := flag.String("out", "-", "output JSON file, - for stdout")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

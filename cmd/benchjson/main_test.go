@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: laqy/internal/expr
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSelect/sel1pct-8         	     100	     90339 ns/op	5803.54 MB/s
+BenchmarkSelect/multiinterval-8   	     100	   1076040 ns/op	 487.24 MB/s
+PASS
+ok  	laqy/internal/expr	0.155s
+goos: linux
+goarch: amd64
+pkg: laqy/internal/sample
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkReservoirAdmission/batchSkip-8 	      10	     88655 ns/op	378481.54 MB/s	         0.001721 draws/tuple
+PASS
+ok  	laqy/internal/sample	0.546s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Pkg != "laqy/internal/expr" || b0.Name != "BenchmarkSelect/sel1pct-8" || b0.Iterations != 100 {
+		t.Fatalf("b0 = %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 90339 || b0.Metrics["MB/s"] != 5803.54 {
+		t.Fatalf("b0 metrics = %v", b0.Metrics)
+	}
+	// Custom ReportMetric units survive, and pkg tracks the latest header.
+	b2 := doc.Benchmarks[2]
+	if b2.Pkg != "laqy/internal/sample" || b2.Metrics["draws/tuple"] != 0.001721 {
+		t.Fatalf("b2 = %+v", b2)
+	}
+	if doc.Env["goos"] != "linux" || doc.Env["cpu"] == "" {
+		t.Fatalf("env = %v", doc.Env)
+	}
+	// Raw preserves every input line verbatim for benchstat reconstruction.
+	if len(doc.Raw) != strings.Count(sampleOutput, "\n") {
+		t.Fatalf("raw lines = %d", len(doc.Raw))
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX",                   // no iteration count
+		"BenchmarkX notanumber",        // bad count
+		"BenchmarkX 10 5 ns/op stray",  // unpaired trailing field
+		"BenchmarkX 10 notfloat ns/op", // bad metric value
+	} {
+		if _, err := parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Fatalf("parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestRunRequiresBenchmarks(t *testing.T) {
+	if err := run(strings.NewReader("PASS\nok x 0.1s\n"), "-"); err == nil {
+		t.Fatal("run with no benchmark lines must error")
+	}
+}

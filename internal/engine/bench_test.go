@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"testing"
+
+	"laqy/internal/algebra"
+	"laqy/internal/rng"
+	"laqy/internal/storage"
+)
+
+// q11Years is the depth of date history in the benchmark fact table. The
+// repo's ssbgen draws dates uniformly (pruning-hostile by design, see
+// lo_intkey's shuffle); this benchmark instead models the deployment zone
+// maps target — a warehouse loaded in date order with years of history —
+// so a one-year Q1.1 predicate touches a small clustered slice.
+const q11Years = 32
+
+// buildQ11Fact builds an SSB Q1.1-shaped fact table: nMorsels morsels of
+// lineorder-like rows where lo_orderdate is date-clustered (rows arrive in
+// load order) across q11Years years, and discount/quantity are uniform.
+// Q1.1's selective conjunct is the one-year date range; on this layout the
+// zone map proves every morsel outside that year's slice disjoint.
+func buildQ11Fact(nMorsels int) *storage.Table {
+	n := nMorsels * storage.DefaultMorselSize
+	rg := rng.NewLehmer64(1992)
+	date := make([]int64, n)
+	disc := make([]int64, n)
+	qty := make([]int64, n)
+	price := make([]int64, n)
+	for i := 0; i < n; i++ {
+		year := 19920000 + int64(i*q11Years/n)*10000
+		date[i] = year + int64(rg.Intn(12)+1)*100 + int64(rg.Intn(28)+1)
+		disc[i] = int64(rg.Intn(11))      // 0..10
+		qty[i] = int64(rg.Intn(50) + 1)   // 1..50
+		price[i] = int64(rg.Intn(100000)) // extended price
+	}
+	return storage.MustNewTable("lineorder",
+		&storage.Column{Name: "lo_orderdate", Kind: storage.KindInt64, Ints: date},
+		&storage.Column{Name: "lo_discount", Kind: storage.KindInt64, Ints: disc},
+		&storage.Column{Name: "lo_quantity", Kind: storage.KindInt64, Ints: qty},
+		&storage.Column{Name: "lo_extendedprice", Kind: storage.KindInt64, Ints: price},
+	)
+}
+
+// q11Predicate is SSB Q1.1: one year of orders, discount 1..3, quantity
+// under 25 — all single-interval conjuncts, so the zone map sees all of it.
+func q11Predicate() algebra.Predicate {
+	return algebra.NewPredicate().
+		WithRange("lo_orderdate", 20070000, 20071231).
+		WithRange("lo_discount", 1, 3).
+		WithRange("lo_quantity", 1, 24)
+}
+
+// BenchmarkPrunedScan runs the Q1.1-shaped scan with zone maps on and off.
+// The pruned variant reports the fraction of morsels skipped (the
+// acceptance target is >0.9 on this clustered layout); the reference
+// variant evaluates the filter on every row of every morsel.
+func BenchmarkPrunedScan(b *testing.B) {
+	const nMorsels = 16
+	fact := buildQ11Fact(nMorsels)
+	fact.ZoneMap() // build outside the timed loop, as a warm server would
+
+	run := func(b *testing.B, disable bool) Stats {
+		var last Stats
+		b.SetBytes(int64(fact.NumRows()) * 3 * 8) // three filter columns
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := &Query{Fact: fact, Filter: q11Predicate(), DisableZoneMaps: disable}
+			_, st, err := RunScan(q, "lo_extendedprice", 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = st
+		}
+		return last
+	}
+
+	b.Run("pruned", func(b *testing.B) {
+		st := run(b, false)
+		b.ReportMetric(float64(st.MorselsPruned)/float64(nMorsels), "pruned-frac")
+	})
+	b.Run("reference", func(b *testing.B) {
+		st := run(b, true)
+		if st.MorselsPruned != 0 {
+			b.Fatalf("reference run pruned %d morsels", st.MorselsPruned)
+		}
+	})
+}

@@ -30,12 +30,22 @@ type Stats struct {
 	Merge time.Duration
 	// Wall is the end-to-end execution wall time.
 	Wall time.Duration
-	// RowsScanned is the number of fact rows considered by the scan.
+	// RowsScanned is the number of fact rows considered by the scan
+	// (including rows covered by pruned morsels, whose disqualification
+	// the zone map proved without reading them).
 	RowsScanned int64
 	// RowsSelected is the number of rows surviving filter and joins.
 	RowsSelected int64
-	// Workers is the parallelism used.
+	// Workers is the parallelism used (capped at the morsel count: extra
+	// workers would idle and skew the per-phase averages).
 	Workers int
+	// MorselsPruned counts morsels skipped outright because the zone map
+	// proved no row could match the scan filter.
+	MorselsPruned int64
+	// MorselsFull counts morsels that took the full-morsel fast path: the
+	// zone map proved every row matches, so the selection vector was
+	// range-filled with no per-row compares.
+	MorselsFull int64
 }
 
 // Add accumulates another query's stats (used for cumulative sequences).
@@ -46,6 +56,8 @@ func (s *Stats) Add(o Stats) {
 	s.Wall += o.Wall
 	s.RowsScanned += o.RowsScanned
 	s.RowsSelected += o.RowsSelected
+	s.MorselsPruned += o.MorselsPruned
+	s.MorselsFull += o.MorselsFull
 	if o.Workers > s.Workers {
 		s.Workers = o.Workers
 	}
@@ -103,8 +115,16 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 	}
 
 	morsels := storage.MorselsRange(q.ScanFrom, q.Fact.NumRows(), 0)
+	// Cap the parallelism at the morsel count: spawning more goroutines
+	// than morsels wastes scheduling work, and dividing the per-phase CPU
+	// totals by idle workers under-reports Scan/Process for small deltas.
+	if workers > len(morsels) {
+		workers = len(morsels)
+	}
+	pruner := newMorselPruner(q.Fact, filter, q.DisableZoneMaps)
 	var next atomic.Int64
 	var scanNanos, processNanos, selected atomic.Int64
+	var prunedMorsels, fullMorsels atomic.Int64
 	var canceled, aborted atomic.Bool
 	start := time.Now()
 
@@ -136,6 +156,7 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 			}
 			scratch := make([]int64, storage.DefaultMorselSize)
 			var localScan, localProcess, localSelected int64
+			var localPruned, localFull int64
 			for {
 				m := int(next.Add(1)) - 1
 				if m >= len(morsels) {
@@ -159,7 +180,24 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 				mo := morsels[m]
 
 				t0 := time.Now()
-				sel = filter.SelectInto(mo.Start, mo.End, sel[:0])
+				// Zone-map consultation: skip morsels the predicate
+				// provably rejects, range-fill morsels it provably
+				// accepts, evaluate the rest per row.
+				class := pruneNone
+				if pruner != nil {
+					class = pruner.classify(mo.Start, mo.End)
+				}
+				switch class {
+				case pruneSkip:
+					localPruned++
+					localScan += time.Since(t0).Nanoseconds()
+					continue
+				case pruneFull:
+					localFull++
+					sel = expr.FillRange(sel[:0], mo.Start, mo.End)
+				default:
+					sel = filter.SelectInto(mo.Start, mo.End, sel[:0])
+				}
 				t1 := time.Now()
 				localScan += t1.Sub(t0).Nanoseconds()
 
@@ -187,6 +225,8 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 			scanNanos.Add(localScan)
 			processNanos.Add(localProcess)
 			selected.Add(localSelected)
+			prunedMorsels.Add(localPruned)
+			fullMorsels.Add(localFull)
 		}(w)
 	}
 	wg.Wait()
@@ -201,14 +241,22 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 	if rowsScanned < 0 {
 		rowsScanned = 0
 	}
+	// An empty morsel set (e.g. a no-op incremental delta) spawned no
+	// workers; avoid the zero division and report zero phase times.
+	divisor := int64(workers)
+	if divisor == 0 {
+		divisor = 1
+	}
 	end := time.Now()
 	stats := Stats{
-		Scan:         time.Duration(scanNanos.Load() / int64(workers)),
-		Process:      time.Duration(processNanos.Load() / int64(workers)),
-		Wall:         end.Sub(start),
-		RowsScanned:  rowsScanned,
-		RowsSelected: selected.Load(),
-		Workers:      workers,
+		Scan:          time.Duration(scanNanos.Load() / divisor),
+		Process:       time.Duration(processNanos.Load() / divisor),
+		Wall:          end.Sub(start),
+		RowsScanned:   rowsScanned,
+		RowsSelected:  selected.Load(),
+		Workers:       workers,
+		MorselsPruned: prunedMorsels.Load(),
+		MorselsFull:   fullMorsels.Load(),
 	}
 	finishPipeline(q, &stats, len(morsels), start, end)
 	return stats, nil
@@ -216,20 +264,18 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 
 // stratifiedSink feeds gathered rows into a per-worker stratified sample.
 type stratifiedSink struct {
-	sam   *sample.Stratified
-	tuple []int64
+	sam *sample.Stratified
 }
 
-// consume admits each gathered row into the worker's stratified sample.
+// consume hands the gathered columns to the sample's batch admission: the
+// per-stratum Algorithm L skip counters avoid both the per-row RNG draw
+// and the old path's double tuple copy (every row used to be staged
+// through a sink-owned tuple buffer before admission; now only admitted
+// tuples are materialized, straight from the gathered vectors).
 //
-//laqy:hot per-row sink on the scan path
+//laqy:hot batch sink on the scan path
 func (s *stratifiedSink) consume(cols [][]int64, n int) {
-	for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
-		for c := range cols {
-			s.tuple[c] = cols[c][i]
-		}
-		s.sam.Consider(s.tuple)
-	}
+	s.sam.ConsiderColumns(cols, n)
 }
 
 // RunStratified executes q and builds a stratified sample over the
@@ -257,7 +303,7 @@ func RunStratifiedExprs(q *Query, exprs []ColumnExpr, qcsWidth, k int, seed uint
 	partials := make([]*sample.Stratified, workers)
 	for w := 0; w < workers; w++ {
 		partials[w] = sample.NewStratified(schema, qcsWidth, k, root.Split(uint64(w)))
-		sinks[w] = &stratifiedSink{sam: partials[w], tuple: make([]int64, len(schema))}
+		sinks[w] = &stratifiedSink{sam: partials[w]}
 	}
 	stats, err := runPipeline(q, exprs, workers, sinks)
 	if err != nil {
@@ -323,20 +369,16 @@ func treeMergeStratified(partials []*sample.Stratified, gen *rng.Lehmer64) (*sam
 
 // reservoirSink feeds gathered rows into a per-worker simple reservoir.
 type reservoirSink struct {
-	res   *sample.Reservoir
-	tuple []int64
+	res *sample.Reservoir
 }
 
-// consume admits each gathered row into the worker's reservoir.
+// consume hands the gathered columns to the reservoir's batch admission:
+// once saturated, Algorithm L jumps straight to the next admitted row (no
+// per-row RNG draw) and only admitted tuples are copied.
 //
-//laqy:hot per-row sink on the scan path
+//laqy:hot batch sink on the scan path
 func (s *reservoirSink) consume(cols [][]int64, n int) {
-	for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
-		for c := range cols {
-			s.tuple[c] = cols[c][i]
-		}
-		s.res.Consider(s.tuple)
-	}
+	s.res.ConsiderColumns(cols, n)
 }
 
 // RunReservoir executes q and builds a simple (unstratified) reservoir
@@ -351,7 +393,7 @@ func RunReservoir(q *Query, cols []string, k int, seed uint64, workers int) (*sa
 	partials := make([]*sample.Reservoir, workers)
 	for w := 0; w < workers; w++ {
 		partials[w] = sample.NewReservoir(k, len(cols), root.Split(uint64(w)))
-		sinks[w] = &reservoirSink{res: partials[w], tuple: make([]int64, len(cols))}
+		sinks[w] = &reservoirSink{res: partials[w]}
 	}
 	stats, err := runPipeline(q, Cols(cols), workers, sinks)
 	if err != nil {

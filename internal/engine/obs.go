@@ -19,6 +19,8 @@ func finishPipeline(q *Query, st *Stats, morsels int, start, end time.Time) {
 	if reg := obs.RegistryFrom(q.Ctx); reg != nil {
 		reg.Counter(obs.MEngineRuns).Inc()
 		reg.Counter(obs.MEngineMorsels).Add(int64(morsels))
+		reg.Counter(obs.MEngineMorselsPruned).Add(st.MorselsPruned)
+		reg.Counter(obs.MEngineMorselsFull).Add(st.MorselsFull)
 		reg.Counter(obs.MEngineRowsScanned).Add(st.RowsScanned)
 		reg.Counter(obs.MEngineRowsSelected).Add(st.RowsSelected)
 		reg.Histogram(obs.MEngineWallSeconds).Observe(st.Wall)
@@ -28,6 +30,8 @@ func finishPipeline(q *Query, st *Stats, morsels int, start, end time.Time) {
 		p := sp.Record("pipeline", start, end)
 		p.SetAttrInt("workers", int64(st.Workers))
 		p.SetAttrInt("morsels", int64(morsels))
+		p.SetAttrInt("pruned", st.MorselsPruned)
+		p.SetAttrInt("full", st.MorselsFull)
 		p.SetAttrInt("rows_scanned", st.RowsScanned)
 		p.SetAttrInt("rows_selected", st.RowsSelected)
 	}

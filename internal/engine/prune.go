@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"laqy/internal/expr"
+	"laqy/internal/storage"
+)
+
+// pruneClass classifies one morsel against the fact table's zone map.
+type pruneClass uint8
+
+const (
+	// pruneNone: the morsel's value ranges straddle the predicate —
+	// evaluate the filter per row.
+	pruneNone pruneClass = iota
+	// pruneSkip: some conjunct's interval is disjoint from the morsel's
+	// value range — no row can qualify, skip the morsel without touching
+	// its data.
+	pruneSkip
+	// pruneFull: every conjunct is a single interval and the morsel's
+	// value ranges sit entirely inside all of them — every row qualifies,
+	// range-fill the selection vector with no per-row compares.
+	pruneFull
+)
+
+// morselPruner consults the fact table's per-morsel min/max summaries
+// (storage.ZoneMap) for the single-interval conjuncts of the scan filter.
+// Pruning is exact, never statistical: a skipped morsel provably selects
+// nothing and a full morsel provably selects everything, so pruned scans
+// are bit-identical to unpruned reference scans
+// (TestZoneMapPruningMatchesReference).
+type morselPruner struct {
+	zm  *storage.ZoneMap
+	ivs []expr.IntervalConjunct
+	all bool // every filter conjunct is single-interval
+}
+
+// newMorselPruner builds the pruner for a query, or returns nil when
+// pruning cannot help: trivial filters select everything anyway, filters
+// with no single-interval conjunct give the zone map nothing to intersect,
+// empty tables have no zones, and Query.DisableZoneMaps turns the pruner
+// off explicitly (the reference path for equivalence tests and ablation
+// benchmarks). Building the pruner may lazily build the table's zone map —
+// a one-off full-table read amortized across every later pruned scan.
+func newMorselPruner(fact *storage.Table, filter *expr.Filter, disabled bool) *morselPruner {
+	if disabled || filter.Trivial() {
+		return nil
+	}
+	ivs, all := filter.IntervalConjuncts()
+	if len(ivs) == 0 {
+		return nil
+	}
+	zm := fact.ZoneMap()
+	if zm == nil {
+		return nil
+	}
+	return &morselPruner{zm: zm, ivs: ivs, all: all}
+}
+
+// classify decides the scan strategy for the row range [start, end). It
+// runs once per morsel (never per row): a handful of map lookups and
+// compares buys skipping up to DefaultMorselSize rows.
+func (p *morselPruner) classify(start, end int) pruneClass {
+	full := p.all
+	for i := range p.ivs {
+		iv := &p.ivs[i]
+		lo, hi, ok := p.zm.Bounds(iv.Name, start, end)
+		if !ok {
+			// Unknown column or out-of-range morsel: no judgement for
+			// this conjunct, fall back to per-row evaluation (and the
+			// full fast path is off the table).
+			full = false
+			continue
+		}
+		if hi < iv.Lo || lo > iv.Hi {
+			return pruneSkip
+		}
+		if lo < iv.Lo || hi > iv.Hi {
+			full = false
+		}
+	}
+	if full {
+		return pruneFull
+	}
+	return pruneNone
+}

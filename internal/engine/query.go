@@ -61,6 +61,12 @@ type Query struct {
 	// run with a typed *governor.MemoryBudgetError at the next morsel
 	// boundary, failing only this query. The nil budget grants everything.
 	Budget *governor.QueryBudget
+	// DisableZoneMaps turns off zone-map morsel pruning and the
+	// full-morsel fast path, forcing per-row filter evaluation on every
+	// morsel. This is the reference path: the pruning equivalence tests
+	// and the ablation benchmarks compare against it. Production queries
+	// leave it false — pruning is exact, never statistical.
+	DisableZoneMaps bool
 }
 
 // columnSource locates a column needed downstream: either a fact column or

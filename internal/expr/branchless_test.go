@@ -1,0 +1,118 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"laqy/internal/algebra"
+)
+
+// TestBranchlessRangeExtremes pins the wraparound range test
+// uint64(v-lo) <= uint64(hi-lo) at the int64 boundaries, where a naive
+// lo <= v && v <= hi rewrite would be equivalent but a buggy unsigned
+// transform would wrap incorrectly.
+func TestBranchlessRangeExtremes(t *testing.T) {
+	const minI, maxI = math.MinInt64, math.MaxInt64
+	vec := []int64{minI, minI + 1, -1, 0, 1, maxI - 1, maxI}
+	cases := []struct {
+		lo, hi int64
+		want   []int32
+	}{
+		{minI, maxI, []int32{0, 1, 2, 3, 4, 5, 6}}, // full-range interval
+		{minI, minI, []int32{0}},                   // point at the bottom
+		{maxI, maxI, []int32{6}},                   // point at the top
+		{-1, 1, []int32{2, 3, 4}},                  // straddles zero
+		{minI, -1, []int32{0, 1, 2}},               // negative half
+		{0, maxI, []int32{3, 4, 5, 6}},             // non-negative half
+	}
+	for _, c := range cases {
+		p := algebra.NewPredicate().WithRange("x", c.lo, c.hi)
+		f, err := Compile(p, resolver(map[string][]int64{"x": vec}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := f.SelectInto(0, len(vec), nil)
+		if len(sel) != len(c.want) {
+			t.Fatalf("[%d,%d]: sel = %v, want %v", c.lo, c.hi, sel, c.want)
+		}
+		for i := range c.want {
+			if sel[i] != c.want[i] {
+				t.Fatalf("[%d,%d]: sel = %v, want %v", c.lo, c.hi, sel, c.want)
+			}
+		}
+	}
+}
+
+// TestIntervalConjuncts checks the zone-map contract: only single-interval
+// conjuncts are reported, and `all` is true exactly when every conjunct is
+// one interval.
+func TestIntervalConjuncts(t *testing.T) {
+	cols := map[string][]int64{"a": {1}, "b": {2}, "c": {3}}
+
+	p := algebra.NewPredicate().WithRange("a", 3, 9).WithRange("b", -5, 5)
+	f, err := Compile(p, resolver(cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, all := f.IntervalConjuncts()
+	if !all || len(ivs) != 2 {
+		t.Fatalf("ivs=%v all=%v, want 2 conjuncts and all=true", ivs, all)
+	}
+	got := map[string][2]int64{}
+	for _, iv := range ivs {
+		got[iv.Name] = [2]int64{iv.Lo, iv.Hi}
+	}
+	if got["a"] != [2]int64{3, 9} || got["b"] != [2]int64{-5, 5} {
+		t.Fatalf("ivs = %v", ivs)
+	}
+
+	// Mixed: one single-interval conjunct, one multi-interval.
+	pm := algebra.NewPredicate().WithRange("a", 3, 9).With("c", algebra.NewSet(
+		algebra.Interval{Lo: 0, Hi: 1}, algebra.Interval{Lo: 10, Hi: 11},
+	))
+	fm, err := Compile(pm, resolver(cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, all = fm.IntervalConjuncts()
+	if all || len(ivs) != 1 || ivs[0].Name != "a" {
+		t.Fatalf("mixed: ivs=%v all=%v, want only 'a' and all=false", ivs, all)
+	}
+
+	// Trivial: nothing to report.
+	ft, err := Compile(algebra.NewPredicate(), resolver(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivs, all = ft.IntervalConjuncts(); len(ivs) != 0 || !all {
+		t.Fatalf("trivial: ivs=%v all=%v", ivs, all)
+	}
+}
+
+// TestFillRange checks the compare-free range fill used by both the
+// trivial-filter path and the engine's full-morsel fast path, including
+// appending after existing entries and reuse of spare capacity.
+func TestFillRange(t *testing.T) {
+	sel := FillRange(nil, 2, 6)
+	want := []int32{2, 3, 4, 5}
+	if len(sel) != len(want) {
+		t.Fatalf("sel = %v", sel)
+	}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("sel = %v", sel)
+		}
+	}
+	// Append after existing entries.
+	sel = FillRange(sel[:2], 10, 13)
+	want = []int32{2, 3, 10, 11, 12}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("appended sel = %v, want %v", sel, want)
+		}
+	}
+	// Empty range is a no-op.
+	if got := FillRange(sel, 5, 5); len(got) != len(sel) {
+		t.Fatalf("empty fill grew sel: %v", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 // compiledCol is one conjunct of a compiled filter: a column vector plus
 // its constraint, with the single-interval fast path precomputed.
 type compiledCol struct {
+	name   string
 	vec    []int64
 	set    algebra.Set
 	lo, hi int64
@@ -42,7 +43,7 @@ func Compile(p algebra.Predicate, resolve func(name string) []int64) (*Filter, e
 		if vec == nil {
 			return nil, fmt.Errorf("expr: unknown column %q in predicate", name)
 		}
-		cc := compiledCol{vec: vec, set: set}
+		cc := compiledCol{name: name, vec: vec, set: set}
 		if ivs := set.Intervals(); len(ivs) == 1 {
 			cc.single, cc.lo, cc.hi = true, ivs[0].Lo, ivs[0].Hi
 		}
@@ -54,52 +55,133 @@ func Compile(p algebra.Predicate, resolve func(name string) []int64) (*Filter, e
 // Trivial reports whether the filter accepts every row.
 func (f *Filter) Trivial() bool { return len(f.cols) == 0 }
 
+// IntervalConjunct is the zone-map-visible form of one conjunct: a named
+// column constrained to a single closed interval [Lo, Hi]. The engine's
+// morsel pruner intersects these with per-morsel min/max summaries.
+type IntervalConjunct struct {
+	Name   string
+	Lo, Hi int64
+}
+
+// IntervalConjuncts returns the filter's single-interval conjuncts (in
+// conjunct order) and reports whether every conjunct is single-interval.
+// When all is true, a row range whose per-column value bounds sit entirely
+// inside every returned interval is known to qualify wholesale — the
+// full-morsel fast path; any returned conjunct whose interval is disjoint
+// from a range's bounds disqualifies the whole range — the skip path.
+func (f *Filter) IntervalConjuncts() (ivs []IntervalConjunct, all bool) {
+	all = true
+	for _, cc := range f.cols {
+		if !cc.single {
+			all = false
+			continue
+		}
+		ivs = append(ivs, IntervalConjunct{Name: cc.name, Lo: cc.lo, Hi: cc.hi})
+	}
+	return ivs, all
+}
+
+// b2i converts a bool to 0/1. The compiler lowers this to a flag-set
+// instruction (SETcc) when inlined, which is what makes the selection
+// kernels below branchless: the unpredictable "does this row qualify?"
+// outcome feeds an add, not a branch, so selectivities near 50% no longer
+// pay a misprediction per row.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// growSel ensures sel can hold need more elements beyond its current
+// length with a single capacity check, preserving its contents.
+func growSel(sel []int32, need int) []int32 {
+	if cap(sel)-len(sel) >= need {
+		return sel
+	}
+	out := make([]int32, len(sel), len(sel)+need)
+	copy(out, sel)
+	return out
+}
+
+// FillRange appends the row indices [start, end) to sel with one capacity
+// check and no per-row compares — the kernel behind both the trivial
+// filter and the engine's full-morsel zone-map fast path.
+//
+//laqy:hot compare-free selection fill on the scan path
+func FillRange(sel []int32, start, end int) []int32 {
+	if end <= start {
+		return sel
+	}
+	n := len(sel)
+	sel = growSel(sel, end-start)
+	buf := sel[:n+end-start]
+	fill := buf[n:]
+	for i := range fill { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+		fill[i] = int32(start + i)
+	}
+	return buf
+}
+
 // SelectInto appends the qualifying row indices of [start, end) to sel and
 // returns the extended slice. Callers reuse sel across chunks to avoid
 // allocation in the scan hot loop.
 //
+// Single-interval conjuncts run branchless: every row's index is stored
+// unconditionally at the compaction cursor, and the cursor advances by the
+// 0/1 outcome of a wraparound range test (`sel[n] = i; n += inRange`), so
+// the loop carries no data-dependent branch. The wraparound test
+// `uint64(v-lo) <= uint64(hi-lo)` is exact for all int64 lo <= hi: it is
+// the [lo, hi] membership test folded into one unsigned compare.
+// Multi-interval constraints keep the Set.Contains fallback.
+//
 //laqy:hot per-chunk filter evaluation, the innermost scan loop
 func (f *Filter) SelectInto(start, end int, sel []int32) []int32 {
-	if f.Trivial() {
-		for i := start; i < end; i++ {
-			sel = append(sel, int32(i))
-		}
+	if end <= start {
 		return sel
 	}
+	if f.Trivial() {
+		return FillRange(sel, start, end)
+	}
 	// First conjunct scans the range directly; the rest refine sel.
-	first := f.cols[0]
 	base := len(sel)
+	sel = growSel(sel, end-start)
+	first := &f.cols[0]
 	if first.single {
-		vec, lo, hi := first.vec, first.lo, first.hi
-		for i := start; i < end; i++ {
-			if v := vec[i]; v >= lo && v <= hi {
-				sel = append(sel, int32(i))
-			}
+		buf := sel[:base+end-start]
+		n := base
+		vec, lo := first.vec, first.lo
+		width := uint64(first.hi - first.lo)
+		for i := start; i < end; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+			buf[n] = int32(i)
+			n += b2i(uint64(vec[i]-lo) <= width)
 		}
+		sel = buf[:n]
 	} else {
-		for i := start; i < end; i++ {
+		for i := start; i < end; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 			if first.set.Contains(first.vec[i]) {
 				sel = append(sel, int32(i))
 			}
 		}
 	}
-	for _, cc := range f.cols[1:] {
-		out := sel[base:base]
+	for ci := 1; ci < len(f.cols); ci++ {
+		cc := &f.cols[ci]
+		live := sel[base:]
+		n := 0
 		if cc.single {
-			vec, lo, hi := cc.vec, cc.lo, cc.hi
-			for _, idx := range sel[base:] {
-				if v := vec[idx]; v >= lo && v <= hi {
-					out = append(out, idx)
-				}
+			vec, lo := cc.vec, cc.lo
+			width := uint64(cc.hi - cc.lo)
+			for _, idx := range live { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+				live[n] = idx
+				n += b2i(uint64(vec[idx]-lo) <= width)
 			}
 		} else {
-			for _, idx := range sel[base:] {
-				if cc.set.Contains(cc.vec[idx]) {
-					out = append(out, idx)
-				}
+			for _, idx := range live { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+				live[n] = idx
+				n += b2i(cc.set.Contains(cc.vec[idx]))
 			}
 		}
-		sel = sel[:base+len(out)]
+		sel = sel[:base+n]
 	}
 	return sel
 }

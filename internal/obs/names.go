@@ -44,12 +44,14 @@ const (
 	MStoreSalvageDrops  = "laqy_store_salvage_dropped_total"
 
 	// Execution engine (internal/engine).
-	MEngineRuns         = "laqy_engine_runs_total"
-	MEngineMorsels      = "laqy_engine_morsels_total"
-	MEngineRowsScanned  = "laqy_engine_rows_scanned_total"
-	MEngineRowsSelected = "laqy_engine_rows_selected_total"
-	MEngineWallSeconds  = "laqy_engine_wall_seconds"
-	MEngineScanSeconds  = "laqy_engine_scan_seconds"
+	MEngineRuns          = "laqy_engine_runs_total"
+	MEngineMorsels       = "laqy_engine_morsels_total"
+	MEngineMorselsPruned = "laqy_engine_morsels_pruned_total"   // zone map skipped the morsel
+	MEngineMorselsFull   = "laqy_engine_morsels_fullpath_total" // compare-free full-morsel fill
+	MEngineRowsScanned   = "laqy_engine_rows_scanned_total"
+	MEngineRowsSelected  = "laqy_engine_rows_selected_total"
+	MEngineWallSeconds   = "laqy_engine_wall_seconds"
+	MEngineScanSeconds   = "laqy_engine_scan_seconds"
 
 	// Resource governor (internal/governor). See docs/GOVERNANCE.md.
 	MGovAdmitted      = "laqy_governor_admitted_total"
@@ -57,10 +59,10 @@ const (
 	MGovQueueTimeouts = "laqy_governor_queue_timeouts_total" // admission wait exceeded
 	MGovCanceled      = "laqy_governor_admission_canceled_total"
 	MGovWaitSeconds   = "laqy_governor_wait_seconds"
-	MGovSlotsTotal    = "laqy_governor_slots_total"   // gauge
-	MGovSlotsInUse    = "laqy_governor_slots_in_use"  // gauge
-	MGovQueueDepth    = "laqy_governor_queue_depth"   // gauge (queued admissions)
-	MGovDegradePrefix = "laqy_governor_degrade_"      // + step string + "_total"
+	MGovSlotsTotal    = "laqy_governor_slots_total"        // gauge
+	MGovSlotsInUse    = "laqy_governor_slots_in_use"       // gauge
+	MGovQueueDepth    = "laqy_governor_queue_depth"        // gauge (queued admissions)
+	MGovDegradePrefix = "laqy_governor_degrade_"           // + step string + "_total"
 	MGovMemReserved   = "laqy_governor_mem_reserved_bytes" // gauge
 	MGovMemDenied     = "laqy_governor_mem_denied_total"
 )

@@ -62,6 +62,25 @@ type Reservoir struct {
 	weight float64 // number of tuples considered (importance weight)
 	data   []int64 // row-major tuple storage, len = min(n, k) * width
 	gen    *rng.Lehmer64
+
+	// Algorithm L skip-ahead state (Li 1994), used only by the batch
+	// admission paths (ConsiderColumns / considerRowColumns). After the
+	// reservoir saturates, instead of one RNG draw per considered tuple
+	// (Algorithm R's k/n coin), the sampler draws the geometric-like gap
+	// to the next admitted tuple directly: O(k·log(n/k)) draws total for
+	// an n-tuple stream instead of O(n). lW is L's evolving threshold,
+	// lSkip the number of upcoming tuples to pass over untouched, lValid
+	// whether the state reflects the current stream (per-row Algorithm R
+	// steps and merges invalidate it; the batch path then re-derives a
+	// fresh schedule).
+	lW     float64
+	lSkip  int64
+	lValid bool
+
+	// rngDraws counts generator calls made by admission control, the
+	// quantity the paper's §6.2 identifies as the sampling bottleneck.
+	// Exposed via RNGDraws for the draws-per-tuple microbenchmarks.
+	rngDraws int64
 }
 
 // NewReservoir creates an empty reservoir with capacity k for tuples of the
@@ -108,6 +127,12 @@ func (r *Reservoir) Tuple(i int) []int64 {
 // control step of Algorithm R: the n-th considered tuple is admitted with
 // probability k/n, replacing a uniformly chosen victim.
 //
+// This is the reference implementation: one RNG draw per considered tuple,
+// byte-identical to the pre-skip-ahead pin (TestConsiderByteIdentityPin).
+// The engine's sinks use the batch ConsiderColumns path instead; switching
+// a reservoir from batch back to per-row admission restarts the batch
+// path's skip schedule.
+//
 //laqy:hot per-tuple admission on the sampling path
 func (r *Reservoir) Consider(tuple []int64) {
 	if len(tuple) != r.width {
@@ -121,11 +146,159 @@ func (r *Reservoir) Consider(tuple []int64) {
 		r.data = append(r.data, tuple...)
 		return
 	}
-	// Probabilistic admission: admit with probability k/weight.
+	// Probabilistic admission: admit with probability k/weight. An
+	// interleaved Algorithm R step breaks the batch path's precomputed
+	// gap (it was drawn for an uninterrupted stream), so invalidate it.
+	r.lValid = false
+	r.rngDraws++
 	n := uint64(r.weight)
 	if slot := r.gen.Uint64n(n); slot < uint64(r.k) {
 		copy(r.data[int(slot)*r.width:], tuple)
 	}
+}
+
+// RNGDraws returns the number of generator calls admission control has
+// made so far — the cost the skip-ahead path exists to shrink (≥10× fewer
+// draws than per-row Algorithm R on a saturated stream with n ≫ k).
+func (r *Reservoir) RNGDraws() int64 { return r.rngDraws }
+
+// u01 draws a uniform in (0, 1], guarding the log() calls of Algorithm L
+// against the zero sample, and counts the draw.
+func (r *Reservoir) u01() float64 {
+	r.rngDraws++
+	u := r.gen.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return u
+}
+
+// initSkipState starts (or restarts) Algorithm L's schedule: the threshold
+// W is a fresh max-of-k uniform draw and the first gap is drawn from it.
+func (r *Reservoir) initSkipState() {
+	r.lW = math.Exp(math.Log(r.u01()) / float64(r.k))
+	r.lSkip = r.drawGap()
+	r.lValid = true
+}
+
+// drawGap samples the number of tuples to skip before the next admission:
+// floor(log(u) / log(1-W)), the geometric-like jump of Algorithm L.
+func (r *Reservoir) drawGap() int64 {
+	denom := math.Log(1 - r.lW)
+	if !(denom < 0) {
+		// W underflowed to 0 (astronomically long stream): log(1-W) == 0
+		// and no further admission would ever occur; saturate the skip.
+		return math.MaxInt64
+	}
+	g := math.Floor(math.Log(r.u01()) / denom)
+	if !(g < float64(math.MaxInt64)) {
+		return math.MaxInt64
+	}
+	return int64(g)
+}
+
+// admitAdvance updates Algorithm L's state after an admission: the
+// threshold decays by an exp(log(u)/k) factor and the next gap is drawn.
+func (r *Reservoir) admitAdvance() {
+	r.lW *= math.Exp(math.Log(r.u01()) / float64(r.k))
+	r.lSkip = r.drawGap()
+}
+
+// ConsiderColumns offers n tuples laid out column-major (cols[c][i] is
+// column c of tuple i; len(cols) must equal the tuple width) to the
+// reservoir's admission control, the batch analogue of calling Consider n
+// times. Until saturation the rows are copied verbatim; afterwards the
+// Algorithm L skip-ahead jumps straight to the next admitted row, drawing
+// O(k·log(n/k)) random numbers total instead of one per row, and only
+// admitted tuples are materialized — skipped rows are never touched, so
+// the per-row staging copy of the old sink path disappears too.
+//
+// TestAlgorithmLChiSquareEquivalence proves this path is statistically
+// indistinguishable from per-row Algorithm R.
+//
+//laqy:hot batch admission on the sampling path
+func (r *Reservoir) ConsiderColumns(cols [][]int64, n int) {
+	if len(cols) != r.width {
+		// invariant: sinks gather exactly the reservoir's schema width
+		panic(fmt.Sprintf("sample: %d columns, reservoir width %d", len(cols), r.width))
+	}
+	i := 0
+	if len(r.data) < r.k*r.width {
+		// Fill phase: copy rows verbatim until saturation, growing the
+		// storage to full capacity once.
+		have := r.Len()
+		fill := r.k - have
+		if n < fill {
+			fill = n
+		}
+		need := (have + fill) * r.width
+		if cap(r.data) < need {
+			nd := make([]int64, len(r.data), r.k*r.width)
+			copy(nd, r.data)
+			r.data = nd
+		}
+		r.data = r.data[:need]
+		for c := 0; c < r.width; c++ {
+			src := cols[c][:fill]
+			for row := range src { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+				r.data[(have+row)*r.width+c] = src[row]
+			}
+		}
+		r.weight += float64(fill)
+		i = fill
+		if len(r.data) < r.k*r.width {
+			return // batch exhausted before saturation
+		}
+	}
+	if !r.lValid {
+		r.initSkipState()
+	}
+	for { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+		remaining := int64(n - i)
+		if r.lSkip >= remaining {
+			r.lSkip -= remaining
+			r.weight += float64(remaining)
+			return
+		}
+		i += int(r.lSkip)
+		r.weight += float64(r.lSkip) + 1
+		r.rngDraws++
+		dst := r.data[r.gen.Intn(r.k)*r.width:]
+		for c := 0; c < r.width; c++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+			dst[c] = cols[c][i]
+		}
+		i++
+		r.admitAdvance()
+	}
+}
+
+// considerRowColumns is the single-row step of the batch path, used by
+// Stratified.ConsiderColumns where consecutive rows land in different
+// strata: the skip counter is decremented per qualifying row of this
+// stratum, still avoiding the per-row RNG draw and staging copy.
+//
+//laqy:hot per-row skip-ahead admission on the sampling path
+func (r *Reservoir) considerRowColumns(cols [][]int64, i int) {
+	r.weight++
+	if len(r.data) < r.k*r.width {
+		for c := 0; c < r.width; c++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+			r.data = append(r.data, cols[c][i])
+		}
+		return
+	}
+	if !r.lValid {
+		r.initSkipState()
+	}
+	if r.lSkip > 0 {
+		r.lSkip--
+		return
+	}
+	r.rngDraws++
+	dst := r.data[r.gen.Intn(r.k)*r.width:]
+	for c := 0; c < r.width; c++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+		dst[c] = cols[c][i]
+	}
+	r.admitAdvance()
 }
 
 // considerWeighted offers a tuple carrying an importance weight w, using
@@ -140,8 +313,17 @@ func (r *Reservoir) considerWeighted(tuple []int64, w float64) {
 		r.data = append(r.data, tuple...)
 		return
 	}
+	// A weighted step changes the stream the batch path's gap was drawn
+	// for; the next batch admission re-derives its schedule.
+	r.lValid = false
 	p := float64(r.k) * w / r.weight
-	if p >= 1 || r.gen.Float64() < p {
+	admit := p >= 1
+	if !admit {
+		r.rngDraws++
+		admit = r.gen.Float64() < p
+	}
+	if admit {
+		r.rngDraws++
 		slot := r.gen.Intn(r.k)
 		copy(r.data[slot*r.width:], tuple)
 	}
@@ -265,6 +447,7 @@ func mergeProportional(r1, r2 *Reservoir, gen *rng.Lehmer64) *Reservoir {
 	}
 	out.weight = w1 + w2
 	out.gen = gen
+	out.lValid = false // the merged stream gets a fresh skip schedule
 	return out
 }
 

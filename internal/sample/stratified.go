@@ -96,6 +96,45 @@ func (s *Stratified) Consider(tuple []int64) {
 	s.weight++
 }
 
+// ConsiderColumns offers n tuples laid out column-major (cols[c][i] is
+// column c of tuple i, schema order with QCS columns first) to the sample,
+// the batch analogue of calling Consider n times. Each row still pays one
+// stratum lookup — that is the group-by semantics — but once a stratum's
+// reservoir saturates, its Algorithm L skip counter turns the per-row cost
+// into a decrement: no RNG draw, no staging copy, and admitted tuples are
+// gathered straight from the column vectors into reservoir storage.
+//
+//laqy:hot batch admission on the sampling path
+func (s *Stratified) ConsiderColumns(cols [][]int64, n int) {
+	if len(cols) != len(s.schema) {
+		// invariant: sinks gather exactly the sample's schema width
+		panic(fmt.Sprintf("sample: %d columns, schema has %d", len(cols), len(s.schema)))
+	}
+	var key StratumKey
+	for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+		for c := 0; c < s.qcsWidth; c++ {
+			key[c] = cols[c][i]
+		}
+		res, ok := s.strata[key]
+		if !ok {
+			res = NewReservoir(s.k, len(s.schema), s.gen.Split(uint64(len(s.strata))))
+			s.strata[key] = res
+		}
+		res.considerRowColumns(cols, i)
+	}
+	s.weight += float64(n)
+}
+
+// RNGDraws returns the total admission-control generator calls across all
+// strata (see Reservoir.RNGDraws).
+func (s *Stratified) RNGDraws() int64 {
+	var total int64
+	for _, r := range s.strata {
+		total += r.rngDraws
+	}
+	return total
+}
+
 // Stratum returns the reservoir for key, or nil.
 func (s *Stratified) Stratum(key StratumKey) *Reservoir { return s.strata[key] }
 

@@ -134,6 +134,10 @@ type Table struct {
 	columns []*Column
 	byName  map[string]*Column
 	rows    int
+	// zone memoizes the lazily built per-morsel min/max summary
+	// (zonemap.go). Appends build a new Table, so the cache can never go
+	// stale for a given table version.
+	zone zoneMapCache
 }
 
 // NewTable assembles a table from columns. All columns must have equal

@@ -1,0 +1,135 @@
+package storage
+
+import "sync"
+
+// ZoneMap holds per-zone min/max summaries for every column of a table: the
+// lightweight scan index ("small materialized aggregates") that lets the
+// engine's morsel drivers skip chunks whose value ranges cannot intersect a
+// predicate, and take a compare-free fast path through chunks entirely
+// inside it.
+//
+// Zones are fixed-width, table-aligned row ranges of DefaultMorselSize rows
+// ([i*size, (i+1)*size)); an arbitrary morsel [start, end) is summarized by
+// folding the zones it overlaps, so pruning stays exact even when the scan
+// starts mid-table (ScanFrom > 0 during incremental Δ-scans).
+//
+// A ZoneMap is immutable after construction and safe for concurrent reads.
+// It summarizes the table version it was built from: Table.ZoneMap caches
+// the map on the table, and appends build a new Table (copy-on-append), so
+// a grown table never serves a stale summary.
+type ZoneMap struct {
+	zoneSize int
+	rows     int
+	byName   map[string]zoneCol
+}
+
+// zoneCol is the per-column summary: mins[i]/maxs[i] bound the values of
+// zone i.
+type zoneCol struct {
+	mins, maxs []int64
+}
+
+// ZoneSize returns the zone granularity in rows.
+func (z *ZoneMap) ZoneSize() int { return z.zoneSize }
+
+// NumZones returns the number of zones the table is split into.
+func (z *ZoneMap) NumZones() int {
+	if z.zoneSize == 0 {
+		return 0
+	}
+	return (z.rows + z.zoneSize - 1) / z.zoneSize
+}
+
+// Column reports whether the named column is summarized.
+func (z *ZoneMap) Column(name string) bool {
+	_, ok := z.byName[name]
+	return ok
+}
+
+// Bounds returns the [lo, hi] value bounds of the named column over the row
+// range [start, end), folding every overlapped zone. ok is false when the
+// column is unknown or the range is empty — callers must then fall back to
+// evaluating the range.
+func (z *ZoneMap) Bounds(name string, start, end int) (lo, hi int64, ok bool) {
+	c, found := z.byName[name]
+	if !found || start >= end || start < 0 || end > z.rows {
+		return 0, 0, false
+	}
+	z0 := start / z.zoneSize
+	z1 := (end - 1) / z.zoneSize
+	lo, hi = c.mins[z0], c.maxs[z0]
+	for i := z0 + 1; i <= z1; i++ {
+		if c.mins[i] < lo {
+			lo = c.mins[i]
+		}
+		if c.maxs[i] > hi {
+			hi = c.maxs[i]
+		}
+	}
+	return lo, hi, true
+}
+
+// buildZoneMap computes the per-zone min/max of every column in one pass
+// per column. Cost is one full read of the table, paid once per table
+// version (Table.ZoneMap memoizes) and amortized across every scan that
+// prunes with it.
+func buildZoneMap(t *Table, zoneSize int) *ZoneMap {
+	if zoneSize <= 0 {
+		zoneSize = DefaultMorselSize
+	}
+	rows := t.NumRows()
+	zones := (rows + zoneSize - 1) / zoneSize
+	z := &ZoneMap{
+		zoneSize: zoneSize,
+		rows:     rows,
+		byName:   make(map[string]zoneCol, len(t.columns)),
+	}
+	for _, col := range t.columns {
+		zc := zoneCol{mins: make([]int64, zones), maxs: make([]int64, zones)}
+		vec := col.Ints
+		for zi := 0; zi < zones; zi++ {
+			start := zi * zoneSize
+			end := start + zoneSize
+			if end > rows {
+				end = rows
+			}
+			mn, mx := vec[start], vec[start]
+			for _, v := range vec[start+1 : end] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			zc.mins[zi], zc.maxs[zi] = mn, mx
+		}
+		z.byName[col.Name] = zc
+	}
+	return z
+}
+
+// zoneMapCache memoizes one lazily built ZoneMap per table. It lives in a
+// side struct (not inline fields) so Table literals constructed by tests
+// keep working and the zero value stays useful.
+type zoneMapCache struct {
+	once sync.Once
+	zm   *ZoneMap
+}
+
+// ZoneMap returns the table's zone map at DefaultMorselSize granularity,
+// building it on first use (one full table read) and caching it for the
+// lifetime of this table version. Appends construct a new Table, so the
+// cache is invalidated by construction: the grown table builds a fresh map
+// covering the appended rows.
+//
+// Returns nil for empty tables (nothing to prune).
+func (t *Table) ZoneMap() *ZoneMap {
+	if t.NumRows() == 0 {
+		return nil
+	}
+	t.zone.once.Do(func() {
+		t.zone.zm = buildZoneMap(t, DefaultMorselSize)
+	})
+	return t.zone.zm
+}

@@ -86,3 +86,64 @@ func Cold(rows []int64) int64 {
 	}
 	return total
 }
+
+// b2i is the branchless bool→int idiom the selection kernels compile to a
+// SETcc with.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// CompactionKernel is the branchless selection shape (expr.SelectInto):
+// a cursor advances by a comparison mask, never branching per row. It is
+// a leaf kernel — the morsel driver polls — so the loop carries an allow.
+//
+//laqy:hot branchless compaction kernel
+func CompactionKernel(vec []int64, lo, hi int64, sel []int32) []int32 {
+	n := 0
+	width := uint64(hi - lo)
+	for i := range vec { //laqy:allow ctxpoll leaf kernel; morsel driver polls
+		sel[n] = int32(i)
+		n += b2i(uint64(vec[i]-lo) <= width)
+	}
+	return sel[:n]
+}
+
+// SkipLoop is the Algorithm-L admission shape (sample.ConsiderColumns):
+// an unconditional for-loop that jumps a geometric gap per iteration. The
+// batch caller polls per morsel, so the loop is exempted.
+//
+//laqy:hot geometric skip admission
+func SkipLoop(vals []int64, skip int64) int64 {
+	var admitted int64
+	i := 0
+	for { //laqy:allow ctxpoll leaf kernel; batch caller polls per morsel
+		i += int(skip)
+		if i >= len(vals) {
+			return admitted
+		}
+		admitted += vals[i]
+		i++
+	}
+}
+
+// SkipLoopUnpolled is the same shape without the allow: an infinite hot
+// loop that never observes the context is exactly what ctxpoll exists to
+// catch.
+//
+//laqy:hot runaway skip loop
+func SkipLoopUnpolled(ctx context.Context, vals []int64, skip int64) int64 {
+	var admitted int64
+	i := 0
+	for { // want `//laqy:hot loop never polls the context`
+		i += int(skip)
+		if i >= len(vals) {
+			_ = ctx
+			return admitted
+		}
+		admitted += vals[i]
+		i++
+	}
+}

@@ -55,3 +55,40 @@ func Cold(rows []int64) string {
 	}
 	return fmt.Sprintf("%v", acc)
 }
+
+// KernelCompaction is the branchless selection shape added with the
+// scan→sample overhaul: the output buffer is pre-grown once outside the
+// loop and rows are written through a cursor — no append in the loop, so
+// nothing is flagged.
+//
+//laqy:hot branchless compaction writes, no per-row allocation
+func KernelCompaction(vec []int64, lo, hi int64, sel []int32) []int32 {
+	if len(sel) < len(vec) {
+		// invariant: callers pre-grow sel to the chunk size.
+		panic(fmt.Sprintf("hotalloc testdata: sel %d < vec %d", len(sel), len(vec)))
+	}
+	n := 0
+	width := uint64(hi - lo)
+	for i := range vec {
+		sel[n] = int32(i)
+		if uint64(vec[i]-lo) <= width {
+			n++
+		}
+	}
+	return sel[:n]
+}
+
+// KernelBatchSink is the batch reservoir-admission shape: storage grows to
+// a fixed capacity bound once (sized make, clean), then admissions copy in
+// place. The unsized variant inside the loop is still flagged.
+//
+//laqy:hot batch admission sink
+func KernelBatchSink(cols [][]int64, k, width int) []int64 {
+	data := make([]int64, 0, k*width) // sized: no finding
+	var spill []int64                 // unsized local
+	for _, col := range cols {
+		data = append(data, col...)
+		spill = append(spill, col[0]) // want `append to spill, a local slice with no pre-sized capacity`
+	}
+	return data
+}
