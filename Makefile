@@ -20,11 +20,15 @@ lint: vet laqy-vet
 vet:
 	$(GO) vet ./...
 
-# laqy-vet is the custom static-analysis suite (tools/laqyvet): ctxpoll,
-# rngsource, hotalloc, mergesync, errchecklite, obscheck. See
-# docs/STATIC_ANALYSIS.md.
+# laqy-vet is the custom static-analysis suite (tools/laqyvet): six
+# per-package checks (ctxpoll, rngsource, hotalloc, mergesync,
+# errchecklite, obscheck) plus three program-scope semantic checks
+# (lockorder, goleak, weightflow). See docs/STATIC_ANALYSIS.md. The second
+# invocation is the self-check: the analyzer framework and the commands
+# are held to the same rules they enforce.
 laqy-vet:
 	$(GO) run ./cmd/laqy-vet ./...
+	$(GO) run ./cmd/laqy-vet ./tools/laqyvet/... ./cmd/...
 
 # CI-sized bench pass that exercises sample reuse and writes the sampler
 # metrics snapshot CI uploads as an artifact (docs/OBSERVABILITY.md).

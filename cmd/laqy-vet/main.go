@@ -4,15 +4,25 @@
 //
 //	go run ./cmd/laqy-vet ./...
 //	go run ./cmd/laqy-vet -checks rngsource,errchecklite ./internal/...
+//	go run ./cmd/laqy-vet -json ./... > laqy-vet.json
 //
 // Exit status: 0 when no diagnostics were reported, 1 on findings, 2 on
 // usage or load errors. Diagnostics print as `file:line:col: analyzer: msg`
-// so editors and CI annotate them like go vet output.
+// so editors and CI annotate them like go vet output; -json emits one
+// finding object per line instead (file, line, col, analyzer, message,
+// and the suppression comment that would silence it), the machine
+// format CI uploads as an artifact.
+//
+// Findings are sorted by file, line, column, analyzer, then message —
+// numerically, not lexically — so logs and golden diffs are stable across
+// runs, load orders, and -checks subsets.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -26,13 +36,25 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+// finding is one diagnostic, carrying its position decomposed for the
+// deterministic sort and the JSON mode.
+type finding struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	Suppression string `json:"suppression"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("laqy-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON finding object per line instead of text")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: laqy-vet [-checks a,b] [-list] [packages]\n")
+		fmt.Fprintf(stderr, "usage: laqy-vet [-checks a,b] [-list] [-json] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -68,14 +90,80 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	type finding struct {
-		pos      string
-		analyzer string
-		msg      string
+	findings, errc := analyze(analyzers, pkgs, stderr)
+	if errc != 0 {
+		return errc
 	}
+	sortFindings(findings)
+	enc := json.NewEncoder(stdout)
+	for _, f := range findings {
+		if *jsonOut {
+			if err := enc.Encode(f); err != nil {
+				fmt.Fprintf(stderr, "laqy-vet: encoding findings: %v\n", err)
+				return 2
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "laqy-vet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// analyze applies the analyzers: program-scope ones once over the whole
+// load, per-package ones per package. Returns the findings and a nonzero
+// exit code on analyzer error.
+func analyze(analyzers []*analysis.Analyzer, pkgs []*load.Package, stderr io.Writer) ([]finding, int) {
 	var findings []finding
+	collect := func(a *analysis.Analyzer, pass *analysis.Pass) {
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			p := pass.Fset.Position(d.Pos)
+			findings = append(findings, finding{
+				File:        p.Filename,
+				Line:        p.Line,
+				Col:         p.Column,
+				Analyzer:    name,
+				Message:     d.Message,
+				Suppression: "//laqy:allow " + name + " <rationale>",
+			})
+		}
+	}
+
+	// Program-scope analyzers: one pass over the full package set.
+	if len(pkgs) > 0 {
+		prog := &analysis.Program{Fset: pkgs[0].Fset}
+		for _, pkg := range pkgs {
+			prog.Units = append(prog.Units, &analysis.Unit{
+				Path:      pkg.Path,
+				Name:      pkg.Name,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			})
+		}
+		for _, a := range analyzers {
+			if !a.ProgramScope {
+				continue
+			}
+			pass := &analysis.Pass{Analyzer: a, Fset: prog.Fset, Program: prog}
+			collect(a, pass)
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(stderr, "laqy-vet: %s: %v\n", a.Name, err)
+				return nil, 2
+			}
+		}
+	}
+
+	// Per-package analyzers.
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.ProgramScope {
+				continue
+			}
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -86,33 +174,34 @@ func run(args []string, stdout, stderr *os.File) int {
 			if a.NeedsTestFiles {
 				pass.TestFiles = pkg.TestFiles
 			}
-			name := a.Name
-			pass.Report = func(d analysis.Diagnostic) {
-				p := pkg.Fset.Position(d.Pos)
-				findings = append(findings, finding{
-					pos:      fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column),
-					analyzer: name,
-					msg:      d.Message,
-				})
-			}
+			collect(a, pass)
 			if err := a.Run(pass); err != nil {
 				fmt.Fprintf(stderr, "laqy-vet: %s on %s: %v\n", a.Name, pkg.Path, err)
-				return 2
+				return nil, 2
 			}
 		}
 	}
+	return findings, 0
+}
+
+// sortFindings orders by file, then numerically by line and column, then
+// analyzer, then message — a total, stable order independent of analyzer
+// execution order.
+func sortFindings(findings []finding) {
 	sort.Slice(findings, func(i, j int) bool {
-		if findings[i].pos != findings[j].pos {
-			return findings[i].pos < findings[j].pos
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		return findings[i].analyzer < findings[j].analyzer
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	for _, f := range findings {
-		fmt.Fprintf(stdout, "%s: %s: %s\n", f.pos, f.analyzer, f.msg)
-	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "laqy-vet: %d finding(s)\n", len(findings))
-		return 1
-	}
-	return 0
 }

@@ -30,6 +30,12 @@ type Analyzer struct {
 	// the package's _test.go files (parsed, but not type-checked). Only
 	// analyzers that are purely syntactic over test files should set this.
 	NeedsTestFiles bool
+	// ProgramScope requests a single whole-program pass instead of one
+	// pass per package: the driver invokes Run exactly once per load with
+	// Pass.Program populated and the per-package fields (Files, TestFiles,
+	// Pkg, TypesInfo) left nil. Semantic analyzers that need a call graph
+	// set this.
+	ProgramScope bool
 }
 
 // Pass carries one package's worth of inputs to an Analyzer.Run and
@@ -49,6 +55,9 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the type-checker's recordings for Files.
 	TypesInfo *types.Info
+	// Program is the whole loaded package set. Only populated for
+	// analyzers that set ProgramScope; nil on per-package passes.
+	Program *Program
 	// Report delivers one diagnostic. The driver wires this.
 	Report func(Diagnostic)
 }

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Unit is one type-checked package as seen by a program-scope analyzer —
+// the same data a per-package Pass carries, minus the Report plumbing.
+type Unit struct {
+	// Path is the package's import path.
+	Path string
+	// Name is the package name (`main`, `engine`, ...).
+	Name string
+	// Files are the package's non-test source files, fully type-checked.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's recordings for Files.
+	TypesInfo *types.Info
+}
+
+// Program is the full package set of one laqy-vet invocation. Analyzers
+// that set ProgramScope receive it on their single Pass, so
+// interprocedural analyses (call graphs, lock-order, taint) can see across
+// package boundaries instead of judging each package in isolation.
+type Program struct {
+	// Fset maps positions for every file of every unit.
+	Fset *token.FileSet
+	// Units are the loaded packages, sorted by import path.
+	Units []*Unit
+}
+
+// FileOf returns the syntax file containing pos, or nil. Program-scope
+// analyzers report positions gathered far from the file they came from, so
+// suppression checks resolve the file by token.File identity rather than
+// threading *ast.File through every summary.
+func (p *Program) FileOf(pos token.Pos) *ast.File {
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return nil
+	}
+	for _, u := range p.Units {
+		for _, f := range u.Files {
+			if p.Fset.File(f.Package) == tf {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// Allowed reports whether the line containing pos (or the line above it)
+// carries a `//laqy:allow <name>` suppression — LineAllowed with the file
+// resolved by position.
+func (p *Program) Allowed(pos token.Pos, name string) bool {
+	f := p.FileOf(pos)
+	return f != nil && LineAllowed(p.Fset, f, pos, name)
+}

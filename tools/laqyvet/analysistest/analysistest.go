@@ -72,15 +72,30 @@ func runOne(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
 
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.TypesInfo,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
-	if a.NeedsTestFiles {
-		pass.TestFiles = pkg.TestFiles
+	if a.ProgramScope {
+		// Mirror the driver: per-package fields stay nil, the whole load
+		// (here: the one golden package) arrives as Pass.Program.
+		pass.Program = &analysis.Program{
+			Fset: pkg.Fset,
+			Units: []*analysis.Unit{{
+				Path:      pkg.Path,
+				Name:      pkg.Name,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}},
+		}
+	} else {
+		pass.Files = pkg.Files
+		pass.Pkg = pkg.Types
+		pass.TypesInfo = pkg.TypesInfo
+		if a.NeedsTestFiles {
+			pass.TestFiles = pkg.TestFiles
+		}
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: analyzer error: %v", a.Name, err)

@@ -1,0 +1,292 @@
+// Package goleak requires a provable termination path for every `go`
+// statement in library code.
+//
+// The chaos storm (chaos_test.go) checks goroutine counts dynamically,
+// but only for the interleavings it happens to schedule; the upcoming
+// laqyd serving and sharded-sampling work multiplies the spawn sites.
+// This analyzer makes the lifecycle discipline static: a goroutine must
+// satisfy one of
+//
+//   - joined: the spawner's body counts it on a sync.WaitGroup (an
+//     `Add` call visible in the spawner) and the spawned body —
+//     transitively, through the call graph — calls `Done` (typically
+//     deferred);
+//   - signaled: the spawned body (transitively) receives from a
+//     termination signal: `<-ctx.Done()` on a context.Context, or a
+//     receive/range over a channel that reaches the goroutine from
+//     outside — a parameter of the spawned function or a variable
+//     captured from the spawner — i.e. a channel someone else can close
+//     or send on to stop it;
+//   - annotated: `//laqy:allow goleak <rationale>` on the go statement
+//     (or the line above) for lifecycles managed elsewhere, e.g. a
+//     process-lifetime background loop owned by a daemon struct.
+//
+// A spawn through a function value the call graph cannot resolve is also
+// a finding: a goroutine whose body the analyzer cannot see is a
+// goroutine nobody can audit for termination.
+//
+// Scope: non-main packages (commands own their process lifetime), test
+// files excluded (the framework never type-checks them).
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"laqy/tools/laqyvet/analysis"
+	"laqy/tools/laqyvet/sem"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name:         "goleak",
+	Doc:          "every go statement in library code must be WaitGroup-joined, signal-terminated (ctx.Done/closable channel), or annotated //laqy:allow goleak",
+	Run:          run,
+	ProgramScope: true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Program == nil {
+		return nil
+	}
+	sp := sem.Build(pass.Program)
+	for _, fn := range sp.Funcs {
+		if fn.Unit == nil || fn.Unit.Name == "main" {
+			continue
+		}
+		for _, spawn := range fn.Spawns {
+			checkSpawn(pass, sp, fn, spawn)
+		}
+	}
+	return nil
+}
+
+func checkSpawn(pass *analysis.Pass, sp *sem.Program, spawner *sem.Func, spawn sem.Spawn) {
+	if pass.Program.Allowed(spawn.Stmt.Pos(), "goleak") {
+		return
+	}
+	if spawn.Target == nil {
+		pass.Reportf(spawn.Stmt.Pos(),
+			"goroutine spawned through a function value the call graph cannot resolve: termination is unprovable (spawn a named function or literal, or annotate //laqy:allow goleak <why>)")
+		return
+	}
+	if joined(spawner, spawn.Target, sp) || signaled(spawn.Target, sp) {
+		return
+	}
+	pass.Reportf(spawn.Stmt.Pos(),
+		"goroutine has no provable termination path: neither joined via a sync.WaitGroup visible in the spawner nor terminated by a context/channel signal; join it, select on ctx.Done(), or annotate //laqy:allow goleak <why>")
+}
+
+// joined reports the WaitGroup pattern: the spawner's own body calls
+// (*sync.WaitGroup).Add and the spawned body — or anything it calls —
+// calls (*sync.WaitGroup).Done.
+func joined(spawner, target *sem.Func, sp *sem.Program) bool {
+	if !callsSyncWaitGroup(spawner, "Add") {
+		return false
+	}
+	for f := range reachableBodies(target, sp) {
+		if callsSyncWaitGroup(f, "Done") {
+			return true
+		}
+	}
+	return false
+}
+
+// callsSyncWaitGroup reports whether fn's body syntax contains a call to
+// the named sync.WaitGroup method. The whole lexical body counts,
+// including nested literals: "visible in the spawner" is a lexical
+// property.
+func callsSyncWaitGroup(fn *sem.Func, method string) bool {
+	body := fn.Body()
+	if body == nil {
+		return false
+	}
+	info := fn.Unit.TypesInfo
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+			obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			if recv := recvNamed(obj); recv == "WaitGroup" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// recvNamed returns the name of a method's receiver type ("WaitGroup"),
+// or "".
+func recvNamed(obj *types.Func) string {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj() != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// signaled reports whether target's body — transitively over synchronous
+// call-graph edges — contains a termination-signal receive.
+func signaled(target *sem.Func, sp *sem.Program) bool {
+	for f := range reachableBodies(target, sp) {
+		if hasSignalReceive(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// reachableBodies is the set of in-program functions whose code the
+// spawned goroutine may execute synchronously: the target plus everything
+// reachable over Static/LiteralCall/Deferred/Escape edges (not further
+// spawns — a nested goroutine is its own lifecycle, checked at its own
+// spawn site).
+func reachableBodies(target *sem.Func, sp *sem.Program) map[*sem.Func]bool {
+	return sp.Reachable(target, func(k sem.CallKind) bool { return k != sem.Spawned })
+}
+
+// hasSignalReceive looks for a receive from a termination signal in fn's
+// own body: `<-ctx.Done()` (context.Context), or a receive / range over a
+// channel-typed expression rooted outside fn — a parameter or a captured
+// variable, i.e. a channel the goroutine's owner can close.
+func hasSignalReceive(fn *sem.Func) bool {
+	body := fn.Body()
+	if body == nil {
+		return false
+	}
+	info := fn.Unit.TypesInfo
+	found := false
+	check := func(e ast.Expr) {
+		if found || e == nil {
+			return
+		}
+		if isCtxDone(info, e) || isExternalChan(info, fn, e) {
+			found = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				check(x.X)
+			}
+		case *ast.RangeStmt:
+			if t, ok := info.Types[x.X]; ok && t.Type != nil {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					check(x.X)
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCtxDone matches a call to Done() on a context.Context.
+func isCtxDone(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// isExternalChan reports whether e is a channel-typed expression whose
+// root variable is declared outside fn's body — a parameter of fn, a
+// captured local of an enclosing function, or a package-level channel.
+// Only receive-capable channels count: a send-only channel cannot carry a
+// close/stop signal to this goroutine.
+func isExternalChan(info *types.Info, fn *sem.Func, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	body := fn.Body()
+	if body == nil {
+		return false
+	}
+	// A parameter of fn counts as external (declared in the signature,
+	// lexically outside the body's brace range for literals too).
+	if params := fn.Params(); params != nil {
+		for _, f := range params.List {
+			for _, name := range f.Names {
+				if info.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+	}
+	return v.Pos() < body.Pos() || v.Pos() > body.End()
+}
+
+// rootIdent peels selectors, indexes, parens, and calls down to the base
+// identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

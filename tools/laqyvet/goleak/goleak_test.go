@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"laqy/tools/laqyvet/analysistest"
+	"laqy/tools/laqyvet/goleak"
+)
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, goleak.Analyzer, "src/goleak/a")
+}

@@ -1,6 +1,8 @@
-// Package laqyvet assembles the project's static-analysis suite: six
+// Package laqyvet assembles the project's static-analysis suite: nine
 // analyzers enforcing the invariants the paper's correctness and
-// performance claims rest on but the compiler cannot check. See
+// performance claims rest on but the compiler cannot check — six
+// per-package syntactic checks and three program-scope semantic checks
+// built on the tools/laqyvet/sem call-graph layer. See
 // docs/STATIC_ANALYSIS.md for the full policy and annotation grammar.
 package laqyvet
 
@@ -8,10 +10,13 @@ import (
 	"laqy/tools/laqyvet/analysis"
 	"laqy/tools/laqyvet/ctxpoll"
 	"laqy/tools/laqyvet/errchecklite"
+	"laqy/tools/laqyvet/goleak"
 	"laqy/tools/laqyvet/hotalloc"
+	"laqy/tools/laqyvet/lockorder"
 	"laqy/tools/laqyvet/mergesync"
 	"laqy/tools/laqyvet/obscheck"
 	"laqy/tools/laqyvet/rngsource"
+	"laqy/tools/laqyvet/weightflow"
 )
 
 // All returns the full analyzer suite in deterministic order.
@@ -19,10 +24,13 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxpoll.Analyzer,
 		errchecklite.Analyzer,
+		goleak.Analyzer,
 		hotalloc.Analyzer,
+		lockorder.Analyzer,
 		mergesync.Analyzer,
 		obscheck.Analyzer,
 		rngsource.Analyzer,
+		weightflow.Analyzer,
 	}
 }
 

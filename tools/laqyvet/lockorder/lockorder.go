@@ -1,0 +1,176 @@
+// Package lockorder detects potential deadlocks by building a static
+// mutex-acquisition-order graph over the packages that synchronize the
+// serving path — internal/governor, internal/store, internal/obs,
+// internal/engine — and flagging cycles.
+//
+// The input is the sem layer's lock summaries: a per-function lock-set
+// walk (Lock adds, Unlock removes, a deferred Unlock holds to function
+// end) propagated to fixpoint over the package-set call graph, so an
+// acquisition reached only through a chain of calls still registers. An
+// edge A→B means "some path acquires B while holding A"; a cycle in the
+// edge graph means two paths acquire the same mutexes in opposite orders
+// — the classic deadlock shape the 64-client chaos storm can only catch
+// if the scheduler happens to interleave it, and this analyzer catches on
+// every build.
+//
+// Mutexes are identified by declaration (type + field, or package-level
+// variable), not by instance: two instances of one type's lock share an
+// identity. That conflation is deliberate — nesting two instances of the
+// same lock type is exactly the self-deadlock-shaped pattern worth a
+// review — and the escape is the usual annotation:
+// `//laqy:allow lockorder <rationale>` on the acquisition (or call) line
+// that closes the cycle.
+//
+// Blind spots, shared with every summary-based lock analysis: calls
+// through unresolved function values contribute no edges, and `go`
+// statements are excluded by design (a goroutine acquires on its own
+// stack, imposing no order on its spawner's).
+package lockorder
+
+import (
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+
+	"laqy/tools/laqyvet/analysis"
+	"laqy/tools/laqyvet/sem"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name:         "lockorder",
+	Doc:          "flag mutex-acquisition-order cycles (potential deadlocks) across governor/store/obs/engine, including acquisitions reached through calls",
+	Run:          run,
+	ProgramScope: true,
+}
+
+// gated lists the packages whose lock graph is checked: the ones that
+// synchronize the query serving path.
+var gated = map[string]bool{
+	"laqy/internal/governor": true,
+	"laqy/internal/store":    true,
+	"laqy/internal/obs":      true,
+	"laqy/internal/engine":   true,
+}
+
+// appliesPkg also admits the analyzer's golden testdata package.
+func appliesPkg(path string) bool {
+	return gated[path] || strings.Contains(path, "testdata/src/lockorder")
+}
+
+// gatedLock reports whether a mutex belongs to a gated package.
+func gatedLock(id sem.LockID) bool {
+	s := string(id)
+	for p := range gated {
+		if strings.HasPrefix(s, p+".") {
+			return true
+		}
+	}
+	return strings.Contains(s, "testdata/src/lockorder")
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Program == nil {
+		return nil
+	}
+	sp := sem.Build(pass.Program)
+	sums := sem.LockSummaries(sp)
+
+	// Collect the order graph: one edge per (First, Second) with the
+	// earliest witness position, considering only functions and locks in
+	// gated packages.
+	type key struct{ from, to sem.LockID }
+	witness := make(map[key]token.Pos)
+	for _, fn := range sp.Funcs {
+		if fn.Unit == nil || !appliesPkg(fn.Unit.Path) {
+			continue
+		}
+		for _, pr := range sums[fn].Pairs {
+			if !gatedLock(pr.First) || !gatedLock(pr.Second) {
+				continue
+			}
+			k := key{pr.First, pr.Second}
+			if p, ok := witness[k]; !ok || pr.Pos < p {
+				witness[k] = pr.Pos
+			}
+		}
+	}
+	if len(witness) == 0 {
+		return nil
+	}
+
+	// Adjacency + reachability (the graph is tiny: a handful of mutexes).
+	succs := make(map[sem.LockID][]sem.LockID)
+	for k := range witness {
+		succs[k.from] = append(succs[k.from], k.to)
+	}
+	reaches := func(from, to sem.LockID) bool {
+		seen := map[sem.LockID]bool{}
+		stack := []sem.LockID{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, succs[n]...)
+		}
+		return false
+	}
+
+	// Deterministic edge order for reporting.
+	keys := make([]key, 0, len(witness))
+	for k := range witness {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+
+	for _, k := range keys {
+		pos := witness[k]
+		if k.from == k.to {
+			if pass.Program.Allowed(pos, "lockorder") {
+				continue
+			}
+			pass.Reportf(pos,
+				"%s is acquired here while a lock with the same identity is already held: self-deadlock (or deliberate multi-instance nesting — annotate //laqy:allow lockorder <why>)",
+				k.from)
+			continue
+		}
+		// Edge from→to is part of a cycle iff `to` reaches `from`.
+		if !reaches(k.to, k.from) {
+			continue
+		}
+		if pass.Program.Allowed(pos, "lockorder") {
+			continue
+		}
+		other := ""
+		if p, ok := witness[key{k.to, k.from}]; ok {
+			o := pass.Fset.Position(p)
+			other = " (reverse order at " + trimPos(o) + ")"
+		}
+		pass.Reportf(pos,
+			"acquiring %s while holding %s closes a lock-order cycle%s: potential deadlock; fix the nesting order or annotate //laqy:allow lockorder <why>",
+			k.to, k.from, other)
+	}
+	return nil
+}
+
+// trimPos renders file:line with the directory stripped, keeping messages
+// readable.
+func trimPos(p token.Position) string {
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}

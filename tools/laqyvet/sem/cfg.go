@@ -1,0 +1,339 @@
+package sem
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block of a CFG: a maximal straight-line sequence of
+// statements/expressions with edges only at its end.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (deterministic).
+	Index int
+	// Nodes are the statements (and loop/switch heads) executed in order.
+	Nodes []ast.Node
+	// Succs are the possible successors.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. It is syntactic:
+// `panic(...)` calls and `return` statements edge to Exit, loops carry
+// back edges, and `defer`red calls are collected on the side (they run on
+// every path to Exit, so dataflow clients treat Defers as executing at
+// Exit).
+type CFG struct {
+	// Entry is the first block.
+	Entry *Block
+	// Exit is the synthetic exit block every terminating path reaches.
+	Exit *Block
+	// Blocks lists all blocks in creation order; Blocks[0] == Entry and
+	// Blocks[1] == Exit.
+	Blocks []*Block
+	// Defers are the function's defer statements in source order.
+	Defers []*ast.DeferStmt
+}
+
+// cfgBuilder carries the state of one CFG construction.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// loops is the stack of enclosing loop/switch targets for
+	// break/continue resolution; the innermost is last.
+	loops []loopFrame
+	// labels maps label names to their blocks, for goto and labeled
+	// break/continue.
+	labels map[string]*Block
+	// gotos are unresolved forward gotos patched at the end.
+	gotos []pendingGoto
+}
+
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames (break-only)
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: make(map[string]*Block)}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body returns.
+	b.edge(b.cur, b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge adds from→to once.
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock seals cur with an edge to next (unless cur already
+// terminated) and makes next current.
+func (b *cfgBuilder) startBlock(next *Block) {
+	b.edge(b.cur, next)
+	b.cur = next
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement. label is the enclosing label name when
+// the statement is the body of a LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.labels[st.Label.Name] = target
+		b.startBlock(target)
+		b.stmt(st.Stmt, st.Label.Name)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, st.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, st.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(st.Body.List)
+		b.edge(b.cur, join)
+		if st.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(st.Else, "")
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, st.Init)
+		}
+		head := b.newBlock()
+		if st.Cond != nil {
+			head.Nodes = append(head.Nodes, st.Cond)
+		}
+		exit := b.newBlock()
+		b.startBlock(head)
+		if st.Cond != nil {
+			b.edge(head, exit) // condition may fail
+		}
+		// A `for {}` with no condition only leaves through break — no
+		// head→exit edge, which is exactly what termination analyses see.
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: exit, continueTo: head})
+		b.stmtList(st.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		if st.Post != nil {
+			b.cur.Nodes = append(b.cur.Nodes, st.Post)
+		}
+		b.edge(b.cur, head) // back edge
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, st)
+		exit := b.newBlock()
+		b.startBlock(head)
+		b.edge(head, exit) // range may be empty / exhausted
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: exit, continueTo: head})
+		b.stmtList(st.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, head)
+		b.cur = exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.switchLike(st, label)
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, st)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		b.cur.Nodes = append(b.cur.Nodes, st)
+		switch st.Tok {
+		case token.BREAK:
+			if t := b.frameFor(st.Label, true); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.frameFor(st.Label, false); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.GOTO:
+			if st.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: st.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			// Handled by switchLike's clause chaining.
+		}
+		if st.Tok != token.FALLTHROUGH {
+			b.cur = b.newBlock() // unreachable continuation
+		}
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, st)
+		b.cur.Nodes = append(b.cur.Nodes, st)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, st)
+		if isPanicCall(st.X) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.cur = b.newBlock() // unreachable continuation
+		}
+
+	default:
+		b.cur.Nodes = append(b.cur.Nodes, st)
+	}
+}
+
+// switchLike translates switch, type switch, and select: every clause is
+// a block hanging off the head, all joining after the statement.
+// fallthrough chains a case into the next clause's block.
+func (b *cfgBuilder) switchLike(s ast.Stmt, label string) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, st.Init)
+		}
+		if st.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, st.Tag)
+		}
+		clauses = st.Body.List
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, st.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, st.Assign)
+		clauses = st.Body.List
+	case *ast.SelectStmt:
+		clauses = st.Body.List
+	}
+	head := b.cur
+	join := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+	}
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: join})
+	for i, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				blocks[i].Nodes = append(blocks[i].Nodes, e)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				blocks[i].Nodes = append(blocks[i].Nodes, cc.Comm)
+			}
+			body = cc.Body
+		}
+		b.cur = blocks[i]
+		for _, bs := range body {
+			if br, ok := bs.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(blocks) {
+				b.edge(b.cur, blocks[i+1])
+				continue
+			}
+			b.stmt(bs, "")
+		}
+		b.edge(b.cur, join)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if _, isSelect := s.(*ast.SelectStmt); isSelect {
+		// A select with no default blocks until a case fires: no
+		// head→join shortcut. With no cases at all it blocks forever.
+		if len(clauses) == 0 {
+			b.cur = join // join unreachable; keep building deterministically
+			return
+		}
+	} else if !hasDefault {
+		b.edge(head, join) // no case matched
+	}
+	b.cur = join
+}
+
+// frameFor resolves the break/continue target for an optional label.
+func (b *cfgBuilder) frameFor(label *ast.Ident, isBreak bool) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if isBreak {
+			return f.breakTo
+		}
+		if f.continueTo != nil {
+			return f.continueTo
+		}
+		if label != nil {
+			return nil // continue to a non-loop label: invalid Go, ignore
+		}
+	}
+	return nil
+}
+
+// isPanicCall matches a direct call of the panic builtin. Syntactic by
+// design: shadowing `panic` would hide the edge, and nothing in this
+// repository does.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,210 @@
+package sem_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"laqy/tools/laqyvet/sem"
+)
+
+// parseBody wraps a statement list in a function and returns its body.
+// The CFG is purely syntactic, so no type checking is needed.
+func parseBody(t *testing.T, stmts string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + stmts + "\n}\n"
+	file, err := parser.ParseFile(token.NewFileSet(), "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachable computes the blocks reachable from `from` over Succs edges.
+func reachable(from *sem.Block) map[*sem.Block]bool {
+	seen := map[*sem.Block]bool{from: true}
+	stack := []*sem.Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := sem.BuildCFG(parseBody(t, "x := 1\n_ = x"))
+	if !reachable(cfg.Entry)[cfg.Exit] {
+		t.Fatal("exit unreachable in straight-line code")
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	cfg := sem.BuildCFG(parseBody(t, `
+x := 0
+if x > 0 {
+	x = 1
+} else {
+	x = 2
+}
+_ = x`))
+	if !reachable(cfg.Entry)[cfg.Exit] {
+		t.Fatal("exit unreachable through if/else")
+	}
+	// The condition block must have two successors (then and else).
+	var cond *sem.Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if e, ok := n.(ast.Expr); ok {
+				if be, ok := e.(*ast.BinaryExpr); ok && be.Op == token.GTR {
+					cond = b
+				}
+			}
+		}
+	}
+	if cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("condition block: %+v, want 2 successors", cond)
+	}
+}
+
+// A condition-less for loop with no break never reaches exit — the
+// property termination analyses depend on.
+func TestCFGForeverLoopTrapsControl(t *testing.T) {
+	cfg := sem.BuildCFG(parseBody(t, "for {\n\tx := 1\n\t_ = x\n}"))
+	if reachable(cfg.Entry)[cfg.Exit] {
+		t.Fatal("for{} without break must not reach exit")
+	}
+}
+
+func TestCFGForeverLoopWithBreak(t *testing.T) {
+	cfg := sem.BuildCFG(parseBody(t, "for {\n\tbreak\n}"))
+	if !reachable(cfg.Entry)[cfg.Exit] {
+		t.Fatal("break must connect the loop to its exit")
+	}
+}
+
+func TestCFGConditionalForHasExitEdge(t *testing.T) {
+	cfg := sem.BuildCFG(parseBody(t, "for i := 0; i < 3; i++ {\n\t_ = i\n}"))
+	if !reachable(cfg.Entry)[cfg.Exit] {
+		t.Fatal("conditional loop must be exitable via the condition")
+	}
+	// There must be a back edge: some reachable block has a reachable
+	// predecessor-of-itself path (the loop head is its own ancestor).
+	back := false
+	for _, b := range reachableList(cfg) {
+		for _, s := range b.Succs {
+			if reachable(s)[b] {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("loop produced no back edge")
+	}
+}
+
+func reachableList(cfg *sem.CFG) []*sem.Block {
+	var out []*sem.Block
+	for b := range reachable(cfg.Entry) {
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestCFGPanicEdgesToExit(t *testing.T) {
+	cfg := sem.BuildCFG(parseBody(t, `panic("boom")`))
+	// The entry block holds the panic and must edge straight to exit.
+	found := false
+	for _, s := range cfg.Entry.Succs {
+		if s == cfg.Exit {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("panic() must edge to exit")
+	}
+}
+
+func TestCFGReturnSkipsRest(t *testing.T) {
+	cfg := sem.BuildCFG(parseBody(t, "return\nx := 1\n_ = x"))
+	// The post-return continuation must be unreachable from entry.
+	reach := reachable(cfg.Entry)
+	var contBlk *sem.Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				contBlk = b
+			}
+		}
+	}
+	if contBlk == nil {
+		t.Fatal("no block holds the dead assignment")
+	}
+	if reach[contBlk] {
+		t.Fatal("code after return must be unreachable")
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	cfg := sem.BuildCFG(parseBody(t, "defer f1()\ndefer f2()\nreturn"))
+	if len(cfg.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(cfg.Defers))
+	}
+}
+
+func TestCFGSwitchWithoutDefaultFallsThrough(t *testing.T) {
+	cfg := sem.BuildCFG(parseBody(t, `
+x := 0
+switch x {
+case 1:
+	x = 2
+}
+_ = x`))
+	if !reachable(cfg.Entry)[cfg.Exit] {
+		t.Fatal("switch without default must allow the no-match path")
+	}
+}
+
+func TestCFGSelectWithoutDefaultBlocks(t *testing.T) {
+	cfg := sem.BuildCFG(parseBody(t, `
+var ch chan int
+select {
+case <-ch:
+	return
+}
+panic("unreachable")`))
+	// The only way forward is the single comm clause, which returns; the
+	// head has no shortcut to the join, so the panic stays unreachable.
+	reach := reachable(cfg.Entry)
+	var panicBlk *sem.Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						panicBlk = b
+					}
+				}
+			}
+		}
+	}
+	if panicBlk == nil {
+		t.Fatal("no block holds the panic")
+	}
+	if reach[panicBlk] {
+		t.Fatal("select with one returning clause and no default must not fall through")
+	}
+}
+
+func TestCFGGotoResolves(t *testing.T) {
+	cfg := sem.BuildCFG(parseBody(t, "goto done\ndone:\nreturn"))
+	if !reachable(cfg.Entry)[cfg.Exit] {
+		t.Fatal("goto to a forward label must keep exit reachable")
+	}
+}

@@ -1,0 +1,186 @@
+package sem
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Def is one definition (assignment, declaration, or parameter) of a
+// variable.
+type Def struct {
+	// Var is the defined variable.
+	Var *types.Var
+	// Node is the defining syntax; nil for parameter definitions, which
+	// exist at function entry.
+	Node ast.Node
+}
+
+// ReachingDefs holds the solved reaching-definitions problem for one CFG:
+// which definitions of each variable may still be live at each block's
+// entry. It is the dataflow scaffolding semantic analyzers (and future
+// ones) build on; the solver is a standard forward may-analysis over
+// gen/kill bit sets iterated to fixpoint with a worklist.
+type ReachingDefs struct {
+	// Defs lists every definition in deterministic order (parameters
+	// first, then by source position).
+	Defs []*Def
+	in   map[*Block][]bool
+	out  map[*Block][]bool
+}
+
+// Reaching solves reaching definitions for cfg. params may be nil; when
+// given, each named parameter contributes an entry definition. info
+// resolves identifiers to variables.
+func Reaching(cfg *CFG, info *types.Info, params *ast.FieldList) *ReachingDefs {
+	r := &ReachingDefs{
+		in:  make(map[*Block][]bool),
+		out: make(map[*Block][]bool),
+	}
+	// Collect definitions: parameters at entry, then every write in every
+	// block.
+	defIdx := make(map[*Block][]int) // definitions generated per block
+	if params != nil {
+		for _, f := range params.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					r.Defs = append(r.Defs, &Def{Var: v})
+				}
+			}
+		}
+	}
+	entryDefs := len(r.Defs)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			for _, d := range defsIn(n, info) {
+				defIdx[blk] = append(defIdx[blk], len(r.Defs))
+				r.Defs = append(r.Defs, d)
+			}
+		}
+	}
+	n := len(r.Defs)
+	// Per-variable definition index sets, for kill computation.
+	byVar := make(map[*types.Var][]int)
+	for i, d := range r.Defs {
+		byVar[d.Var] = append(byVar[d.Var], i)
+	}
+
+	gen := make(map[*Block][]bool)
+	kill := make(map[*Block][]bool)
+	for _, blk := range cfg.Blocks {
+		g := make([]bool, n)
+		k := make([]bool, n)
+		// Later definitions in the same block kill earlier ones; applying
+		// them in order leaves g holding only the block's last def per
+		// variable.
+		for _, i := range defIdx[blk] {
+			for _, j := range byVar[r.Defs[i].Var] {
+				k[j] = true
+				g[j] = false
+			}
+			g[i] = true
+		}
+		gen[blk] = g
+		kill[blk] = k
+		r.in[blk] = make([]bool, n)
+		r.out[blk] = make([]bool, n)
+	}
+	// Parameters reach the entry.
+	for i := 0; i < entryDefs; i++ {
+		r.in[cfg.Entry][i] = true
+	}
+
+	// Worklist to fixpoint.
+	preds := make(map[*Block][]*Block)
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+	work := append([]*Block(nil), cfg.Blocks...)
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		in := r.in[blk]
+		for _, p := range preds[blk] {
+			for i, v := range r.out[p] {
+				if v {
+					in[i] = true
+				}
+			}
+		}
+		changed := false
+		out := r.out[blk]
+		for i := 0; i < n; i++ {
+			v := gen[blk][i] || (in[i] && !kill[blk][i])
+			if v && !out[i] {
+				out[i] = true
+				changed = true
+			}
+		}
+		if changed {
+			work = append(work, blk.Succs...)
+		}
+	}
+	return r
+}
+
+// At returns the definitions of v that may reach blk's entry, in
+// deterministic order.
+func (r *ReachingDefs) At(blk *Block, v *types.Var) []*Def {
+	var out []*Def
+	for i, d := range r.Defs {
+		if d.Var == v && r.in[blk][i] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// defsIn extracts the variable definitions a single CFG node generates.
+func defsIn(n ast.Node, info *types.Info) []*Def {
+	var out []*Def
+	add := func(id *ast.Ident, node ast.Node) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			out = append(out, &Def{Var: v, Node: node})
+			return
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			out = append(out, &Def{Var: v, Node: node})
+		}
+	}
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range st.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				add(id, st)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := st.X.(*ast.Ident); ok {
+			add(id, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						add(name, st)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := st.Key.(*ast.Ident); ok {
+			add(id, st)
+		}
+		if id, ok := st.Value.(*ast.Ident); ok {
+			add(id, st)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Var.Pos() < out[j].Var.Pos() })
+	return out
+}

@@ -1,0 +1,507 @@
+package sem
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockID names a mutex by declaration, not by instance:
+// "laqy/internal/store.Store.mu" for a struct field,
+// "laqy/internal/obs.registryMu" for a package-level variable. Two
+// instances of the same type share an ID — lock *order* is a property of
+// the code paths, and code that nests two instances of one type's lock is
+// exactly the self-deadlock-shaped pattern worth surfacing (annotate the
+// deliberate cases).
+type LockID string
+
+// Acquire is one Lock/RLock call site.
+type Acquire struct {
+	// ID identifies the mutex.
+	ID LockID
+	// Pos is the call position.
+	Pos token.Pos
+	// Read marks RLock.
+	Read bool
+}
+
+// LockSummary is one function's lock behaviour, the unit the lockorder
+// analyzer propagates over the call graph.
+type LockSummary struct {
+	// Direct lists acquisitions in the function's own body, in source
+	// order.
+	Direct []Acquire
+	// Transitive maps every mutex acquired by the function or any
+	// (transitively) called function to a witness position in *this*
+	// function: the acquire itself, or the call that leads to it.
+	Transitive map[LockID]token.Pos
+	// Pairs are the observed orderings: First was held when Second was
+	// acquired (directly, or anywhere inside a call made while holding
+	// First). Pos is the acquisition/call site of Second.
+	Pairs []LockPair
+}
+
+// LockPair is one ordered acquisition: First held while Second acquired.
+type LockPair struct {
+	First, Second LockID
+	// Pos is where Second was acquired (or the call that acquires it).
+	Pos token.Pos
+}
+
+// callSite records a synchronous call with the lock set held at it.
+type callSite struct {
+	callee *Func
+	pos    token.Pos
+	held   []LockID // sorted, deduplicated
+}
+
+// lockFacts is the per-function working state of the lock analysis.
+type lockFacts struct {
+	sum   *LockSummary
+	calls []callSite
+}
+
+// LockSummaries computes a LockSummary for every function of the program:
+// a linear, branch-merging walk of each body tracks the held set (Lock
+// adds, Unlock removes, deferred Unlock holds to function end, branches
+// merge by union with early-terminating arms excluded), then a fixpoint
+// over the call graph folds callee acquisitions into Transitive and emits
+// Pairs for locks acquired inside calls made while holding others.
+//
+// Spawned (`go`) edges are excluded throughout: a goroutine acquires on
+// its own stack, so its locks impose no ordering on the spawner's.
+// Dynamic calls contribute nothing — a documented blind spot shared with
+// every summary-based lock analysis.
+func LockSummaries(p *Program) map[*Func]*LockSummary {
+	facts := make(map[*Func]*lockFacts, len(p.Funcs))
+	for _, fn := range p.Funcs {
+		f := &lockFacts{sum: &LockSummary{Transitive: make(map[LockID]token.Pos)}}
+		facts[fn] = f
+		body := fn.Body()
+		if body == nil {
+			continue
+		}
+		w := &lockWalker{prog: p, fn: fn, facts: f}
+		w.stmtList(body.List, newHeldSet())
+		for _, a := range f.sum.Direct {
+			if _, ok := f.sum.Transitive[a.ID]; !ok {
+				f.sum.Transitive[a.ID] = a.Pos
+			}
+		}
+	}
+
+	// Fixpoint: fold callee transitive sets into callers'.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.Funcs {
+			f := facts[fn]
+			for _, cs := range f.calls {
+				callee := facts[cs.callee]
+				ids := sortedIDs(callee.sum.Transitive)
+				for _, id := range ids {
+					if _, ok := f.sum.Transitive[id]; !ok {
+						f.sum.Transitive[id] = cs.pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pairs: direct ones were recorded during the walk; add held × callee
+	// transitive acquisitions.
+	for _, fn := range p.Funcs {
+		f := facts[fn]
+		for _, cs := range f.calls {
+			callee := facts[cs.callee]
+			ids := sortedIDs(callee.sum.Transitive)
+			for _, first := range cs.held {
+				for _, second := range ids {
+					f.sum.Pairs = append(f.sum.Pairs, LockPair{First: first, Second: second, Pos: cs.pos})
+				}
+			}
+		}
+	}
+
+	out := make(map[*Func]*LockSummary, len(facts))
+	for fn, f := range facts {
+		out[fn] = f.sum
+	}
+	return out
+}
+
+func sortedIDs(m map[LockID]token.Pos) []LockID {
+	ids := make([]LockID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// heldSet is the walker's lock-set state.
+type heldSet struct {
+	locks map[LockID]token.Pos
+	// terminated marks a path that left the function (return, panic,
+	// break/continue out of the walked region): it contributes nothing to
+	// branch joins.
+	terminated bool
+}
+
+func newHeldSet() *heldSet { return &heldSet{locks: make(map[LockID]token.Pos)} }
+
+func (h *heldSet) clone() *heldSet {
+	c := newHeldSet()
+	for k, v := range h.locks {
+		c.locks[k] = v
+	}
+	c.terminated = h.terminated
+	return c
+}
+
+// merge unions other into h (may-hold approximation), skipping terminated
+// arms.
+func (h *heldSet) merge(other *heldSet) {
+	if other.terminated {
+		return
+	}
+	if h.terminated {
+		h.locks = other.locks
+		h.terminated = false
+		return
+	}
+	for k, v := range other.locks {
+		if _, ok := h.locks[k]; !ok {
+			h.locks[k] = v
+		}
+	}
+}
+
+func (h *heldSet) sorted() []LockID {
+	ids := make([]LockID, 0, len(h.locks))
+	for id := range h.locks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// lockWalker performs the per-function linear walk.
+type lockWalker struct {
+	prog  *Program
+	fn    *Func
+	facts *lockFacts
+}
+
+// stmtList walks statements in order, threading the held set through.
+func (w *lockWalker) stmtList(list []ast.Stmt, h *heldSet) {
+	for _, s := range list {
+		w.stmt(s, h)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, h *heldSet) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		w.stmtList(st.List, h)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, h)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, h)
+		}
+		w.exprEvents(st.Cond, h)
+		then := h.clone()
+		w.stmtList(st.Body.List, then)
+		els := h.clone()
+		if st.Else != nil {
+			w.stmt(st.Else, els)
+		}
+		h.locks = map[LockID]token.Pos{}
+		h.terminated = true
+		h.merge(then)
+		h.merge(els)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, h)
+		}
+		if st.Cond != nil {
+			w.exprEvents(st.Cond, h)
+		}
+		body := h.clone()
+		w.stmtList(st.Body.List, body)
+		if st.Post != nil {
+			w.stmt(st.Post, body)
+		}
+		h.merge(body) // zero-or-more iterations: union entry and body exit
+	case *ast.RangeStmt:
+		w.exprEvents(st.X, h)
+		body := h.clone()
+		w.stmtList(st.Body.List, body)
+		h.merge(body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, h)
+		}
+		if st.Tag != nil {
+			w.exprEvents(st.Tag, h)
+		}
+		w.clauses(st.Body.List, h)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, h)
+		}
+		w.clauses(st.Body.List, h)
+	case *ast.SelectStmt:
+		w.clauses(st.Body.List, h)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.exprEvents(e, h)
+		}
+		h.terminated = true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the walked region; approximating them
+		// as terminating keeps joins from smearing their held set.
+		h.terminated = true
+	case *ast.DeferStmt:
+		w.deferCall(st.Call, h)
+	case *ast.GoStmt:
+		// Another stack: arguments are evaluated here, the call is not.
+		for _, arg := range st.Call.Args {
+			w.exprEvents(arg, h)
+		}
+	case *ast.ExprStmt:
+		w.exprEvents(st.X, h)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.exprEvents(e, h)
+		}
+		for _, e := range st.Lhs {
+			w.exprEvents(e, h)
+		}
+	case *ast.IncDecStmt:
+		w.exprEvents(st.X, h)
+	case *ast.SendStmt:
+		w.exprEvents(st.Chan, h)
+		w.exprEvents(st.Value, h)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.exprEvents(v, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// clauses walks switch/select clause bodies as parallel branches merged
+// by union.
+func (w *lockWalker) clauses(list []ast.Stmt, h *heldSet) {
+	entry := h.clone()
+	h.locks = map[LockID]token.Pos{}
+	h.terminated = true
+	sawClause := false
+	for _, c := range list {
+		arm := entry.clone()
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.exprEvents(e, arm)
+			}
+			w.stmtList(cc.Body, arm)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, arm)
+			}
+			w.stmtList(cc.Body, arm)
+		default:
+			continue
+		}
+		sawClause = true
+		h.merge(arm)
+	}
+	// The no-case-matched path falls through with the entry set.
+	h.merge(entry)
+	if !sawClause {
+		h.locks = entry.locks
+		h.terminated = entry.terminated
+	}
+}
+
+// exprEvents scans one expression subtree in source order for lock events
+// and synchronous calls. Function literal bodies are skipped (separate
+// nodes); creating a literal while holding locks records an Escape
+// call site, since the literal may run wherever it escapes to.
+func (w *lockWalker) exprEvents(e ast.Expr, h *heldSet) {
+	if e == nil {
+		return
+	}
+	info := w.fn.Unit.TypesInfo
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if callee := w.prog.byLit[x]; callee != nil {
+				w.recordCall(callee, x.Pos(), h)
+			}
+			return false
+		case *ast.CallExpr:
+			// Arguments and nested calls first (they evaluate before the
+			// call itself); then the call event. Inspect's traversal
+			// order handles the nesting; we classify this node only.
+			if _, read, isLock, isUnlock := syncMethod(info, x); isLock || isUnlock {
+				id := lockIDOf(info, x)
+				if id == "" {
+					return true
+				}
+				if isUnlock {
+					delete(h.locks, id)
+					return true
+				}
+				// Acquisition: pair with everything currently held.
+				for _, first := range h.sorted() {
+					w.facts.sum.Pairs = append(w.facts.sum.Pairs, LockPair{First: first, Second: id, Pos: x.Pos()})
+				}
+				w.facts.sum.Direct = append(w.facts.sum.Direct, Acquire{ID: id, Pos: x.Pos(), Read: read})
+				if _, ok := h.locks[id]; !ok {
+					h.locks[id] = x.Pos()
+				}
+				return true
+			}
+			if callee := w.staticCallee(x); callee != nil {
+				w.recordCall(callee, x.Pos(), h)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// deferCall handles a deferred call: a deferred Unlock keeps the lock
+// held to function end (no removal — matching the idiom); any other
+// deferred call is a synchronous call site with the current held set.
+func (w *lockWalker) deferCall(call *ast.CallExpr, h *heldSet) {
+	if _, _, _, isUnlock := syncMethod(w.fn.Unit.TypesInfo, call); isUnlock {
+		return
+	}
+	for _, arg := range call.Args {
+		w.exprEvents(arg, h)
+	}
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		if callee := w.prog.byLit[lit]; callee != nil {
+			w.recordCall(callee, lit.Pos(), h)
+		}
+		return
+	}
+	if callee := w.staticCallee(call); callee != nil {
+		w.recordCall(callee, call.Pos(), h)
+	}
+}
+
+// staticCallee resolves a call to an in-program function, or nil.
+func (w *lockWalker) staticCallee(call *ast.CallExpr) *Func {
+	info := w.fn.Unit.TypesInfo
+	switch f := unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return w.prog.byLit[f]
+	case *ast.Ident:
+		if obj, ok := info.Uses[f].(*types.Func); ok {
+			return w.prog.byObj[obj]
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return w.prog.byObj[obj]
+		}
+	}
+	return nil
+}
+
+// recordCall snapshots the held set at a synchronous call site.
+func (w *lockWalker) recordCall(callee *Func, pos token.Pos, h *heldSet) {
+	w.facts.calls = append(w.facts.calls, callSite{callee: callee, pos: pos, held: h.sorted()})
+}
+
+// syncMethod classifies a call as a sync.Mutex/RWMutex (un)lock. The
+// method object must come from package sync, so look-alike methods on
+// project types don't register.
+func syncMethod(info *types.Info, call *ast.CallExpr) (name string, read, isLock, isUnlock bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false, false, false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false, false, false
+	}
+	switch obj.Name() {
+	case "Lock":
+		return "Lock", false, true, false
+	case "RLock":
+		return "RLock", true, true, false
+	case "Unlock":
+		return "Unlock", false, false, true
+	case "RUnlock":
+		return "RUnlock", true, false, true
+	}
+	return "", false, false, false
+}
+
+// lockIDOf derives the mutex identity from the receiver expression of a
+// (un)lock call: the declaring type and field for `x.mu.Lock()`, the
+// package path and name for a package-level `mu.Lock()`. Returns "" when
+// the receiver cannot be named (e.g. a map element).
+func lockIDOf(info *types.Info, call *ast.CallExpr) LockID {
+	sel := unparen(call.Fun).(*ast.SelectorExpr)
+	recv := unparen(sel.X)
+	for {
+		if star, ok := recv.(*ast.StarExpr); ok {
+			recv = unparen(star.X)
+			continue
+		}
+		break
+	}
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		// x.mu — name by the owning named type of x and the field name.
+		t := info.Types[r.X].Type
+		if t == nil {
+			return ""
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() != nil {
+			obj := named.Obj()
+			pkg := ""
+			if obj.Pkg() != nil {
+				pkg = obj.Pkg().Path() + "."
+			}
+			return LockID(pkg + obj.Name() + "." + r.Sel.Name)
+		}
+		return ""
+	case *ast.Ident:
+		obj := info.Uses[r]
+		if obj == nil {
+			obj = info.Defs[r]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return LockID(v.Pkg().Path() + "." + v.Name())
+		}
+		// Local mutex (or local alias of one): name it by declaring
+		// function scope; instances conflate, which is the conservative
+		// direction for ordering.
+		pkg := ""
+		if v.Pkg() != nil {
+			pkg = v.Pkg().Path() + "."
+		}
+		return LockID(pkg + "local." + v.Name())
+	}
+	return ""
+}

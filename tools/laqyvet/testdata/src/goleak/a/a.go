@@ -1,0 +1,87 @@
+// Golden input for the goleak analyzer: every go statement must be
+// WaitGroup-joined, signal-terminated, or annotated.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// Leak spawns a goroutine with no join, no signal, no annotation.
+func Leak() {
+	go spin() // want `no provable termination`
+}
+
+// Joined: the spawner counts the goroutine on a WaitGroup and the spawned
+// body calls Done.
+func Joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Signaled: the goroutine receives from ctx.Done.
+func Signaled(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Indirect: the termination receive is two synchronous calls away —
+// visible only through the call graph.
+func Indirect(ctx context.Context) {
+	go runLoop(ctx)
+}
+
+func runLoop(ctx context.Context) {
+	for {
+		if waitDone(ctx) {
+			return
+		}
+	}
+}
+
+func waitDone(ctx context.Context) bool {
+	<-ctx.Done()
+	return true
+}
+
+// Drain ranges over a channel the caller owns (and can close).
+func Drain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// ParamChan: the spawned function receives from its own channel parameter.
+func ParamChan(stop chan struct{}) {
+	go waitStop(stop)
+}
+
+func waitStop(stop chan struct{}) {
+	<-stop
+}
+
+// Dynamic: a spawn through a function value cannot be audited.
+func Dynamic(f func()) {
+	go f() // want `cannot resolve`
+}
+
+// Daemon documents a process-lifetime goroutine with the annotation.
+func Daemon() {
+	//laqy:allow goleak process-lifetime flusher, stopped only at exit
+	go spin()
+}

@@ -1,0 +1,90 @@
+// Golden input for the lockorder analyzer. The package path contains
+// testdata/src/lockorder, which admits it to the analyzer's gated set.
+package a
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var aa A
+var bb B
+
+// Direct cycle: AB establishes A.mu → B.mu, BA establishes the reverse.
+// Both witness acquisitions are flagged.
+
+func AB() {
+	aa.mu.Lock()
+	defer aa.mu.Unlock()
+	bb.mu.Lock() // want `closes a lock-order cycle`
+	bb.mu.Unlock()
+}
+
+func BA() {
+	bb.mu.Lock()
+	defer bb.mu.Unlock()
+	aa.mu.Lock() // want `closes a lock-order cycle`
+	aa.mu.Unlock()
+}
+
+// Interprocedural cycle: the conflicting acquisitions are only reached
+// through calls, so the findings land on the call sites.
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+var cc C
+var dd D
+
+func lockD() {
+	dd.mu.Lock()
+	dd.mu.Unlock()
+}
+
+func lockC() {
+	cc.mu.Lock()
+	cc.mu.Unlock()
+}
+
+func CD() {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	lockD() // want `closes a lock-order cycle`
+}
+
+func DC() {
+	dd.mu.Lock()
+	defer dd.mu.Unlock()
+	lockC() // want `closes a lock-order cycle`
+}
+
+// Consistent ordering is clean: E.mu → F.mu exists, the reverse does not.
+
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+var ee E
+var ff F
+
+func EF() {
+	ee.mu.Lock()
+	defer ee.mu.Unlock()
+	ff.mu.Lock()
+	ff.mu.Unlock()
+}
+
+// Instance conflation: nesting two locks of the same declared identity is
+// a self-edge. Deliberate hand-over-hand traversal carries the annotation.
+
+type N struct {
+	mu   sync.Mutex
+	next *N
+}
+
+func (n *N) Push() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//laqy:allow lockorder hand-over-hand traversal, list is ordered by address
+	n.next.mu.Lock()
+	n.next.mu.Unlock()
+}

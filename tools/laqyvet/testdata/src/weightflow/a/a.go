@@ -1,0 +1,68 @@
+// Golden input for the weightflow analyzer: estimates fed from reservoir
+// tuples must see a scale-factor application on some reachable path.
+package a
+
+import (
+	"laqy/internal/approx"
+	"laqy/internal/sample"
+)
+
+// Bad sums sampled tuples and publishes the raw sum: a sample-scale
+// answer presented as a population estimate.
+func Bad(r *sample.Reservoir) approx.Estimate {
+	var sum float64
+	for i := 0; i < r.Len(); i++ {
+		sum += float64(r.Tuple(i)[0])
+	}
+	return approx.Estimate{Value: sum} // want `never applies a scale factor`
+}
+
+// Good applies the reservoir weight before constructing the estimate.
+func Good(r *sample.Reservoir) approx.Estimate {
+	var sum float64
+	for i := 0; i < r.Len(); i++ {
+		sum += float64(r.Tuple(i)[0])
+	}
+	scale := r.Weight() / float64(r.Len())
+	return approx.Estimate{Value: sum * scale, Support: r.Len(), Weight: r.Weight()}
+}
+
+// sumTuples reads tuples on behalf of its callers: the taint propagates
+// up the call graph.
+func sumTuples(r *sample.Reservoir) float64 {
+	var sum float64
+	for i := 0; i < r.Len(); i++ {
+		sum += float64(r.Tuple(i)[0])
+	}
+	return sum
+}
+
+// BadIndirect never sees a Tuple call in its own body, but the helper's
+// reads reach it and no scale application does.
+func BadIndirect(r *sample.Reservoir) approx.Estimate {
+	return approx.Estimate{Value: sumTuples(r)} // want `never applies a scale factor`
+}
+
+// scaled applies the weight in a callee; that clears every caller.
+func scaled(r *sample.Reservoir) float64 {
+	return sumTuples(r) * r.Weight() / float64(r.Len())
+}
+
+// GoodIndirect is clean: both the reads and the scale live in callees.
+func GoodIndirect(r *sample.Reservoir) approx.Estimate {
+	return approx.Estimate{Value: scaled(r), Support: r.Len()}
+}
+
+// Max is an order statistic: the sample maximum estimates the population
+// maximum with no scale factor by construction, so the unscaled literal
+// carries the annotation.
+func Max(r *sample.Reservoir) approx.Estimate {
+	var max int64
+	for i := 0; i < r.Len(); i++ {
+		if v := r.Tuple(i)[0]; v > max {
+			max = v
+		}
+	}
+	//laqy:allow weightflow MAX is an order statistic, scale-free by construction
+	return approx.Estimate{Value: float64(max), Support: r.Len()}
+}

@@ -1,0 +1,12 @@
+package weightflow_test
+
+import (
+	"testing"
+
+	"laqy/tools/laqyvet/analysistest"
+	"laqy/tools/laqyvet/weightflow"
+)
+
+func TestWeightFlow(t *testing.T) {
+	analysistest.Run(t, weightflow.Analyzer, "src/weightflow/a")
+}
