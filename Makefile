@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet laqy-vet race stress faults fuzz-smoke bench bench-smoke clean
+.PHONY: all build test lint vet laqy-vet race stress servestress faults fuzz-smoke bench bench-smoke clean
 
 all: build lint test
 
@@ -53,6 +53,17 @@ stress:
 		. ./internal/store
 	CGO_ENABLED=1 LAQY_STRESS_METRICS_OUT=$(CURDIR)/stress-metrics.json \
 		$(GO) test -race -count=1 -run 'TestChaosStorm' -v .
+
+# The serving robustness gate (docs/SERVING.md): the connection-chaos
+# harness against the laqyd HTTP surface — 64 clients x 4 tenants under
+# -race with slowloris connections, mid-stream disconnects, SIGTERM
+# mid-storm, and iofault-injected sample saves. Asserts fair per-tenant
+# degradation, zero goroutine leaks, every 429 carrying a governor-derived
+# Retry-After, and a clean drain. Writes the server metrics snapshot CI
+# uploads as an artifact.
+servestress:
+	CGO_ENABLED=1 LAQY_SERVESTRESS_METRICS_OUT=$(CURDIR)/servestress-metrics.json \
+		$(GO) test -race -count=1 -run 'TestConnectionChaos' -v ./internal/server
 
 # The durability gate: the fault-injection filesystem model, the
 # crash-at-every-syscall replay of SaveFile, and the salvage/bit-flip

@@ -1,0 +1,86 @@
+package laqy
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCanceledRequestReleasesGovernorSlots is the regression test behind
+// the serving layer's cancellation wiring: a client that disconnects (its
+// request context canceled) must stop consuming admission capacity — the
+// queued admission is abandoned and the governor drains back to exactly
+// the state before the request arrived. Without this property a storm of
+// canceled requests would wedge the admission queue (slots leak through
+// abandoned waiters) and starve live tenants.
+func TestCanceledRequestReleasesGovernorSlots(t *testing.T) {
+	db := Open(Config{
+		Workers:  1,
+		DefaultK: 64,
+		Seed:     5,
+		Governor: GovernorConfig{Slots: 2, QueueDepth: 4},
+	})
+	if err := db.LoadSSB(5_000, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the whole slot pool directly so the next query must queue.
+	lease, err := db.gov.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, qerr := db.QueryContext(ctx, `SELECT d_year, COUNT(*) FROM lineorder, date
+			WHERE lo_orderdate = d_datekey GROUP BY d_year`)
+		errCh <- qerr
+	}()
+
+	// The query must park in the admission queue (the pool is full).
+	waitFor(t, "query queued", func() bool { return db.GovernorStats().Queued == 1 })
+
+	// Client disconnect: the canceled context must surface as
+	// context.Canceled and abandon the queued admission.
+	cancel()
+	select {
+	case qerr := <-errCh:
+		if !errors.Is(qerr, context.Canceled) {
+			t.Fatalf("canceled query returned %v, want context.Canceled", qerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled query did not return")
+	}
+	waitFor(t, "queue drained", func() bool { return db.GovernorStats().Queued == 0 })
+	if got := db.GovernorStats().SlotsInUse; got != 2 {
+		t.Fatalf("SlotsInUse = %d after cancel, want 2 (only the manual lease)", got)
+	}
+
+	// Releasing the manual lease must drain the pool to zero: the canceled
+	// query left nothing behind.
+	lease.Release()
+	waitFor(t, "pool drained", func() bool {
+		s := db.GovernorStats()
+		return s.SlotsInUse == 0 && s.Queued == 0 && s.MemUsed == 0
+	})
+
+	// And the engine still answers: the abandoned admission wedged nothing.
+	if _, err := db.Query(`SELECT COUNT(*) FROM lineorder`); err != nil {
+		t.Fatalf("post-cancel query: %v", err)
+	}
+}
+
+// waitFor polls cond for up to 5s; test-harness polling is exempt from the
+// obs clock seam.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second) //laqy:allow obscheck test-only poll deadline wall clock
+	for !cond() {
+		if time.Now().After(deadline) { //laqy:allow obscheck test-only poll deadline wall clock
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -18,6 +18,11 @@
 // sampler metrics accumulated across the run as a JSON snapshot — the CI
 // workflow uploads it as a build artifact so reuse-rate regressions show
 // up in the history.
+//
+// -url switches to remote mode: instead of building an in-process engine,
+// the bench drives a running laqyd daemon over HTTP (-clients concurrent
+// connections, -requests each, optional -tenant) and reports the
+// response-class mix and latency percentiles. See docs/SERVING.md.
 package main
 
 import (
@@ -41,7 +46,19 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	smoke := flag.Bool("smoke", false, "CI smoke run: small dataset, fast experiment subset")
 	metricsOut := flag.String("metricsout", "", "write a JSON metrics snapshot to this path after the run")
+	url := flag.String("url", "", "benchmark a running laqyd at this base URL instead of in-process")
+	clients := flag.Int("clients", 8, "remote mode: concurrent client connections")
+	requests := flag.Int("requests", 50, "remote mode: requests per client")
+	tenant := flag.String("tenant", "", "remote mode: tenant to query (empty = server default)")
 	flag.Parse()
+
+	if *url != "" {
+		if err := remoteBench(strings.TrimRight(*url, "/"), *tenant, *clients, *requests, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "laqy-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("experiments: fig3 fig4 table1 fig6 fig8a fig8b fig8c alpha reuse drift fig9 fig10")

@@ -10,7 +10,8 @@
 // "online" to "partial" (Δ-sample only) to "offline" (no scan at all).
 //
 // Meta commands: \tables, \stats, \samples, \metrics, \trace on|off,
-// \timeout <dur>, \governor, \clear, \save, \load, \help, \q.
+// \timeout <dur>, \governor, \serve <addr>|stop, \clear, \save, \load,
+// \help, \q.
 // EXPLAIN <query> prints the plan; EXPLAIN ANALYZE <query> executes it
 // and prints the annotated phase trace.
 package main
@@ -21,11 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
 
 	"laqy"
+	"laqy/internal/server"
 )
 
 // queryTimeout is the session deadline set by \timeout; zero means none.
@@ -33,6 +36,11 @@ import (
 // stale stored serve) instead of letting them run long — see
 // docs/GOVERNANCE.md.
 var queryTimeout time.Duration
+
+// srv is the daemon started by \serve (nil when not serving). It shares
+// the shell's DB: queries served over HTTP and queries typed at the
+// prompt reuse the same sample store.
+var srv *server.Server
 
 func main() {
 	rows := flag.Int("rows", 1_000_000, "lineorder rows to generate")
@@ -74,7 +82,7 @@ func main() {
 		line := strings.TrimSpace(scanner.Text())
 		if strings.HasPrefix(line, `\`) {
 			if !meta(db, line) {
-				return
+				break // \q: fall through to the serve drain below
 			}
 			prompt()
 			continue
@@ -90,6 +98,13 @@ func main() {
 			execute(db, strings.TrimSuffix(text, ";"))
 		}
 		prompt()
+	}
+	// EOF with a \serve daemon still running: drain it before exiting so
+	// in-flight HTTP queries finish and the store save (if any) lands.
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
 	}
 }
 
@@ -213,6 +228,46 @@ func meta(db *laqy.DB, line string) bool {
 			fmt.Println("  memory:    accounting disabled")
 		}
 		fmt.Printf("  mean hold: %v (drives Retry-After on overload)\n", g.MeanHold)
+	case `\serve`:
+		switch {
+		case len(fields) == 2 && fields[1] == "stop":
+			if srv == nil {
+				fmt.Println("  not serving.")
+				return true
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			err := srv.Shutdown(ctx)
+			cancel()
+			srv = nil
+			if err != nil {
+				fmt.Println("  drain error:", err)
+				return true
+			}
+			fmt.Println("  server drained and stopped.")
+		case len(fields) == 2:
+			if srv != nil {
+				fmt.Println(`  already serving; \serve stop first.`)
+				return true
+			}
+			s, err := server.New(server.Config{
+				Tenants: []server.Tenant{{Name: "shell", DB: db}},
+			})
+			if err != nil {
+				fmt.Println("  error:", err)
+				return true
+			}
+			addr, err := s.Start(fields[1])
+			if err != nil {
+				fmt.Println("  error:", err)
+				return true
+			}
+			srv = s
+			fmt.Printf("  serving the query API on %s (tenant \"shell\", shared sample store).\n", addr)
+			fmt.Printf("  try: curl -s %s/v1/query -d '{\"sql\":\"SELECT COUNT(*) FROM lineorder APPROX\"}'\n", "http://"+addr.String())
+			fmt.Println(`  stop with \serve stop (drains in-flight queries first).`)
+		default:
+			fmt.Println(`  usage: \serve <addr>|stop   (e.g. \serve :8632)`)
+		}
 	case `\clear`:
 		db.ClearSamples()
 		fmt.Println("  sample store cleared.")
@@ -245,6 +300,7 @@ func meta(db *laqy.DB, line string) bool {
 		fmt.Println(`  \metrics  metric values  \trace on|off  per-query phase traces`)
 		fmt.Println(`  \timeout <dur>|off  per-query deadline (degrades under pressure)`)
 		fmt.Println(`  \governor  admission slots, queue, and memory budget status`)
+		fmt.Println(`  \serve <addr>|stop  serve the HTTP query API over this session's store`)
 		fmt.Println(`  \save <path>  persist samples (durable)   \load <path>  restore samples`)
 		fmt.Println(`  EXPLAIN <query>          print the plan without executing`)
 		fmt.Println(`  EXPLAIN ANALYZE <query>  execute and print the annotated phase trace`)
@@ -255,7 +311,11 @@ func meta(db *laqy.DB, line string) bool {
 }
 
 func execute(db *laqy.DB, text string) {
-	ctx := context.Background()
+	// Ctrl-C cancels the in-flight query (releasing its governor
+	// admission) instead of killing the shell; a second Ctrl-C after the
+	// query returns falls back to the default interrupt behavior.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if queryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, queryTimeout)

@@ -70,10 +70,12 @@ func TestRunJSONFindings(t *testing.T) {
 		t.Fatalf("expected findings (exit 1), got %d:\n%s%s", code, out.String(), errb.String())
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("expected 2 findings in the goleak golden package, got %d:\n%s", len(lines), out.String())
+	// a.go: unjoined spin + dynamic spawn; b.go: accept-loop leak +
+	// unjoined serve goroutine (the server-shaped goldens).
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 findings in the goleak golden package, got %d:\n%s", len(lines), out.String())
 	}
-	prevLine := 0
+	prevFile, prevLine := "", 0
 	for _, l := range lines {
 		var f finding
 		if err := json.Unmarshal([]byte(l), &f); err != nil {
@@ -85,9 +87,12 @@ func TestRunJSONFindings(t *testing.T) {
 		if f.Suppression != "//laqy:allow goleak <rationale>" {
 			t.Fatalf("missing suppression hint in %+v", f)
 		}
-		if f.Line < prevLine {
-			t.Fatalf("findings not sorted by line: %v", lines)
+		if f.File == prevFile && f.Line < prevLine {
+			t.Fatalf("findings not sorted by line within a file: %v", lines)
 		}
-		prevLine = f.Line
+		if f.File < prevFile {
+			t.Fatalf("findings not sorted by file: %v", lines)
+		}
+		prevFile, prevLine = f.File, f.Line
 	}
 }

@@ -1,0 +1,139 @@
+// Command laqyd is the LAQy network daemon: a long-running HTTP/JSON
+// server exposing the query API over per-tenant namespaces, each tenant
+// with its own catalog, sample store, and governor budget.
+//
+// Usage:
+//
+//	laqyd [-addr :8632] [-tenants main] [-default-tenant <name>]
+//	      [-rows 1000000] [-seed 1] [-k 1024]
+//	      [-slots 0] [-queue-depth 0] [-timeout 30s] [-drain 15s]
+//	      [-max-body 1048576] [-sample-dir <dir>] [-save-interval 30s]
+//
+// Each named tenant is provisioned with an independent SSB dataset (the
+// demo workload; embedders compose internal/server with their own data).
+// Query it:
+//
+//	curl -s localhost:8632/v1/query -d '{"sql":"SELECT d_year, SUM(lo_revenue) FROM lineorder, date WHERE lo_orderdate = d_datekey GROUP BY d_year APPROX"}'
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: readiness flips first,
+// new queries get 503 + Retry-After, in-flight queries finish inside the
+// drain budget, and sample stores are persisted when -sample-dir is set.
+// See docs/SERVING.md for the wire contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"syscall"
+	"time"
+
+	"laqy"
+	"laqy/internal/server"
+)
+
+// options is the parsed command line, separated from main for testing.
+type options struct {
+	addr          string
+	tenants       []string
+	defaultTenant string
+	rows          int
+	seed          uint64
+	k             int
+	slots         int
+	queueDepth    int
+	timeout       time.Duration
+	drain         time.Duration
+	maxBody       int64
+	sampleDir     string
+	saveInterval  time.Duration
+}
+
+// parseFlags parses args into options (no I/O; unit-tested).
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("laqyd", flag.ContinueOnError)
+	var o options
+	var tenants string
+	fs.StringVar(&o.addr, "addr", ":8632", "listen address")
+	fs.StringVar(&tenants, "tenants", "main", "comma-separated tenant names to provision")
+	fs.StringVar(&o.defaultTenant, "default-tenant", "", "tenant used when a request names none (default: first)")
+	fs.IntVar(&o.rows, "rows", 1_000_000, "lineorder rows generated per tenant")
+	fs.Uint64Var(&o.seed, "seed", 1, "generator seed (tenant i uses seed+i)")
+	fs.IntVar(&o.k, "k", 1024, "default per-stratum reservoir capacity")
+	fs.IntVar(&o.slots, "slots", 0, "governor admission slots per tenant (0 = engine default)")
+	fs.IntVar(&o.queueDepth, "queue-depth", 0, "governor admission queue depth per tenant (0 = engine default)")
+	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request query timeout")
+	fs.DurationVar(&o.drain, "drain", 15*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
+	fs.Int64Var(&o.maxBody, "max-body", 1<<20, "request body size limit in bytes")
+	fs.StringVar(&o.sampleDir, "sample-dir", "", "persist per-tenant sample stores in this directory")
+	fs.DurationVar(&o.saveInterval, "save-interval", 30*time.Second, "periodic sample-store save cadence")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	for _, name := range strings.Split(tenants, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			o.tenants = append(o.tenants, name)
+		}
+	}
+	if len(o.tenants) == 0 {
+		return options{}, fmt.Errorf("laqyd: -tenants must name at least one tenant")
+	}
+	if o.defaultTenant == "" {
+		o.defaultTenant = o.tenants[0]
+	}
+	if o.rows <= 0 {
+		return options{}, fmt.Errorf("laqyd: -rows must be positive")
+	}
+	return o, nil
+}
+
+// buildServer provisions the tenants and assembles the daemon.
+func buildServer(o options, logf func(format string, args ...any)) (*server.Server, error) {
+	cfg := server.Config{
+		DefaultTenant:  o.defaultTenant,
+		RequestTimeout: o.timeout,
+		DrainTimeout:   o.drain,
+		MaxBodyBytes:   o.maxBody,
+		SampleDir:      o.sampleDir,
+		SaveInterval:   o.saveInterval,
+		Logf:           logf,
+	}
+	for i, name := range o.tenants {
+		db := laqy.Open(laqy.Config{
+			Name:     name,
+			DefaultK: o.k,
+			Seed:     o.seed + uint64(i),
+			Governor: laqy.GovernorConfig{Slots: o.slots, QueueDepth: o.queueDepth},
+		})
+		if err := db.LoadSSB(o.rows, o.seed+uint64(i)); err != nil {
+			return nil, fmt.Errorf("laqyd: tenant %s: %w", name, err)
+		}
+		cfg.Tenants = append(cfg.Tenants, server.Tenant{Name: name, DB: db})
+	}
+	return server.New(cfg)
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "laqyd: "+format+"\n", args...)
+	}
+	logf("provisioning %d tenant(s) with %d rows each...", len(o.tenants), o.rows)
+	srv, err := buildServer(o, logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	addr, err := srv.Start(o.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laqyd:", err)
+		os.Exit(1)
+	}
+	logf("serving on %s (tenants: %s); SIGINT/SIGTERM drains within %v",
+		addr, strings.Join(o.tenants, ", "), o.drain)
+	<-srv.DrainOnSignal(syscall.SIGINT, syscall.SIGTERM)
+}

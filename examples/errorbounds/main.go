@@ -8,13 +8,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"laqy"
 )
 
 func main() {
+	// Ctrl-C cancels the in-flight query rather than orphaning it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	db := laqy.Open(laqy.Config{Seed: 17})
 	if err := db.LoadSSB(600_000, 42); err != nil {
 		log.Fatal(err)
@@ -28,7 +35,7 @@ func main() {
 	fmt.Println()
 	for _, bound := range []string{"", " ERROR 10", " ERROR 2", " ERROR 0.01"} {
 		db.ClearSamples() // isolate each contract
-		res, err := db.Query(base + bound)
+		res, err := db.QueryContext(ctx, base+bound)
 		if err != nil {
 			log.Fatal(err)
 		}

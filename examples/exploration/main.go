@@ -9,8 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"laqy"
@@ -43,6 +46,10 @@ func session(rows int) []step {
 }
 
 func main() {
+	// Ctrl-C cancels the in-flight query rather than orphaning it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	const rows = 500_000
 	db := laqy.Open(laqy.Config{DefaultK: 512, Seed: 3})
 	if err := db.LoadSSB(rows, 42); err != nil {
@@ -62,7 +69,7 @@ func main() {
 	// every query so nothing is ever reused.
 	var onlineTotal time.Duration
 	for _, s := range steps {
-		res, err := db.Query(queryFor(s))
+		res, err := db.QueryContext(ctx, queryFor(s))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +81,7 @@ func main() {
 	fmt.Println("query  range                mode      scanned   delta-rows  time")
 	var lazyTotal time.Duration
 	for i, s := range steps {
-		res, err := db.Query(queryFor(s))
+		res, err := db.QueryContext(ctx, queryFor(s))
 		if err != nil {
 			log.Fatal(err)
 		}

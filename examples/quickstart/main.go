@@ -6,13 +6,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"laqy"
 )
 
 func main() {
+	// Interruptible queries: Ctrl-C cancels the in-flight query (and
+	// releases its governor admission) instead of leaving it running.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// An in-memory engine; Seed makes the sampling reproducible.
 	db := laqy.Open(laqy.Config{DefaultK: 1024, Seed: 7})
 
@@ -25,7 +33,7 @@ func main() {
 	fmt.Printf("loaded SSB: %d lineorder rows, tables: %v\n\n", rows, db.Tables())
 
 	// 1. Exact execution: revenue per year.
-	exact, err := db.Query(`
+	exact, err := db.QueryContext(ctx, `
 		SELECT d_year, SUM(lo_revenue)
 		FROM lineorder, date
 		WHERE lo_orderdate = d_datekey AND lo_intkey BETWEEN 0 AND 99999
@@ -37,7 +45,7 @@ func main() {
 
 	// 2. The same query with APPROX: a stratified sample aligned with the
 	// GROUP BY answers it with confidence intervals.
-	approx1, err := db.Query(`
+	approx1, err := db.QueryContext(ctx, `
 		SELECT d_year, SUM(lo_revenue)
 		FROM lineorder, date
 		WHERE lo_orderdate = d_datekey AND lo_intkey BETWEEN 0 AND 99999
@@ -60,7 +68,7 @@ func main() {
 	// 3. The analyst widens the range. LAQy does NOT rebuild the sample:
 	// it samples only the new half of the range (Δ-sample) and merges it
 	// with the stored sample — mode switches to "partial".
-	approx2, err := db.Query(`
+	approx2, err := db.QueryContext(ctx, `
 		SELECT d_year, SUM(lo_revenue)
 		FROM lineorder, date
 		WHERE lo_orderdate = d_datekey AND lo_intkey BETWEEN 0 AND 199999
@@ -72,7 +80,7 @@ func main() {
 		approx2.Mode, approx2.Stats.RowsSelected, 200_000)
 
 	// 4. Repeating a covered query needs no data access at all.
-	approx3, err := db.Query(`
+	approx3, err := db.QueryContext(ctx, `
 		SELECT d_year, SUM(lo_revenue)
 		FROM lineorder, date
 		WHERE lo_orderdate = d_datekey AND lo_intkey BETWEEN 50000 AND 150000

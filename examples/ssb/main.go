@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
 
 	"laqy"
 )
@@ -22,6 +25,10 @@ import (
 const rows = 400_000
 
 func main() {
+	// Ctrl-C cancels the in-flight query rather than orphaning it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	db := laqy.Open(laqy.Config{DefaultK: 256, Seed: 11})
 	if err := db.LoadSSB(rows, 42); err != nil {
 		log.Fatal(err)
@@ -54,10 +61,10 @@ func main() {
 
 	// Step 1: first look at AMERICA / MFGR#12 over half the key range.
 	fmt.Println("== AMERICA, MFGR#12, first half of the data ==")
-	compare(db, q2("AMERICA", rows/2), exactQ2("AMERICA", rows/2))
+	compare(ctx, db, q2("AMERICA", rows/2), exactQ2("AMERICA", rows/2))
 
 	// Step 2: expand to the full range — only the second half is sampled.
-	res, err := db.Query(q2("AMERICA", rows-1))
+	res, err := db.QueryContext(ctx, q2("AMERICA", rows-1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +72,7 @@ func main() {
 		res.Mode, res.Stats.RowsSelected)
 
 	// Step 3: the analyst re-renders the dashboard — full reuse, no scan.
-	res, err = db.Query(q2("AMERICA", rows-1))
+	res, err = db.QueryContext(ctx, q2("AMERICA", rows-1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +82,7 @@ func main() {
 	// Step 4: switching the region changes the predicate on a second
 	// column — LAQy honestly falls back to online sampling rather than
 	// biasing the answer.
-	res, err = db.Query(q2("EUROPE", rows-1))
+	res, err = db.QueryContext(ctx, q2("EUROPE", rows-1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,12 +95,12 @@ func main() {
 
 // compare runs the approximate and exact variants and prints them side by
 // side with the realized relative error.
-func compare(db *laqy.DB, approxSQL, exactSQL string) {
-	a, err := db.Query(approxSQL)
+func compare(ctx context.Context, db *laqy.DB, approxSQL, exactSQL string) {
+	a, err := db.QueryContext(ctx, approxSQL)
 	if err != nil {
 		log.Fatal(err)
 	}
-	e, err := db.Query(exactSQL)
+	e, err := db.QueryContext(ctx, exactSQL)
 	if err != nil {
 		log.Fatal(err)
 	}

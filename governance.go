@@ -125,6 +125,14 @@ func (db *DB) GovernorStats() GovernorStats {
 	}
 }
 
+// SetScanCostNanos pins the governor's scan cost model to nsPerRow and
+// freezes it against further online updates, so deadline pressure can be
+// simulated without sleeping; passing 0 unfreezes and resets the model.
+// This is the test seam behind the chaos harnesses (the root storm and
+// laqyd's connection chaos) — production deployments leave the model to
+// its EWMA of observed scans. No-op when the governor is disabled.
+func (db *DB) SetScanCostNanos(nsPerRow float64) { db.gov.SetScanCost(nsPerRow) }
+
 // degradationsString renders a degradation list for trace annotations.
 func degradationsString(degs []Degradation) string {
 	out := ""

@@ -75,6 +75,12 @@ func (osFS) Open(name string) (File, error) {
 	return f, nil
 }
 
+// MkdirAll creates the directory path (os.MkdirAll semantics). It is
+// deliberately not part of the FS interface — MemFS paths are flat and
+// need no parents — so callers that persist into a configurable
+// directory probe for the capability with a type assertion.
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 
 func (osFS) Remove(name string) error { return os.Remove(name) }

@@ -65,4 +65,19 @@ const (
 	MGovDegradePrefix = "laqy_governor_degrade_"           // + step string + "_total"
 	MGovMemReserved   = "laqy_governor_mem_reserved_bytes" // gauge
 	MGovMemDenied     = "laqy_governor_mem_denied_total"
+
+	// Network daemon (internal/server). See docs/SERVING.md.
+	MSrvRequests       = "laqy_server_requests_total"
+	MSrvResponses2xx   = "laqy_server_responses_2xx_total"
+	MSrvResponses4xx   = "laqy_server_responses_4xx_total"
+	MSrvResponses5xx   = "laqy_server_responses_5xx_total"
+	MSrvDegraded       = "laqy_server_degraded_responses_total" // 206 envelopes
+	MSrvPanics         = "laqy_server_panics_total"
+	MSrvStreamAborts   = "laqy_server_stream_aborts_total" // client vanished mid-NDJSON
+	MSrvDrainRejected  = "laqy_server_drain_rejected_total"
+	MSrvInflight       = "laqy_server_inflight_requests" // gauge
+	MSrvDraining       = "laqy_server_draining"          // gauge (0/1)
+	MSrvRequestSeconds = "laqy_server_request_seconds"
+	MSrvSaves          = "laqy_server_sample_saves_total"
+	MSrvSaveErrors     = "laqy_server_sample_save_errors_total"
 )

@@ -195,6 +195,7 @@ func formatDuration(d time.Duration) string {
 
 type spanKey struct{}
 type registryKey struct{}
+type requestIDKey struct{}
 
 // WithSpan returns a context carrying span as the active trace span.
 func WithSpan(ctx context.Context, span *Span) context.Context {
@@ -231,4 +232,28 @@ func RegistryFrom(ctx context.Context) *Registry {
 	}
 	r, _ := ctx.Value(registryKey{}).(*Registry)
 	return r
+}
+
+// WithRequestID returns a context carrying a request-scoped trace ID — the
+// identifier a serving layer (laqyd) assigns to one client request so its
+// spans, error responses, and log lines correlate. An empty id returns ctx
+// unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the context's request ID, or "" when none was
+// assigned (embedded-library callers).
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
 }

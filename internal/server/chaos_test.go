@@ -1,0 +1,398 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"laqy"
+	"laqy/internal/iofault"
+	"laqy/internal/obs"
+	"laqy/internal/rng"
+)
+
+// TestConnectionChaos is the ISSUE's serving chaos harness: 64 concurrent
+// clients across 4 tenants fire mixed buffered/streaming queries with
+// randomized predicates, deadlines, oversized bodies, slowloris
+// connections, and mid-stream disconnects at a live listener, while
+// sample saves run through a fault-injecting filesystem and the scan cost
+// model flips between fast and glacial to cross every degradation rung.
+// Mid-storm, the process SIGTERMs itself and the daemon must drain.
+//
+// What must hold (run under -race; see `make servestress`):
+//
+//   - every response is a contract outcome: 200, 206 (labeled), 429 with
+//     Retry-After from the governor's EWMA hold, 4xx with a typed code,
+//     503 during drain, 504 on deadline — never a panic, never a 500;
+//   - tenants degrade fairly: every tenant lands successful answers;
+//   - the drain completes inside its budget and every tenant's governor
+//     drains back to zero (no slot, queue, or memory leaks);
+//   - no goroutines leak.
+func TestConnectionChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("connection chaos skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	const nTenants = 4
+	tenantNames := []string{"t0", "t1", "t2", "t3"}
+	tenants := make([]Tenant, nTenants)
+	dbs := make([]*laqy.DB, nTenants)
+	for i := 0; i < nTenants; i++ {
+		db := laqy.Open(laqy.Config{
+			Workers:  1,
+			DefaultK: 128,
+			Seed:     uint64(10 + i),
+			Governor: laqy.GovernorConfig{
+				Slots:            4,
+				QueueDepth:       8,
+				QueueTimeout:     5 * time.Millisecond,
+				MemoryBytes:      8 << 20,
+				QueryMemoryBytes: 1 << 20,
+			},
+		})
+		if err := db.LoadSSB(10_000, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		dbs[i] = db
+		tenants[i] = Tenant{Name: tenantNames[i], DB: db}
+	}
+
+	// Fault-injecting persistence: every fault class the save protocol
+	// touches, staggered so saves fail at different stages across tenants.
+	memfs := iofault.NewMem()
+	faultErr := errors.New("chaos: injected fault")
+	for n := 2; n < 60; n += 7 {
+		memfs.FailAt(iofault.OpSync, n, faultErr)
+		memfs.FailAt(iofault.OpWrite, n+1, io.ErrShortWrite)
+		memfs.FailAt(iofault.OpRename, n+2, faultErr)
+		memfs.FailAt(iofault.OpSyncDir, n+3, faultErr)
+	}
+
+	s, err := New(Config{
+		Tenants:           tenants,
+		DefaultTenant:     "t0",
+		RequestTimeout:    5 * time.Second,
+		DrainTimeout:      10 * time.Second,
+		ReadHeaderTimeout: 200 * time.Millisecond, // reaps slowloris clients
+		ReadTimeout:       500 * time.Millisecond,
+		SampleDir:         "/laqy",
+		SaveInterval:      2 * time.Millisecond,
+		FS:                memfs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+	drained := s.DrainOnSignal(syscall.SIGTERM)
+
+	// Cost flipper: alternate every tenant between cold and glacial so
+	// deadline queries cross the degradation ladder while in flight.
+	stopFlip := make(chan struct{})
+	flipDone := make(chan struct{})
+	go func() {
+		defer close(flipDone)
+		glacial := false
+		for {
+			select {
+			case <-stopFlip:
+				for _, db := range dbs {
+					db.SetScanCostNanos(0)
+				}
+				return
+			default:
+			}
+			cost := 0.0
+			if glacial {
+				cost = 1e6 // 1ms/row: 10s predicted scans vs ms deadlines
+			}
+			for _, db := range dbs {
+				db.SetScanCostNanos(cost)
+			}
+			glacial = !glacial
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	const (
+		clients    = 64
+		iterations = 8
+	)
+
+	// tally is one client's outcome counts (summed after the join — the
+	// harness itself shares no state). tenantOK records which tenants
+	// served this client a successful answer, for the fairness check.
+	type tally struct {
+		ok, degraded, overloaded, drainRejected       int
+		clientErr, timeout, memory, canceled, connErr int
+		tenantOK                                      [nTenants]int
+	}
+	tallies := make([]tally, clients)
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	defer client.CloseIdleConnections()
+
+	// Half the clients finishing their 4th iteration triggers SIGTERM:
+	// the drain lands mid-storm by construction, not by sleep tuning.
+	var halfWG sync.WaitGroup
+	halfWG.Add(clients)
+	go func() {
+		halfWG.Wait()
+		_ = syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.NewLehmer64(uint64(id)*0x9e37 + 77)
+			tl := &tallies[id]
+			for i := 0; i < iterations; i++ {
+				if i == iterations/2 {
+					halfWG.Done()
+				}
+				tenantIdx := int(r.Uint64n(nTenants))
+				lo := r.Uint64n(8) * 1000
+				hi := lo + 1000 + r.Uint64n(2000)
+				q := fmt.Sprintf(`SELECT d_year, SUM(lo_revenue) FROM lineorder, date
+					WHERE lo_orderdate = d_datekey AND lo_intkey BETWEEN %d AND %d
+					GROUP BY d_year`, lo, hi)
+				if r.Uint64n(2) == 0 {
+					q += " APPROX"
+				}
+				req := QueryRequest{
+					SQL:    q,
+					Tenant: tenantNames[tenantIdx],
+					Stream: r.Uint64n(4) == 0,
+				}
+				switch r.Uint64n(4) {
+				case 0:
+					req.TimeoutMS = 1
+				case 1:
+					req.TimeoutMS = 10
+				case 2:
+					req.TimeoutMS = 100
+				}
+
+				switch r.Uint64n(8) {
+				case 6: // slowloris: partial headers, then hang up
+					conn, err := net.Dial("tcp", addr.String())
+					if err != nil {
+						tl.connErr++
+						continue
+					}
+					_, _ = conn.Write([]byte("POST /v1/query HTTP/1.1\r\nHost: chaos\r\nContent-Le"))
+					time.Sleep(time.Duration(r.Uint64n(30)) * time.Millisecond)
+					conn.Close()
+					tl.connErr++
+					continue
+				case 7: // mid-request disconnect: cancel while in flight
+					ctx, cancel := context.WithCancel(context.Background())
+					body, _ := json.Marshal(req)
+					hr, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+						base+"/v1/query", bytes.NewReader(body))
+					go cancel()
+					resp, err := client.Do(hr)
+					if err == nil {
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					cancel()
+					tl.canceled++
+					continue
+				}
+
+				body, _ := json.Marshal(req)
+				resp, err := client.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					// Drain teardown: refused or reset connections only.
+					tl.connErr++
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+
+				var env Envelope
+				if req.Stream && resp.StatusCode < 400 {
+					// First NDJSON frame carries the envelope metadata.
+					if idx := bytes.IndexByte(raw, '\n'); idx > 0 {
+						raw = raw[:idx]
+					}
+					var frame StreamFrame
+					if err := json.Unmarshal(raw, &frame); err == nil && frame.Envelope != nil {
+						env = *frame.Envelope
+					}
+				} else {
+					_ = json.Unmarshal(raw, &env)
+				}
+
+				switch resp.StatusCode {
+				case http.StatusOK:
+					tl.ok++
+					tl.tenantOK[tenantIdx]++
+				case http.StatusPartialContent:
+					tl.degraded++
+					tl.tenantOK[tenantIdx]++
+					if len(env.Degradations) == 0 && !env.Stale {
+						t.Errorf("client %d: 206 without degradation labels: %s", id, raw)
+					}
+				case http.StatusTooManyRequests:
+					tl.overloaded++
+					if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || sec < 1 {
+						t.Errorf("client %d: 429 Retry-After = %q, want integer >= 1",
+							id, resp.Header.Get("Retry-After"))
+					}
+					if env.Error == nil || env.Error.Code != "overloaded" || env.Error.RetryAfterMS <= 0 {
+						t.Errorf("client %d: 429 envelope missing EWMA backoff: %s", id, raw)
+					}
+				case http.StatusServiceUnavailable:
+					tl.drainRejected++
+					if env.Error == nil || env.Error.Code != "draining" {
+						t.Errorf("client %d: 503 without draining code: %s", id, raw)
+					}
+				case http.StatusGatewayTimeout:
+					tl.timeout++
+				case http.StatusInsufficientStorage:
+					tl.memory++
+				case http.StatusBadRequest, http.StatusRequestEntityTooLarge, 499:
+					tl.clientErr++
+				default:
+					t.Errorf("client %d: unexpected status %d: %s", id, resp.StatusCode, raw)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// The SIGTERM-triggered drain must complete inside its budget.
+	select {
+	case <-drained:
+	case <-time.After(15 * time.Second):
+		t.Fatal("drain did not complete within budget after SIGTERM")
+	}
+	close(stopFlip)
+	<-flipDone
+
+	var total tally
+	for _, tl := range tallies {
+		total.ok += tl.ok
+		total.degraded += tl.degraded
+		total.overloaded += tl.overloaded
+		total.drainRejected += tl.drainRejected
+		total.clientErr += tl.clientErr
+		total.timeout += tl.timeout
+		total.memory += tl.memory
+		total.canceled += tl.canceled
+		total.connErr += tl.connErr
+		for i := range tl.tenantOK {
+			total.tenantOK[i] += tl.tenantOK[i]
+		}
+	}
+	t.Logf("storm outcomes: ok=%d degraded=%d overloaded=%d drain503=%d clientErr=%d timeout=%d memory=%d canceled=%d connErr=%d perTenantOK=%v",
+		total.ok, total.degraded, total.overloaded, total.drainRejected,
+		total.clientErr, total.timeout, total.memory, total.canceled, total.connErr, total.tenantOK)
+
+	if got := total.ok + total.degraded + total.overloaded + total.drainRejected +
+		total.clientErr + total.timeout + total.memory + total.canceled + total.connErr; got != clients*iterations {
+		t.Errorf("outcomes = %d, want %d", got, clients*iterations)
+	}
+	if total.ok+total.degraded == 0 {
+		t.Error("storm produced no successful answers")
+	}
+	// Fair degradation: overload on one tenant must not starve another —
+	// every tenant serves some of its storm share successfully.
+	for i, okCount := range total.tenantOK {
+		if okCount == 0 {
+			t.Errorf("tenant %s served no successful answers (unfair degradation)", tenantNames[i])
+		}
+	}
+
+	// The daemon never panicked. (The 5xx counter is allowed to be
+	// non-zero here: 503 drain rejections and 504 deadline expiries are
+	// contract outcomes in that class; an actual 500 would have tripped
+	// the client-side status switch above.)
+	snap := s.Metrics()
+	if got := snap.Counters[obs.MSrvPanics]; got != 0 {
+		t.Errorf("panics = %d, want 0", got)
+	}
+	// Persistence ran, and injected faults surfaced rather than vanishing.
+	if snap.Counters[obs.MSrvSaves] == 0 {
+		t.Error("no sample saves recorded during the storm")
+	}
+	if snap.Counters[obs.MSrvSaveErrors] == 0 {
+		t.Error("no injected save faults surfaced in metrics")
+	}
+
+	// Every tenant's governor must drain to zero: no slot, queue slot, or
+	// memory reservation may survive the storm + drain.
+	deadline := obs.Clock().Add(5 * time.Second)
+	for i, db := range dbs {
+		for {
+			st := db.GovernorStats()
+			if st.SlotsInUse == 0 && st.Queued == 0 && st.MemUsed == 0 {
+				break
+			}
+			if obs.Clock().After(deadline) {
+				t.Fatalf("tenant %s governor did not drain: %+v", tenantNames[i], st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// And each engine still answers directly after the drain.
+		if _, err := db.Query(`SELECT COUNT(*) FROM lineorder`); err != nil {
+			t.Errorf("tenant %s post-storm query: %v", tenantNames[i], err)
+		}
+	}
+
+	// The listener is down: the daemon drained, not just stopped routing.
+	if _, err := client.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+
+	// CI artifact: persist the daemon's metric snapshot (request counts,
+	// response classes, stream aborts, save faults) when asked.
+	if path := os.Getenv("LAQY_SERVESTRESS_METRICS_OUT"); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatalf("metrics snapshot: %v", err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			t.Fatalf("metrics snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("metrics snapshot: %v", err)
+		}
+		t.Logf("server metrics snapshot written to %s", path)
+	}
+
+	// Goroutine-leak check: the storm, the saver, the drain watcher, and
+	// every handler must retire. The runtime needs a moment to park them.
+	client.CloseIdleConnections()
+	leakDeadline := time.Now().Add(5 * time.Second) //laqy:allow obscheck test-only leak-check wall clock
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(leakDeadline) { //laqy:allow obscheck test-only leak-check wall clock
+			t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

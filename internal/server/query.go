@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"laqy"
+)
+
+// streamFlushEvery bounds buffering in NDJSON mode: rows are flushed to
+// the socket in small batches so slow consumers see progress and fast
+// ones aren't syscall-bound.
+const streamFlushEvery = 64
+
+// handleQuery serves POST /v1/query. The full lifecycle:
+//
+//	method check → drain check + in-flight registration → body limit +
+//	decode → tenant resolve → deadline cap → QueryContext → envelope
+//	(buffered JSON or NDJSON stream) or typed wire error.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	reqID := laqy.RequestIDFrom(r.Context())
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeEnvelope(w, http.StatusMethodNotAllowed, &Envelope{
+			RequestID: reqID,
+			Error:     &WireError{Code: "method_not_allowed", Message: "use POST"},
+		})
+		return
+	}
+
+	// Drain gate and in-flight registration are one critical section:
+	// after doShutdown flips draining, no new cancel func can slip into
+	// the map unseen, so cancelInflight covers every admitted query.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.met.drainRejected.Inc()
+		writeEnvelope(w, http.StatusServiceUnavailable, &Envelope{
+			RequestID: reqID,
+			Error: &WireError{
+				Code:         "draining",
+				Message:      "server is draining; retry another replica",
+				RetryAfterMS: 1000,
+			},
+		})
+		return
+	}
+	s.nextID++ // reuse the request counter for in-flight keys
+	key := s.nextID
+	s.inflight[key] = cancel
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+	}()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeEnvelope(w, http.StatusRequestEntityTooLarge, &Envelope{
+				RequestID: reqID,
+				Error:     &WireError{Code: "body_too_large", Message: err.Error()},
+			})
+			return
+		}
+		writeEnvelope(w, http.StatusBadRequest, &Envelope{
+			RequestID: reqID,
+			Error:     &WireError{Code: "bad_request", Message: "malformed request body: " + err.Error()},
+		})
+		return
+	}
+	if req.SQL == "" {
+		writeEnvelope(w, http.StatusBadRequest, &Envelope{
+			RequestID: reqID,
+			Error:     &WireError{Code: "bad_request", Message: "sql is required"},
+		})
+		return
+	}
+
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get("X-Laqy-Tenant")
+	}
+	if tenant == "" {
+		tenant = s.cfg.DefaultTenant
+	}
+	ts, ok := s.tenants[tenant]
+	if !ok {
+		msg := "unknown tenant: " + tenant
+		if tenant == "" {
+			msg = "no tenant named and no default configured"
+		}
+		writeEnvelope(w, http.StatusNotFound, &Envelope{
+			RequestID: reqID,
+			Error:     &WireError{Code: "unknown_tenant", Message: msg},
+		})
+		return
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	qctx, qcancel := context.WithTimeout(ctx, timeout)
+	defer qcancel()
+
+	res, err := ts.db.QueryContext(qctx, req.SQL)
+	if err != nil {
+		status, werr := mapError(err)
+		writeEnvelope(w, status, &Envelope{RequestID: reqID, Tenant: tenant, Error: werr})
+		return
+	}
+
+	status := http.StatusOK
+	if degradedStatus(res) {
+		status = http.StatusPartialContent
+	}
+	if req.Stream || r.URL.Query().Get("stream") == "ndjson" {
+		s.streamResult(qctx, w, reqID, tenant, status, res)
+		return
+	}
+	writeEnvelope(w, status, toEnvelope(reqID, tenant, res, true))
+}
+
+// streamResult writes the result as NDJSON frames: one header, one line
+// per row, one summary. The header and summary both carry the envelope
+// metadata (mode, degradations, stats) so a client that only reads the
+// first line still learns whether the answer is degraded, and one that
+// reads to the end gets the execution stats. Mid-stream client
+// disconnects abort at the next row boundary and are counted.
+func (s *Server) streamResult(ctx context.Context, w http.ResponseWriter, reqID, tenant string, status int, res *laqy.Result) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	meta := toEnvelope(reqID, tenant, res, false)
+	if err := enc.Encode(StreamFrame{Kind: FrameHeader, Envelope: meta}); err != nil {
+		s.met.streamAborts.Inc()
+		return
+	}
+	flush()
+	for i := range res.Rows {
+		select {
+		case <-ctx.Done():
+			// Client hung up (or drain canceled us) mid-stream: the
+			// truncated body has no summary frame, which is how clients
+			// distinguish an aborted stream from a complete one.
+			s.met.streamAborts.Inc()
+			return
+		default:
+		}
+		row := wireRow(res.Rows[i])
+		if err := enc.Encode(StreamFrame{Kind: FrameRow, Groups: row.Groups, Aggs: row.Aggs}); err != nil {
+			s.met.streamAborts.Inc()
+			return
+		}
+		if (i+1)%streamFlushEvery == 0 {
+			flush()
+		}
+	}
+	if err := enc.Encode(StreamFrame{Kind: FrameSummary, Envelope: meta}); err != nil {
+		s.met.streamAborts.Inc()
+		return
+	}
+	flush()
+}

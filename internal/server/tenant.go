@@ -1,0 +1,77 @@
+package server
+
+import (
+	"errors"
+	"io/fs"
+	"net/http"
+	"path/filepath"
+
+	"laqy"
+)
+
+// Tenant binds a namespace name to an engine instance. Each tenant owns
+// its own catalog, sample store, and governor budget — one noisy tenant
+// exhausts its own slots, never a neighbor's (isolation_test.go holds the
+// property).
+type Tenant struct {
+	// Name is the namespace key, used in routing (/tenants/<name>/...),
+	// the X-Laqy-Tenant header, and persisted sample-store filenames. It
+	// must be non-empty and must not contain a path separator.
+	Name string
+	// DB is the tenant's engine instance.
+	DB *laqy.DB
+}
+
+// tenantState is a provisioned tenant plus its cached debug handler.
+type tenantState struct {
+	name    string
+	db      *laqy.DB
+	handler http.Handler // db.Handler(): hardened metrics + samples view
+}
+
+// samplePath is where a tenant's sample store persists under dir.
+func samplePath(dir, name string) string {
+	return filepath.Join(dir, name+".laqy")
+}
+
+// loadSamples restores a tenant's sample store from disk at startup. A
+// missing file is a cold start, not an error; a corrupt file salvages
+// inside LoadSamplesFS (the engine logs the drop and keeps what decoded).
+func (s *Server) loadSamples(ts *tenantState) error {
+	if s.cfg.SampleDir == "" {
+		return nil
+	}
+	err := ts.db.LoadSamplesFS(s.fs, samplePath(s.cfg.SampleDir, ts.name))
+	if err != nil && errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// saveSamples persists one tenant's sample store; counted either way so
+// the chaos harness can assert fault-injected saves surface in metrics.
+func (s *Server) saveSamples(ts *tenantState) error {
+	err := ts.db.SaveSamplesFS(s.fs, samplePath(s.cfg.SampleDir, ts.name))
+	if err != nil {
+		s.met.saveErrors.Inc()
+		s.logf("tenant %s: sample save failed: %v", ts.name, err)
+		return err
+	}
+	s.met.saves.Inc()
+	return nil
+}
+
+// saveAll persists every tenant (no-op without a SampleDir). Errors are
+// counted and logged per tenant; the last one is returned.
+func (s *Server) saveAll() error {
+	if s.cfg.SampleDir == "" {
+		return nil
+	}
+	var last error
+	for _, name := range s.order {
+		if err := s.saveSamples(s.tenants[name]); err != nil {
+			last = err
+		}
+	}
+	return last
+}

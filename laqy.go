@@ -37,6 +37,7 @@ import (
 	"laqy/internal/core"
 	"laqy/internal/engine"
 	"laqy/internal/governor"
+	"laqy/internal/iofault"
 	"laqy/internal/obs"
 	"laqy/internal/sample"
 	"laqy/internal/ssb"
@@ -46,6 +47,10 @@ import (
 
 // Config parameterizes a DB.
 type Config struct {
+	// Name labels this DB instance in diagnostics. A serving layer
+	// (cmd/laqyd) sets it to the tenant name so per-tenant log lines and
+	// probes are attributable; empty is fine for embedded use.
+	Name string
 	// Workers is the engine parallelism; 0 uses all CPUs.
 	Workers int
 	// DefaultK is the per-stratum reservoir capacity used when a query's
@@ -220,6 +225,9 @@ func (db *DB) LoadSSB(lineorderRows int, seed uint64) error {
 // Tables returns the registered table names.
 func (db *DB) Tables() []string { return db.catalog.Names() }
 
+// Name returns the instance label from Config.Name ("" for unnamed DBs).
+func (db *DB) Name() string { return db.cfg.Name }
+
 // ColumnInfo describes one column of a registered table.
 type ColumnInfo struct {
 	// Name is the column name.
@@ -304,6 +312,14 @@ func (db *DB) SaveSamples(path string) error {
 	return db.lazy.Store().SaveFile(path)
 }
 
+// SaveSamplesFS is SaveSamples over an injectable filesystem — the
+// module-internal iofault seam the serving layer's persistence loop and
+// the connection-chaos harness use to exercise saves under torn writes,
+// failed fsyncs, and ENOSPC. Embedded callers want SaveSamples.
+func (db *DB) SaveSamplesFS(fsys iofault.FS, path string) error {
+	return db.lazy.Store().SaveFileFS(fsys, path)
+}
+
 // LoadSamples restores previously saved samples into the store, appending
 // to any samples already present. It degrades gracefully on partial
 // corruption: entries whose checksums fail are skipped (reported through
@@ -328,10 +344,26 @@ func (db *DB) LoadSamplesStrict(path string) error {
 	return db.lazy.Store().LoadFile(path, storeFileSeed(db.cfg.Seed))
 }
 
+// LoadSamplesFS is LoadSamples (salvage semantics) over an injectable
+// filesystem; see SaveSamplesFS for when to use the seam.
+func (db *DB) LoadSamplesFS(fsys iofault.FS, path string) error {
+	err := db.lazy.Store().SalvageFileFS(fsys, path, storeFileSeed(db.cfg.Seed))
+	var corrupt *store.CorruptStoreError
+	if errors.As(err, &corrupt) {
+		db.logf(LogWarn, "laqy: %v (continuing with %d salvaged samples; dropped samples rebuild lazily online)",
+			corrupt, corrupt.Loaded)
+		return nil
+	}
+	return err
+}
+
 // logf routes a diagnostic to the configured sink: Config.Logger first,
 // then the deprecated Config.Warnf (LogWarn and above only), then the
 // standard logger (LogWarn and above only).
 func (db *DB) logf(level LogLevel, format string, args ...any) {
+	if db.cfg.Name != "" {
+		format = "[" + db.cfg.Name + "] " + format
+	}
 	if db.cfg.Logger != nil {
 		db.cfg.Logger.Logf(level, format, args...)
 		return

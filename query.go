@@ -172,6 +172,12 @@ func (db *DB) execute(ctx context.Context, plan *sql.Plan, parseStart, parseEnd,
 		tr = obs.NewTrace("query")
 		tr.Root().Record("parse", parseStart, parseEnd)
 		tr.Root().Record("plan", parseEnd, planEnd)
+		// A serving layer's request-scoped trace ID (laqy.WithRequestID)
+		// lands on the root span so wire responses, log lines, and EXPLAIN
+		// ANALYZE output correlate.
+		if id := obs.RequestIDFrom(ctx); id != "" {
+			tr.Root().SetAttr("request_id", id)
+		}
 		db.met.traces.Inc()
 	}
 

@@ -6,6 +6,7 @@
 package laqy
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sync"
@@ -13,6 +14,20 @@ import (
 
 	"laqy/internal/obs"
 )
+
+// WithRequestID returns a context carrying a request-scoped trace ID.
+// When the query runs with tracing enabled the ID is attached to the
+// trace's root span (attribute "request_id"), so a serving layer can
+// correlate wire responses, log lines, and EXPLAIN ANALYZE output for one
+// client request. An empty id returns ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	return obs.RequestIDFrom(ctx)
+}
 
 // LogLevel classifies a diagnostic message.
 type LogLevel int
@@ -144,33 +159,52 @@ func (db *DB) SetTracing(on bool) { db.traceOn.Store(on) }
 //	/metrics.json         JSON snapshot
 //	/debug/laqy/samples   cached samples (input, predicate, size)
 //
+// All endpoints are read-only: non-GET/HEAD methods are rejected with 405
+// and an Allow header, and every response carries Cache-Control: no-store
+// (metrics and debug views are point-in-time; a cached copy is a lie).
 // Mount it wherever the embedding process serves debug traffic, e.g.
-// http.ListenAndServe(":9090", db.Handler()).
+// http.ListenAndServe(":9090", db.Handler()); laqyd mounts it per tenant
+// under /tenants/<name>/ (docs/SERVING.md).
 func (db *DB) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := db.reg.Snapshot().WritePrometheus(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := db.reg.Snapshot().WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/debug/laqy/samples", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		stats := db.SampleStoreStats()
-		_, _ = fmt.Fprintf(w, "samples=%d bytes=%d full=%d partial=%d miss=%d evicted=%d\n\n",
-			stats.Samples, stats.Bytes, stats.FullReuses, stats.PartialReuses, stats.Misses, stats.Evictions)
-		for i, s := range db.Samples() {
-			_, _ = fmt.Fprintf(w, "[%d] input=%s pred=%s qcs=%v qvs=%v k=%d strata=%d rows=%d weight=%.0f bytes=%d\n",
-				i, s.Input, s.Predicate, s.QCS, s.QVS, s.K, s.Strata, s.Rows, s.Weight, s.Bytes)
-		}
-	})
+	mux.HandleFunc("/metrics", readOnly("text/plain; version=0.0.4; charset=utf-8",
+		func(w http.ResponseWriter, r *http.Request) {
+			if err := db.reg.Snapshot().WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}))
+	mux.HandleFunc("/metrics.json", readOnly("application/json",
+		func(w http.ResponseWriter, r *http.Request) {
+			if err := db.reg.Snapshot().WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}))
+	mux.HandleFunc("/debug/laqy/samples", readOnly("text/plain; charset=utf-8",
+		func(w http.ResponseWriter, r *http.Request) {
+			stats := db.SampleStoreStats()
+			_, _ = fmt.Fprintf(w, "samples=%d bytes=%d full=%d partial=%d miss=%d evicted=%d\n\n",
+				stats.Samples, stats.Bytes, stats.FullReuses, stats.PartialReuses, stats.Misses, stats.Evictions)
+			for i, s := range db.Samples() {
+				_, _ = fmt.Fprintf(w, "[%d] input=%s pred=%s qcs=%v qvs=%v k=%d strata=%d rows=%d weight=%.0f bytes=%d\n",
+					i, s.Input, s.Predicate, s.QCS, s.QVS, s.K, s.Strata, s.Rows, s.Weight, s.Bytes)
+			}
+		}))
 	return mux
+}
+
+// readOnly wraps an observability endpoint: GET/HEAD only (405 + Allow
+// otherwise), fixed Content-Type, and Cache-Control: no-store.
+func readOnly(contentType string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Header().Set("Cache-Control", "no-store")
+		h(w, r)
+	}
 }
 
 // TraceAttr is one key=value annotation on a trace span.

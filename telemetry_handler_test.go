@@ -1,0 +1,95 @@
+package laqy
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The observability endpoints get mounted into laqyd's service surface
+// (internal/server), so their HTTP contract — methods, content types,
+// cacheability — is tested here at the handler layer, not just by eye.
+
+func handlerTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Config{DefaultK: 64, Seed: 3})
+	if err := db.Register(NewTable("t").
+		Int64("g", []int64{1, 1, 2, 2}).
+		Int64("v", []int64{10, 20, 30, 40})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT g, SUM(v) FROM t GROUP BY g APPROX`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestHandlerHTTPContract(t *testing.T) {
+	db := handlerTestDB(t)
+	h := db.Handler()
+
+	cases := []struct {
+		path        string
+		contentType string
+		bodyHas     string
+	}{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8", "laqy_queries_total"},
+		{"/metrics.json", "application/json", "laqy_queries_total"},
+		{"/debug/laqy/samples", "text/plain; charset=utf-8", "samples="},
+	}
+	for _, tc := range cases {
+		t.Run("GET "+tc.path, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, tc.path, nil))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("GET %s = %d, want 200", tc.path, rec.Code)
+			}
+			if got := rec.Header().Get("Content-Type"); got != tc.contentType {
+				t.Errorf("Content-Type = %q, want %q", got, tc.contentType)
+			}
+			if got := rec.Header().Get("Cache-Control"); got != "no-store" {
+				t.Errorf("Cache-Control = %q, want no-store", got)
+			}
+			if !strings.Contains(rec.Body.String(), tc.bodyHas) {
+				t.Errorf("body missing %q:\n%s", tc.bodyHas, rec.Body.String())
+			}
+		})
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			t.Run(method+" "+tc.path, func(t *testing.T) {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(method, tc.path, strings.NewReader("x")))
+				if rec.Code != http.StatusMethodNotAllowed {
+					t.Fatalf("%s %s = %d, want 405", method, tc.path, rec.Code)
+				}
+				if got := rec.Header().Get("Allow"); got != "GET, HEAD" {
+					t.Errorf("Allow = %q, want \"GET, HEAD\"", got)
+				}
+			})
+		}
+	}
+}
+
+// HEAD is a valid read on every endpoint (load balancer probes use it).
+func TestHandlerHead(t *testing.T) {
+	db := handlerTestDB(t)
+	h := db.Handler()
+	for _, path := range []string{"/metrics", "/metrics.json", "/debug/laqy/samples"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodHead, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("HEAD %s = %d, want 200", path, rec.Code)
+		}
+	}
+}
+
+// The debug samples view reflects the cached sample built above.
+func TestHandlerSamplesBody(t *testing.T) {
+	db := handlerTestDB(t)
+	rec := httptest.NewRecorder()
+	db.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/laqy/samples", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "input=t") {
+		t.Errorf("samples view missing cached sample:\n%s", body)
+	}
+}

@@ -1,0 +1,97 @@
+// Golden input for the goleak analyzer: server-shaped spawn sites —
+// accept loops, per-connection handlers, background savers, listener
+// serve goroutines — mirroring internal/server's lifecycle discipline.
+package a
+
+import (
+	"net"
+	"sync"
+)
+
+func handle(c net.Conn) { _ = c.Close() }
+
+func save() {}
+
+// AcceptLoopLeak: an accept loop with nothing that can stop it. Closing
+// the listener would unblock Accept, but this loop swallows the error and
+// keeps going — the classic daemon leak.
+func AcceptLoopLeak(l net.Listener) {
+	go acceptForever(l) // want `no provable termination`
+}
+
+func acceptForever(l net.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			continue
+		}
+		handle(c)
+	}
+}
+
+// ConnHandlersJoined: the serve loop counts every per-connection handler
+// on a WaitGroup before spawning it and waits for all of them on
+// shutdown — the drain pattern.
+func ConnHandlersJoined(conns []net.Conn) {
+	var wg sync.WaitGroup
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c net.Conn) {
+			defer wg.Done()
+			handle(c)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// saver is a periodic background flusher owned by a server struct.
+type saver struct {
+	stop chan struct{}
+	tick chan struct{}
+}
+
+// StopChannelDrain: the saver loop selects on a stop channel the owner
+// closes at shutdown — a receive over an external channel, provable
+// through the method call.
+func (s *saver) StopChannelDrain() {
+	go s.loop()
+}
+
+func (s *saver) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.tick:
+			save()
+		}
+	}
+}
+
+// ServeUnjoined: the listener-serve goroutine terminates when Close
+// unblocks Accept and reports through a done send — but a send is not a
+// termination *signal* to this goroutine, so the analyzer cannot prove
+// the lifecycle.
+func ServeUnjoined(l net.Listener, done chan error) {
+	go func() { // want `no provable termination`
+		done <- serve(l)
+	}()
+}
+
+// ServeAnnotated is the accepted form of the same shape: the Close/Accept
+// contract lives outside the type system, so the spawn documents it —
+// matching internal/server's Start.
+func ServeAnnotated(l net.Listener, done chan error) {
+	//laqy:allow goleak serve returns when Close unblocks Accept; joined via done receive in shutdown
+	go func() {
+		done <- serve(l)
+	}()
+}
+
+func serve(l net.Listener) error {
+	for {
+		if _, err := l.Accept(); err != nil {
+			return err
+		}
+	}
+}
