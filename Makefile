@@ -89,11 +89,19 @@ fuzz-smoke:
 # e.g. `make bench BENCHTIME=100x`.
 BENCHTIME ?= 1x
 BENCHPKGS = . ./internal/expr ./internal/sample ./internal/engine
+# The segment-parallel build bench gets its own longer benchtime: its
+# committed snapshot (BENCH_PR8.json) is the acceptance artifact for the
+# segment-sharding work and needs stable per-layout numbers.
+SEGBENCHTIME ?= 10x
 
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run '^$$' $(BENCHPKGS) > bench-raw.txt
 	@cat bench-raw.txt
 	$(GO) run ./cmd/benchjson -in bench-raw.txt -out BENCH_PR5.json
+	$(GO) test -bench=BenchmarkSegmentParallelBuild -benchtime=$(SEGBENCHTIME) \
+		-run '^$$' ./internal/engine > bench-segments-raw.txt
+	@cat bench-segments-raw.txt
+	$(GO) run ./cmd/benchjson -in bench-segments-raw.txt -out BENCH_PR8.json
 
 clean:
 	$(GO) clean ./...

@@ -75,8 +75,10 @@ func (db *DB) Append(table string, b *TableBuilder) error {
 		}
 	}
 
-	// Build the grown table (copy-on-append keeps the old version valid
-	// for in-flight queries).
+	// Build the grown table (copy-on-append keeps the old version valid for
+	// in-flight queries). AppendColumns routes the new rows to the open
+	// segment: sealed segments carry their zone-map summaries over to the
+	// new table version, so only the open segment is re-summarized.
 	grown := make([]*storage.Column, len(ordered))
 	for i, oc := range old.Columns() {
 		merged := make([]int64, 0, oc.Len()+newRows)
@@ -84,7 +86,7 @@ func (db *DB) Append(table string, b *TableBuilder) error {
 		merged = append(merged, ordered[i].Ints...)
 		grown[i] = &storage.Column{Name: oc.Name, Kind: oc.Kind, Dict: oc.Dict, Ints: merged}
 	}
-	newTable, err := storage.NewTable(table, grown...)
+	newTable, err := storage.AppendColumns(old, grown, db.cfg.SegmentRows)
 	if err != nil {
 		return err
 	}

@@ -409,15 +409,22 @@ func (l *LazySampler) online(req Request, input string, start time.Time) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	_, err = l.store.Put(store.Meta{
-		Input:     input,
-		Predicate: req.Predicate,
-		Schema:    req.Schema,
-		QCSWidth:  req.QCSWidth,
-		K:         k,
-	}, sam)
-	if err != nil {
-		return nil, err
+	// A sample that dropped trailing segments under pressure still answers
+	// this query (extrapolated, disclosed below) but is not stored: its
+	// actual coverage is narrower than its predicate claims, which would
+	// poison future reuse.
+	if stats.RowsDropped == 0 {
+		_, err = l.store.Put(store.Meta{
+			Input:     input,
+			Predicate: req.Predicate,
+			Schema:    req.Schema,
+			QCSWidth:  req.QCSWidth,
+			K:         k,
+			Segments:  segmentWatermarks(req.Query.Fact),
+		}, sam)
+		if err != nil {
+			return nil, err
+		}
 	}
 	missing := algebra.Set{}
 	col := ""
@@ -427,7 +434,7 @@ func (l *LazySampler) online(req Request, input string, start time.Time) (*Resul
 		col = cols[0]
 		missing, _ = req.Predicate.Constraint(col)
 	}
-	return &Result{
+	res := &Result{
 		Sample:       sam,
 		Mode:         ModeOnline,
 		Missing:      missing,
@@ -435,7 +442,9 @@ func (l *LazySampler) online(req Request, input string, start time.Time) (*Resul
 		Stats:        stats,
 		Total:        obs.Since(start),
 		Degradations: degradations,
-	}, nil
+	}
+	dropDegradation(stats, res)
+	return res, nil
 }
 
 // spanQuery returns a copy of q whose context carries a fresh child span
@@ -538,6 +547,17 @@ func (l *LazySampler) partial(req Request, input string, match *store.Match, sta
 		return nil, err
 	}
 	l.met.deltaBuilds.Inc()
+	if stats.RowsDropped > 0 {
+		// The Δ-build dropped trailing segments under pressure; a truncated
+		// Δ cannot be merged — it under-represents the missing range
+		// relative to the coverage the merged entry would claim. Serve the
+		// stored sample as-is with coverage accounting instead.
+		return l.serveStored(req, match, start, governor.Degradation{
+			Step:   governor.DegradeDropSegments,
+			Reason: "deadline or memory pressure",
+			Detail: fmt.Sprintf("%d of %d Δ-segments built", stats.SegmentsBuilt, stats.Segments),
+		})
+	}
 
 	// Merge Δ with a clone of the stored sample (Algorithm 3) and expand
 	// the stored entry's coverage to the union of predicates. The clone
@@ -558,7 +578,7 @@ func (l *LazySampler) partial(req Request, input string, match *store.Match, sta
 	}
 	storedSet, _ := meta.Predicate.Constraint(delta.Column)
 	newPred := replaceConstraint(meta.Predicate, delta.Column, storedSet.Union(delta.Missing))
-	l.store.Update(match.Entry, merged, newPred)
+	l.store.Update(match.Entry, merged, newPred, segmentWatermarks(req.Query.Fact))
 
 	// The logical sample for the query: tighten when the merged sample is
 	// wider than the request.

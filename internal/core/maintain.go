@@ -49,9 +49,20 @@ func (l *LazySampler) Maintain(q *engine.Query, fromRow int, seed uint64, worker
 		if err != nil {
 			return nil, fmt.Errorf("core: maintaining %q: %w", input, err)
 		}
-		mq.ScanFrom = fromRow
-		deltaSample, _, err := engine.RunStratifiedExprs(mq, engine.ExprsFromNames(m.Meta.Schema), m.Meta.QCSWidth, m.Meta.K,
-			seed+uint64(i)*0x9E37, workers)
+		var deltaSample *sample.Stratified
+		if len(m.Meta.Segments) > 0 {
+			// Per-segment provenance: Δ-scan only the segments that grew
+			// or changed since the sample last covered them, not the whole
+			// appended suffix.
+			deltaSample, _, err = engine.RunStratifiedSegmentsFrom(mq, engine.ExprsFromNames(m.Meta.Schema),
+				m.Meta.QCSWidth, m.Meta.K, seed+uint64(i)*0x9E37, workers, watermarkFrom(q.Fact, m.Meta.Segments))
+		} else {
+			// Pre-segmentation entry: fall back to the single table-wide
+			// high-water mark the caller supplied.
+			mq.ScanFrom = fromRow
+			deltaSample, _, err = engine.RunStratifiedExprs(mq, engine.ExprsFromNames(m.Meta.Schema),
+				m.Meta.QCSWidth, m.Meta.K, seed+uint64(i)*0x9E37, workers)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -59,7 +70,7 @@ func (l *LazySampler) Maintain(q *engine.Query, fromRow int, seed uint64, worker
 		if err != nil {
 			return nil, err
 		}
-		l.store.Update(m.Entry, merged, m.Meta.Predicate)
+		l.store.Update(m.Entry, merged, m.Meta.Predicate, segmentWatermarks(q.Fact))
 		res.Maintained++
 	}
 	return res, nil

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"laqy/internal/engine"
+	"laqy/internal/governor"
+	"laqy/internal/storage"
+	"laqy/internal/store"
+)
+
+// segmentWatermarks snapshots the fact table's segment layout as per-segment
+// provenance for a freshly built (or freshly extended) sample: the sample
+// covers every listed segment up to the recorded row count at the recorded
+// version. Maintenance later rescans only segments that grew or changed,
+// instead of trusting a single table-wide offset.
+//
+// The marks assume the storage layer's append-only contract: a segment keeps
+// its id and start row across table versions and only gains rows
+// (storage.AppendColumns). An explicit re-layout (storage.Resegment) breaks
+// that assumption, so callers re-segmenting a table with live samples must
+// invalidate them first.
+func segmentWatermarks(t *storage.Table) []store.SegmentWatermark {
+	segs := t.Segments()
+	marks := make([]store.SegmentWatermark, 0, len(segs))
+	for _, s := range segs {
+		marks = append(marks, store.SegmentWatermark{ID: s.ID(), Version: s.Version(), Rows: s.Rows()})
+	}
+	return marks
+}
+
+// watermarkFrom converts an entry's per-segment provenance into a Δ-scan
+// plan for engine.RunStratifiedSegmentsFrom: for each current segment, the
+// absolute row to resume sampling from. Under the append-only contract a
+// segment's recorded row prefix is still verbatim, so an unchanged segment
+// (same rows) resumes at its end — skipped entirely — and a grown segment
+// rescans only its suffix beyond the recorded row count. A segment the
+// marks never saw, or one whose recorded rows exceed its current extent
+// (which append-only storage forbids — it signals a re-layout), is
+// conservatively rescanned from its start. Versions ride along as
+// provenance but do not gate the resume point: tables rebuilt wholesale
+// synthesize version-1 segments at any size.
+func watermarkFrom(t *storage.Table, marks []store.SegmentWatermark) map[int]int {
+	byID := make(map[int]store.SegmentWatermark, len(marks))
+	for _, m := range marks {
+		byID[m.ID] = m
+	}
+	from := make(map[int]int, t.NumSegments())
+	for _, s := range t.Segments() {
+		m, ok := byID[s.ID()]
+		if !ok || m.Rows > s.Rows() {
+			from[s.ID()] = s.Start()
+			continue
+		}
+		from[s.ID()] = s.Start() + m.Rows
+	}
+	return from
+}
+
+// dropDegradation converts the segment coordinator's dropped-trailing-
+// segments report into the query's governance record: the answer is labeled
+// with the drop_segments rung, and extensive estimates are extrapolated over
+// the unscanned suffix (with the CI widened by the same factor), mirroring
+// the stale-serve accounting of serveStored.
+func dropDegradation(stats engine.Stats, res *Result) {
+	if stats.RowsDropped <= 0 {
+		return
+	}
+	res.Degradations = append(res.Degradations, governor.Degradation{
+		Step:   governor.DegradeDropSegments,
+		Reason: "deadline or memory pressure",
+		Detail: fmt.Sprintf("%d of %d segments built; %d rows dropped", stats.SegmentsBuilt, stats.Segments, stats.RowsDropped),
+	})
+	covered := float64(stats.RowsScanned)
+	total := covered + float64(stats.RowsDropped)
+	if covered <= 0 || total <= covered {
+		return
+	}
+	res.Coverage = covered / total
+	res.Extrapolate = total / covered
+	res.CIScale = total / covered
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"laqy/internal/engine"
+	"laqy/internal/governor"
+	"laqy/internal/storage"
+	"laqy/internal/store"
+)
+
+// segFact cuts a testFact-shaped table into segments at the given row cuts.
+func segFact(t *testing.T, n, groups int, cuts ...int) *storage.Table {
+	t.Helper()
+	tab, err := storage.SegmentTableAt(testFact(n, groups), cuts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestSampleRecordsSegmentWatermarks(t *testing.T) {
+	fact := segFact(t, 30000, 4, 10000, 20000)
+	l := New(store.New(0), 11)
+	if _, err := l.Sample(request(fact, 0, 29999)); err != nil {
+		t.Fatal(err)
+	}
+	matches := l.Store().List()
+	if len(matches) != 1 {
+		t.Fatalf("store holds %d entries", len(matches))
+	}
+	marks := matches[0].Meta.Segments
+	if len(marks) != 3 {
+		t.Fatalf("watermarks = %+v, want 3 marks", marks)
+	}
+	wantRows := []int{10000, 10000, 10000}
+	for i, m := range marks {
+		if m.ID != i || m.Rows != wantRows[i] || m.Version != 1 {
+			t.Fatalf("mark %d = %+v, want id %d rows %d v1", i, m, i, wantRows[i])
+		}
+	}
+}
+
+func TestMaintainResumesFromSegmentWatermarks(t *testing.T) {
+	// Build a sample over a segmented table, grow the open segment via
+	// AppendColumns (which preserves segment identity), and maintain: only
+	// the appended rows are considered, and estimates extend to them.
+	const segRows = storage.DefaultMorselSize
+	const initial, extra, grps = segRows + 5000, 20000, 5
+	fact, err := storage.Resegment(testFact(initial, grps), segRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(store.New(0), 12)
+	if _, err := l.Sample(request(fact, 0, initial+extra)); err != nil {
+		t.Fatal(err)
+	}
+
+	grownCols := testFact(initial+extra, grps).Columns()
+	grown, err := storage.AppendColumns(fact, grownCols, segRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Maintain(&engine.Query{Fact: grown}, initial, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Maintained != 1 {
+		t.Fatalf("maintained %d samples, want 1", res.Maintained)
+	}
+	if res.RowsConsidered != extra {
+		t.Fatalf("considered %d rows, want %d (watermark resume)", res.RowsConsidered, extra)
+	}
+	out, err := l.Sample(request(grown, 0, initial+extra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != ModeOffline {
+		t.Fatalf("mode after maintenance = %v", out.Mode)
+	}
+	if math.Abs(out.Sample.TotalWeight()-float64(initial+extra)) > 1e-6 {
+		t.Fatalf("weight = %v, want %d", out.Sample.TotalWeight(), initial+extra)
+	}
+
+	// Maintaining again without new appends is a no-op: the watermarks
+	// already cover every segment's rows.
+	res, err = l.Maintain(&engine.Query{Fact: grown}, grown.NumRows(), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Maintained != 0 || res.RowsConsidered != 0 {
+		t.Fatalf("repeat maintain = %+v, want no-op", res)
+	}
+}
+
+func TestWatermarkFromFallsBackToFullScan(t *testing.T) {
+	fact := segFact(t, 3000, 3, 1000, 2000)
+	segs := fact.Segments()
+	marks := []store.SegmentWatermark{
+		{ID: 0, Version: 1, Rows: 1000}, // fully covered
+		{ID: 1, Version: 1, Rows: 400},  // partially covered
+		{ID: 2, Version: 1, Rows: 5000}, // implausible: more rows than the segment holds
+	}
+	from := watermarkFrom(fact, marks)
+	if from[0] != segs[0].End() {
+		t.Fatalf("covered segment resumes at %d, want its end %d", from[0], segs[0].End())
+	}
+	if from[1] != segs[1].Start()+400 {
+		t.Fatalf("partial segment resumes at %d, want %d", from[1], segs[1].Start()+400)
+	}
+	if from[2] != segs[2].Start() {
+		t.Fatalf("implausible mark must rescan from %d, got %d", segs[2].Start(), from[2])
+	}
+	// A segment with no mark at all rescans from its start.
+	from = watermarkFrom(fact, marks[:2])
+	if from[2] != segs[2].Start() {
+		t.Fatalf("unmarked segment resumes at %d, want %d", from[2], segs[2].Start())
+	}
+}
+
+func TestDropDegradationExtrapolates(t *testing.T) {
+	res := &Result{}
+	dropDegradation(engine.Stats{RowsScanned: 3000, RowsDropped: 1000}, res)
+	if len(res.Degradations) != 1 || res.Degradations[0].Step != governor.DegradeDropSegments {
+		t.Fatalf("degradations = %+v", res.Degradations)
+	}
+	if math.Abs(res.Coverage-0.75) > 1e-9 {
+		t.Fatalf("coverage = %v, want 0.75", res.Coverage)
+	}
+	if math.Abs(res.Extrapolate-4.0/3.0) > 1e-9 || res.Extrapolate != res.CIScale {
+		t.Fatalf("extrapolate = %v ciscale = %v", res.Extrapolate, res.CIScale)
+	}
+	// No drops: untouched.
+	clean := &Result{}
+	dropDegradation(engine.Stats{RowsScanned: 3000}, clean)
+	if len(clean.Degradations) != 0 || clean.Extrapolate != 0 {
+		t.Fatalf("clean result mutated: %+v", clean)
+	}
+}

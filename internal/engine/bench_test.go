@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
 	"laqy/internal/algebra"
 	"laqy/internal/rng"
+	"laqy/internal/sample"
 	"laqy/internal/storage"
 )
 
@@ -85,4 +87,71 @@ func BenchmarkPrunedScan(b *testing.B) {
 			b.Fatalf("reference run pruned %d morsels", st.MorselsPruned)
 		}
 	})
+}
+
+// BenchmarkSegmentParallelBuild measures the append-then-build cycle of a
+// warm warehouse on SSB Q1.1 across segment layouts. Each iteration
+// appends one batch to the fact table and rebuilds the stratified sample,
+// which is the steady state a lazily-maintained store lives in. The
+// segmented layouts win even on one core because sealed segments carry
+// their zone maps across the append untouched (pointer-shared summaries,
+// storage.AppendColumns): only the open segment re-summarizes, while the
+// single-segment layout rebuilds the whole-table zone map every batch.
+// BENCH_PR8.json tracks these numbers; see docs/SHARDING.md.
+func BenchmarkSegmentParallelBuild(b *testing.B) {
+	const nMorsels = 32
+	const appendRows = 8192
+	base := buildQ11Fact(nMorsels)
+	n := base.NumRows()
+
+	// Grown columns: the base rows verbatim plus one batch continuing the
+	// load-order tail (zone-map carry-over requires a verbatim prefix).
+	grown := make([]*storage.Column, 0, len(base.Columns()))
+	for _, c := range base.Columns() {
+		ints := make([]int64, 0, n+appendRows)
+		ints = append(ints, c.Ints...)
+		for j := 0; j < appendRows; j++ {
+			ints = append(ints, c.Ints[n-1])
+		}
+		grown = append(grown, &storage.Column{Name: c.Name, Kind: c.Kind, Ints: ints})
+	}
+
+	schema := sample.Schema{"lo_discount", "lo_orderdate", "lo_extendedprice"}
+	for _, segments := range []int{1, 4, 8} {
+		// Size segments so the last one keeps headroom: the appended batch
+		// routes into the open segment instead of spilling a fresh one.
+		segRows := n + appendRows // one open segment holds everything
+		if segments > 1 {
+			segRows = n/segments + appendRows
+		}
+		seg, err := storage.Resegment(base, segRows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range seg.Segments() {
+			s.ZoneMap() // warm the pre-append summaries, as a live server would
+		}
+		b.Run(fmt.Sprintf("segments=%d", segments), func(b *testing.B) {
+			b.SetBytes(int64(n+appendRows) * 3 * 8)
+			var last Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab, err := storage.AppendColumns(seg, grown, segRows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q := &Query{Fact: tab, Filter: q11Predicate()}
+				_, st, err := RunStratified(q, schema, 1, 256, uint64(i)+1, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = st
+			}
+			b.StopTimer()
+			if segments > 1 && last.Segments != segments {
+				b.Fatalf("built %d segments, want %d", last.Segments, segments)
+			}
+			b.ReportMetric(float64(last.Segments), "segments")
+		})
+	}
 }

@@ -46,6 +46,19 @@ type Stats struct {
 	// zone map proved every row matches, so the selection vector was
 	// range-filled with no per-row compares.
 	MorselsFull int64
+	// Segments is the number of segment-scoped builds the coordinator
+	// planned (0 for monolithic runs).
+	Segments int
+	// SegmentsBuilt is how many of those actually ran; the difference was
+	// dropped under deadline or memory pressure (the drop_segments
+	// degradation rung).
+	SegmentsBuilt int
+	// SegmentParallelism is the concurrent segment-build degree used.
+	SegmentParallelism int
+	// RowsDropped counts fact rows in dropped segments — rows the merged
+	// sample does not represent; callers extrapolate estimates by the
+	// resulting coverage ratio.
+	RowsDropped int64
 }
 
 // Add accumulates another query's stats (used for cumulative sequences).
@@ -58,8 +71,14 @@ func (s *Stats) Add(o Stats) {
 	s.RowsSelected += o.RowsSelected
 	s.MorselsPruned += o.MorselsPruned
 	s.MorselsFull += o.MorselsFull
+	s.Segments += o.Segments
+	s.SegmentsBuilt += o.SegmentsBuilt
+	s.RowsDropped += o.RowsDropped
 	if o.Workers > s.Workers {
 		s.Workers = o.Workers
+	}
+	if o.SegmentParallelism > s.SegmentParallelism {
+		s.SegmentParallelism = o.SegmentParallelism
 	}
 }
 
@@ -83,6 +102,42 @@ type failableSink interface {
 
 // DefaultWorkers returns the engine's default parallelism.
 func DefaultWorkers() int { return runtime.NumCPU() }
+
+// morselScratch is one worker's reusable per-morsel buffers: the selection
+// vector, join-probe row maps, gathered column vectors, and the gather
+// scratch. All are sized in DefaultMorselSize units, so a leased set fits
+// any pipeline. Pooling matters because the segment-parallel coordinator
+// runs one sub-pipeline per segment: without reuse a W-worker build over S
+// segments would allocate (and the allocator would zero) S×W sets of
+// multi-megabyte buffers per build, which dominates single-core segmented
+// builds. The pool caps live sets at the peak concurrent worker count.
+type morselScratch struct {
+	sel      []int32
+	dimRows  [][]int32
+	gathered [][]int64
+	scratch  []int64
+}
+
+var morselScratchPool = sync.Pool{New: func() any { return new(morselScratch) }}
+
+// leaseMorselScratch returns a scratch set with at least nJoins probe maps
+// and nSources gather vectors; return it with morselScratchPool.Put.
+func leaseMorselScratch(nJoins, nSources int) *morselScratch {
+	s := morselScratchPool.Get().(*morselScratch)
+	if s.sel == nil {
+		s.sel = make([]int32, 0, storage.DefaultMorselSize)
+	}
+	for len(s.dimRows) < nJoins {
+		s.dimRows = append(s.dimRows, make([]int32, storage.DefaultMorselSize))
+	}
+	for len(s.gathered) < nSources {
+		s.gathered = append(s.gathered, make([]int64, storage.DefaultMorselSize))
+	}
+	if s.scratch == nil {
+		s.scratch = make([]int64, storage.DefaultMorselSize)
+	}
+	return s
+}
 
 // runPipeline drives the morsel-parallel scan→filter→join→gather→sink
 // pipeline. exprs lists the values gathered for the sinks — plain columns
@@ -114,14 +169,19 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 		return Stats{}, err
 	}
 
-	morsels := storage.MorselsRange(q.ScanFrom, q.Fact.NumRows(), 0)
+	scanFrom, scanTo := q.scanBounds()
+	morsels := storage.MorselsRange(scanFrom, scanTo, 0)
 	// Cap the parallelism at the morsel count: spawning more goroutines
 	// than morsels wastes scheduling work, and dividing the per-phase CPU
 	// totals by idle workers under-reports Scan/Process for small deltas.
+	// (Segmented runs cap at the TOTAL morsel count across segments before
+	// dividing the budget — see runStratifiedSegments — so small segments
+	// don't starve the global parallelism; this local cap only trims the
+	// share handed to one sub-pipeline.)
 	if workers > len(morsels) {
 		workers = len(morsels)
 	}
-	pruner := newMorselPruner(q.Fact, filter, q.DisableZoneMaps)
+	pruner := newMorselPruner(q.Fact, filter, q.DisableZoneMaps, scanFrom, scanTo)
 	var next atomic.Int64
 	var scanNanos, processNanos, selected atomic.Int64
 	var prunedMorsels, fullMorsels atomic.Int64
@@ -145,16 +205,15 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 			}()
 			sink := sinks[w]
 			fsink, failable := sink.(failableSink)
-			sel := make([]int32, 0, storage.DefaultMorselSize)
-			dimRows := make([][]int32, len(joinTables))
-			for j := range dimRows {
-				dimRows[j] = make([]int32, storage.DefaultMorselSize)
-			}
-			gathered := make([][]int64, len(sources))
-			for c := range gathered {
-				gathered[c] = make([]int64, storage.DefaultMorselSize)
-			}
-			scratch := make([]int64, storage.DefaultMorselSize)
+			sc := leaseMorselScratch(len(joinTables), len(sources))
+			sel := sc.sel
+			dimRows := sc.dimRows[:len(joinTables)]
+			gathered := sc.gathered[:len(sources)]
+			scratch := sc.scratch
+			defer func() {
+				sc.sel = sel              // keep any capacity growth with the pooled set
+				morselScratchPool.Put(sc) //laqy:allow hotalloc pointer into interface, once per worker retirement (not per morsel)
+			}()
 			var localScan, localProcess, localSelected int64
 			var localPruned, localFull int64
 			for {
@@ -237,10 +296,7 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 		return Stats{}, q.Ctx.Err()
 	}
 
-	rowsScanned := int64(q.Fact.NumRows() - q.ScanFrom)
-	if rowsScanned < 0 {
-		rowsScanned = 0
-	}
+	rowsScanned := int64(scanTo - scanFrom)
 	// An empty morsel set (e.g. a no-op incremental delta) spawned no
 	// workers; avoid the zero division and report zero phase times.
 	divisor := int64(workers)
@@ -290,7 +346,23 @@ func RunStratified(q *Query, schema sample.Schema, qcsWidth, k int, seed uint64,
 // RunStratifiedExprs is RunStratified with computed capture expressions:
 // the sample schema takes each expression's Name, so computed aggregates
 // (e.g. lo_extendedprice*lo_discount) are sampled as materialized values.
+//
+// When the fact table is segmented (and Query.SegmentParallelism is not
+// negative), the build fans out per segment and merges the per-segment
+// reservoirs N-way at the coordinator (segment.go); otherwise it runs the
+// single morsel-parallel pipeline below.
 func RunStratifiedExprs(q *Query, exprs []ColumnExpr, qcsWidth, k int, seed uint64, workers int) (*sample.Stratified, Stats, error) {
+	if sources := localSegmentSources(q, exprs, qcsWidth, k, nil); len(sources) > 1 {
+		return runStratifiedSegments(q, sources, seed, workers)
+	}
+	return runStratifiedSingle(q, exprs, qcsWidth, k, seed, workers)
+}
+
+// runStratifiedSingle is the monolithic build: one morsel-parallel
+// pipeline over the whole scan range, per-worker partials tree-merged.
+// This is the frozen reference path the segmented coordinator must stay
+// distribution-equivalent to (TestSegmentedBuildChiSquare).
+func runStratifiedSingle(q *Query, exprs []ColumnExpr, qcsWidth, k int, seed uint64, workers int) (*sample.Stratified, Stats, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}

@@ -39,9 +39,15 @@ type morselPruner struct {
 // with no single-interval conjunct give the zone map nothing to intersect,
 // empty tables have no zones, and Query.DisableZoneMaps turns the pruner
 // off explicitly (the reference path for equivalence tests and ablation
-// benchmarks). Building the pruner may lazily build the table's zone map —
-// a one-off full-table read amortized across every later pruned scan.
-func newMorselPruner(fact *storage.Table, filter *expr.Filter, disabled bool) *morselPruner {
+// benchmarks). Building the pruner may lazily build a zone map — a one-off
+// read amortized across every later pruned scan.
+//
+// When the scan range [from, to) sits inside a single segment of a
+// multi-segment table, the pruner uses that segment's own zone map:
+// segment-scoped builds then summarize only their segment's rows, and
+// sealed segments reuse the map carried across appends instead of forcing
+// a whole-table rebuild.
+func newMorselPruner(fact *storage.Table, filter *expr.Filter, disabled bool, from, to int) *morselPruner {
 	if disabled || filter.Trivial() {
 		return nil
 	}
@@ -49,7 +55,12 @@ func newMorselPruner(fact *storage.Table, filter *expr.Filter, disabled bool) *m
 	if len(ivs) == 0 {
 		return nil
 	}
-	zm := fact.ZoneMap()
+	var zm *storage.ZoneMap
+	if seg := fact.SegmentSpanning(from, to); seg != nil {
+		zm = seg.ZoneMap()
+	} else {
+		zm = fact.ZoneMap()
+	}
 	if zm == nil {
 		return nil
 	}

@@ -52,6 +52,16 @@ type Query struct {
 	// ScanFrom skips fact rows before this index — used to scan only
 	// appended rows during incremental sample maintenance.
 	ScanFrom int
+	// ScanTo, when > 0, bounds the scan to rows [ScanFrom, ScanTo). Zero
+	// means the end of the fact table. Segment-scoped builds set both
+	// bounds to one segment's row range.
+	ScanTo int
+	// SegmentParallelism caps the number of concurrent per-segment sample
+	// builds when the fact table is segmented: 0 picks
+	// min(DefaultWorkers, segments), 1 serializes the segment builds, and
+	// a negative value forces the monolithic single-pipeline path (the
+	// reference for the segmented-equivalence tests).
+	SegmentParallelism int
 	// Ctx, when non-nil, cancels the scan: workers stop at the next morsel
 	// boundary and the run returns the context's error. A nil Ctx never
 	// cancels.
@@ -67,6 +77,22 @@ type Query struct {
 	// and the ablation benchmarks compare against it. Production queries
 	// leave it false — pruning is exact, never statistical.
 	DisableZoneMaps bool
+}
+
+// scanBounds resolves the effective scan range [from, to): ScanFrom
+// clamped to [0, rows] and ScanTo defaulted to the table end.
+func (q *Query) scanBounds() (from, to int) {
+	from, to = q.ScanFrom, q.Fact.NumRows()
+	if from < 0 {
+		from = 0
+	}
+	if q.ScanTo > 0 && q.ScanTo < to {
+		to = q.ScanTo
+	}
+	if from > to {
+		from = to
+	}
+	return from, to
 }
 
 // columnSource locates a column needed downstream: either a fact column or

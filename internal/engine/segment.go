@@ -1,0 +1,336 @@
+// Segment-parallel sample builds: the coordinator half of the sharding
+// design (docs/SHARDING.md). A segmented fact table is built one segment
+// at a time by a bounded pool of segment workers, each running the normal
+// morsel-parallel pipeline over its segment's row range and producing an
+// independent per-segment stratified reservoir; the coordinator merges
+// them N-way with the paper's Algorithm 2/3 algebra (proportional when
+// segment weights match, scaled-proportional when they differ — the
+// per-stratum Merge in internal/sample picks the case).
+//
+// The coordinator/segment seam is the SegmentSource interface: the local
+// implementation wraps storage.Segment, and a follow-up can place an RPC
+// client to a remote laqyd behind the same method set without touching
+// the merge or degradation paths.
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"laqy/internal/governor"
+	"laqy/internal/obs"
+	"laqy/internal/rng"
+	"laqy/internal/sample"
+	"laqy/internal/storage"
+)
+
+// SegmentSource is the coordinator's view of one shard: enough to plan,
+// admission-charge, and run a per-segment sample build, and to account for
+// what was lost if the segment is dropped under pressure. Sources are
+// built in ID order and dropped from the highest ID down.
+type SegmentSource interface {
+	// ID orders the sources; degradation drops the trailing (highest-ID)
+	// segments first.
+	ID() int
+	// Version is the content version of the underlying segment, recorded
+	// as sample provenance by the caller.
+	Version() uint64
+	// Rows is the number of rows this source will scan (after high-water
+	// clipping) — the weight lost if the segment is dropped.
+	Rows() int
+	// Morsels is the number of scan morsels behind this source; the
+	// coordinator caps global parallelism at the total across sources.
+	Morsels() int
+	// MemEstimate is the transient memory one build at the given
+	// parallelism will hold — what the coordinator charges against the
+	// query budget before dispatching the segment.
+	MemEstimate(workers int) int64
+	// Build runs the per-segment sample build with the given intra-segment
+	// parallelism and RNG seed, returning the partial sample.
+	Build(workers int, seed uint64) (*sample.Stratified, Stats, error)
+}
+
+// localSegment is the in-process SegmentSource: a segment-scoped copy of
+// the query run through the monolithic pipeline.
+type localSegment struct {
+	q        Query // value copy with ScanFrom/ScanTo bound to the segment
+	exprs    []ColumnExpr
+	qcsWidth int
+	k        int
+	seg      *storage.Segment
+}
+
+func (s *localSegment) ID() int         { return s.seg.ID() }
+func (s *localSegment) Version() uint64 { return s.seg.Version() }
+func (s *localSegment) Rows() int       { return s.q.ScanTo - s.q.ScanFrom }
+
+func (s *localSegment) Morsels() int {
+	return (s.Rows() + storage.DefaultMorselSize - 1) / storage.DefaultMorselSize
+}
+
+// MemEstimate mirrors the sampler's transient-memory model for one segment
+// build: per-worker partial reservoirs plus the merged result, k tuples of
+// width columns each (8 bytes a value), plus per-stratum bookkeeping.
+func (s *localSegment) MemEstimate(workers int) int64 {
+	perSample := int64(s.k) * int64(len(s.exprs)+1) * 8
+	return perSample * int64(workers+1)
+}
+
+func (s *localSegment) Build(workers int, seed uint64) (*sample.Stratified, Stats, error) {
+	q := s.q
+	return runStratifiedSingle(&q, s.exprs, s.qcsWidth, s.k, seed, workers)
+}
+
+// localSegmentSources plans the per-segment builds for q: one source per
+// segment overlapping the scan range, each clipped to [from, to) — where
+// from is q.ScanFrom, or the segment's own high-water mark when fromBySeg
+// supplies one (Δ-maintenance passes the per-segment marks recorded in
+// sample provenance). Returns nil when segmentation cannot apply: an
+// unsegmented table, or SegmentParallelism < 0 forcing the monolithic
+// reference path.
+func localSegmentSources(q *Query, exprs []ColumnExpr, qcsWidth, k int, fromBySeg map[int]int) []SegmentSource {
+	if q.SegmentParallelism < 0 || q.Fact == nil {
+		return nil
+	}
+	segs := q.Fact.Segments()
+	if len(segs) <= 1 && fromBySeg == nil {
+		return nil
+	}
+	from, to := q.scanBounds()
+	out := make([]SegmentSource, 0, len(segs))
+	for _, seg := range segs {
+		lo, hi := seg.Start(), seg.End()
+		if fb, ok := fromBySeg[seg.ID()]; ok && lo < fb {
+			lo = fb
+		}
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if lo >= hi {
+			continue
+		}
+		ls := &localSegment{q: *q, exprs: exprs, qcsWidth: qcsWidth, k: k, seg: seg}
+		ls.q.ScanFrom, ls.q.ScanTo = lo, hi
+		out = append(out, ls)
+	}
+	return out
+}
+
+// RunStratifiedSegmentsFrom builds a stratified sample over a segmented
+// fact table scanning each segment from its own high-water mark (absolute
+// row; segments absent from the map scan in full). This is the
+// Δ-maintenance entry point: per-segment marks replace the old single
+// table offset, so an append touching only the open segment rescans only
+// that segment's tail.
+func RunStratifiedSegmentsFrom(q *Query, exprs []ColumnExpr, qcsWidth, k int, seed uint64, workers int, fromBySeg map[int]int) (*sample.Stratified, Stats, error) {
+	sources := localSegmentSources(q, exprs, qcsWidth, k, fromBySeg)
+	switch len(sources) {
+	case 0:
+		// Every segment is already covered: an empty delta. Build over the
+		// empty range so the caller still gets a well-formed sample.
+		empty := *q
+		empty.ScanFrom, empty.ScanTo = q.Fact.NumRows(), q.Fact.NumRows()
+		return runStratifiedSingle(&empty, exprs, qcsWidth, k, seed, workers)
+	case 1:
+		sam, st, err := sources[0].Build(workers, seed)
+		if err == nil {
+			st.Segments, st.SegmentsBuilt, st.SegmentParallelism = 1, 1, 1
+		}
+		return sam, st, err
+	default:
+		return runStratifiedSegments(q, sources, seed, workers)
+	}
+}
+
+// errSegmentsStopped is the internal signal a segment worker leaves when
+// the coordinator decided to stop dispatching (deadline or memory
+// pressure); it never escapes runStratifiedSegments.
+var errSegmentsStopped = errors.New("engine: segment dispatch stopped")
+
+// runStratifiedSegments is the N-way coordinator: fan segment builds
+// across a bounded pool, charge admission per segment batch against the
+// query's memory budget, drop trailing segments (instead of failing the
+// whole query) when the deadline or budget runs out mid-plan, and merge
+// the per-segment reservoirs with the Algorithm 2/3 algebra.
+func runStratifiedSegments(q *Query, sources []SegmentSource, seed uint64, workers int) (*sample.Stratified, Stats, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	// The PR-5 cap, fixed for segmentation: cap the global worker budget
+	// at the TOTAL morsel count across segments — capping per segment
+	// would let one small segment starve the stats divisor for the rest.
+	totalMorsels := 0
+	for _, s := range sources {
+		totalMorsels += s.Morsels()
+	}
+	if workers > totalMorsels {
+		workers = totalMorsels
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	par := q.SegmentParallelism
+	if par <= 0 {
+		par = DefaultWorkers()
+	}
+	if par > len(sources) {
+		par = len(sources)
+	}
+	if par > workers {
+		par = workers
+	}
+	perSeg := workers / par
+	if perSeg < 1 {
+		perSeg = 1
+	}
+
+	start := time.Now()
+	partials := make([]*sample.Stratified, len(sources))
+	segErrs := make([]error, len(sources))
+	stats := Stats{Workers: workers, Segments: len(sources), SegmentParallelism: par}
+	var statsMu sync.Mutex
+	var next atomic.Int64
+	var stopped atomic.Bool // pressure: stop dispatching trailing segments
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sources) {
+					return
+				}
+				if stopped.Load() {
+					segErrs[i] = errSegmentsStopped //laqy:allow mergesync index i is claimed by exactly one worker via next.Add
+					continue
+				}
+				if q.Ctx != nil {
+					if err := q.Ctx.Err(); err != nil {
+						// Deadline pressure degrades (drop the tail);
+						// explicit cancellation aborts like before.
+						if errors.Is(err, context.DeadlineExceeded) {
+							stopped.Store(true)
+							segErrs[i] = errSegmentsStopped //laqy:allow mergesync index i is claimed by exactly one worker via next.Add
+							continue
+						}
+						segErrs[i] = err //laqy:allow mergesync index i is claimed by exactly one worker via next.Add
+						return
+					}
+				}
+				// Per-segment-batch admission: a denial here drops this
+				// and later segments, not the query.
+				est := sources[i].MemEstimate(perSeg)
+				if q.Budget != nil {
+					if err := q.Budget.Reserve(est); err != nil {
+						stopped.Store(true)
+						segErrs[i] = errSegmentsStopped //laqy:allow mergesync index i is claimed by exactly one worker via next.Add
+						continue
+					}
+				}
+				segSeed := seed ^ (uint64(sources[i].ID())+1)*0x9E3779B97F4A7C15
+				sam, st, err := sources[i].Build(perSeg, segSeed)
+				if q.Budget != nil {
+					q.Budget.Release(est)
+				}
+				if err != nil {
+					if errors.Is(err, context.DeadlineExceeded) {
+						stopped.Store(true)
+						segErrs[i] = errSegmentsStopped //laqy:allow mergesync index i is claimed by exactly one worker via next.Add
+						continue
+					}
+					segErrs[i] = err //laqy:allow mergesync index i is claimed by exactly one worker via next.Add
+					return
+				}
+				partials[i] = sam //laqy:allow mergesync index i is claimed by exactly one worker via next.Add
+				statsMu.Lock()
+				stats.Add(st)
+				stats.SegmentsBuilt++
+				statsMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	built := make([]*sample.Stratified, 0, len(partials))
+	var rowsDropped int64
+	var pressure error
+	for i, p := range partials {
+		switch {
+		case p != nil:
+			built = append(built, p)
+		case errors.Is(segErrs[i], errSegmentsStopped):
+			rowsDropped += int64(sources[i].Rows())
+			if pressure == nil {
+				pressure = pressureCause(q)
+			}
+		case segErrs[i] != nil:
+			return nil, stats, segErrs[i]
+		default:
+			// Dispatch never reached this index (a worker bailed early on
+			// a hard error that we would have returned above), or the
+			// counter raced past it after stop: count it dropped.
+			rowsDropped += int64(sources[i].Rows())
+		}
+	}
+	if len(built) == 0 {
+		// Nothing survived: this is a whole-query failure, reported as the
+		// pressure that caused it.
+		if pressure != nil {
+			return nil, stats, pressure
+		}
+		return nil, stats, context.DeadlineExceeded
+	}
+
+	mergeStart := time.Now()
+	root := rng.NewLehmer64(seed)
+	merged, err := treeMergeStratified(built, root.Split(1<<32))
+	if err != nil {
+		return nil, stats, err
+	}
+	mergeDur := time.Since(mergeStart)
+	stats.Merge += mergeDur
+	stats.RowsDropped = rowsDropped
+	stats.Segments = len(sources)
+	stats.SegmentParallelism = par
+	stats.Workers = workers
+	stats.Wall = time.Since(start)
+	finishSegments(q, &stats, start, time.Now(), mergeDur)
+	return merged, stats, nil
+}
+
+// pressureCause names the pressure that stopped dispatch, for the
+// nothing-built failure path: an expired deadline if the context shows
+// one, otherwise the memory budget.
+func pressureCause(q *Query) error {
+	if q.Ctx != nil && q.Ctx.Err() != nil {
+		return q.Ctx.Err()
+	}
+	return governor.ErrMemoryBudget
+}
+
+// finishSegments publishes one coordinator run: segment counters, the
+// merge-cost histogram, and a trace span EXPLAIN ANALYZE renders.
+func finishSegments(q *Query, st *Stats, start, end time.Time, merge time.Duration) {
+	if reg := obs.RegistryFrom(q.Ctx); reg != nil {
+		reg.Counter(obs.MEngineSegmentRuns).Inc()
+		reg.Counter(obs.MEngineSegmentBuilds).Add(int64(st.SegmentsBuilt))
+		reg.Counter(obs.MEngineSegmentsDropped).Add(int64(st.Segments - st.SegmentsBuilt))
+		reg.Histogram(obs.MEngineSegmentMergeSeconds).Observe(merge)
+	}
+	if sp := obs.SpanFrom(q.Ctx); sp != nil {
+		p := sp.Record("segments", start, end)
+		p.SetAttrInt("segments", int64(st.Segments))
+		p.SetAttrInt("built", int64(st.SegmentsBuilt))
+		p.SetAttrInt("dropped", int64(st.Segments-st.SegmentsBuilt))
+		p.SetAttrInt("parallelism", int64(st.SegmentParallelism))
+		p.SetAttrInt("merge_ns", merge.Nanoseconds())
+		p.SetAttrInt("rows_dropped", st.RowsDropped)
+	}
+}

@@ -33,6 +33,11 @@ const (
 	// rebuild) was skipped because the deadline or attempt budget ran
 	// out; the best-so-far answer was returned.
 	DegradeSkipRetry
+	// DegradeDropSegments: a segment-parallel build hit deadline or memory
+	// pressure mid-plan and the coordinator dropped the trailing segments,
+	// merging only the reservoirs already built (extrapolated aggregates,
+	// widened CI) instead of failing the query.
+	DegradeDropSegments
 )
 
 // String returns the snake_case step name used in metrics, EXPLAIN
@@ -47,6 +52,8 @@ func (s DegradeStep) String() string {
 		return "shrink_reservoir"
 	case DegradeSkipRetry:
 		return "skip_retry"
+	case DegradeDropSegments:
+		return "drop_segments"
 	default:
 		return "none"
 	}

@@ -53,6 +53,14 @@ const (
 	MEngineWallSeconds   = "laqy_engine_wall_seconds"
 	MEngineScanSeconds   = "laqy_engine_scan_seconds"
 
+	// Segment-parallel coordinator (engine/segment.go): one "run" per
+	// segmented build, with per-segment builds, drops under pressure, and
+	// the N-way merge cost broken out.
+	MEngineSegmentRuns         = "laqy_engine_segment_runs_total"
+	MEngineSegmentBuilds       = "laqy_engine_segment_builds_total"
+	MEngineSegmentsDropped     = "laqy_engine_segments_dropped_total"
+	MEngineSegmentMergeSeconds = "laqy_engine_segment_merge_seconds"
+
 	// Resource governor (internal/governor). See docs/GOVERNANCE.md.
 	MGovAdmitted      = "laqy_governor_admitted_total"
 	MGovRejected      = "laqy_governor_rejected_total"       // bounded queue full

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -77,6 +78,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if req.V != 0 && req.V != WireVersion {
+		writeEnvelope(w, http.StatusBadRequest, &Envelope{
+			RequestID: reqID,
+			Error:     &WireError{Code: "bad_request", Message: fmt.Sprintf("unsupported request version %d (this server speaks v%d)", req.V, WireVersion)},
+		})
+		return
+	}
 	if req.SQL == "" {
 		writeEnvelope(w, http.StatusBadRequest, &Envelope{
 			RequestID: reqID,
@@ -114,7 +122,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	qctx, qcancel := context.WithTimeout(ctx, timeout)
 	defer qcancel()
 
-	res, err := ts.db.QueryContext(qctx, req.SQL)
+	var opts []laqy.QueryOption
+	if req.SegmentParallelism != 0 {
+		opts = append(opts, laqy.WithSegmentParallelism(req.SegmentParallelism))
+	}
+	if req.DisableZoneMaps {
+		opts = append(opts, laqy.WithZoneMapsDisabled())
+	}
+	res, err := ts.db.QueryContext(qctx, req.SQL, opts...)
 	if err != nil {
 		status, werr := mapError(err)
 		writeEnvelope(w, status, &Envelope{RequestID: reqID, Tenant: tenant, Error: werr})

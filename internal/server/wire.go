@@ -30,8 +30,17 @@ import (
 	"laqy/internal/governor"
 )
 
+// WireVersion is the current request-envelope version. Requests may omit
+// the field (treated as the current version for compatibility with
+// pre-versioning clients) or pin it to 1; any other value is rejected with
+// bad_request, so a future incompatible revision can bump the number
+// without silently misreading old clients.
+const WireVersion = 1
+
 // QueryRequest is the body of POST /v1/query.
 type QueryRequest struct {
+	// V is the request-envelope version: 0 (absent) or WireVersion.
+	V int `json:"v,omitempty"`
 	// SQL is the statement to execute (required).
 	SQL string `json:"sql"`
 	// Tenant selects the namespace; falls back to the X-Laqy-Tenant
@@ -42,6 +51,13 @@ type QueryRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Stream selects NDJSON row streaming (equivalent to ?stream=ndjson).
 	Stream bool `json:"stream,omitempty"`
+	// SegmentParallelism caps concurrent per-segment sample builds
+	// (laqy.WithSegmentParallelism: 0 = engine's choice, 1 = serialize,
+	// negative = monolithic path).
+	SegmentParallelism int `json:"segment_parallelism,omitempty"`
+	// DisableZoneMaps turns off zone-map morsel pruning for this query
+	// (laqy.WithZoneMapsDisabled).
+	DisableZoneMaps bool `json:"disable_zone_maps,omitempty"`
 }
 
 // WireAgg is one aggregate estimate on the wire.
@@ -67,6 +83,13 @@ type WireStats struct {
 	TotalNS      int64 `json:"total_ns"`
 	RowsScanned  int64 `json:"rows_scanned"`
 	RowsSelected int64 `json:"rows_selected"`
+	// Segment-parallel build breakdown (zero for non-segmented runs):
+	// segments planned vs built, the fan-out used, and rows in segments
+	// dropped under pressure.
+	Segments           int   `json:"segments,omitempty"`
+	SegmentsBuilt      int   `json:"segments_built,omitempty"`
+	SegmentParallelism int   `json:"segment_parallelism,omitempty"`
+	RowsDropped        int64 `json:"rows_dropped,omitempty"`
 }
 
 // WireError is the typed failure half of the envelope.
@@ -129,12 +152,16 @@ func toEnvelope(reqID, tenant string, res *laqy.Result, includeRows bool) *Envel
 		Stale:        res.Stale,
 		Explain:      res.Explain,
 		Stats: &WireStats{
-			ScanNS:       res.Stats.Scan.Nanoseconds(),
-			ProcessNS:    res.Stats.Process.Nanoseconds(),
-			MergeNS:      res.Stats.Merge.Nanoseconds(),
-			TotalNS:      res.Stats.Total.Nanoseconds(),
-			RowsScanned:  res.Stats.RowsScanned,
-			RowsSelected: res.Stats.RowsSelected,
+			ScanNS:             res.Stats.Scan.Nanoseconds(),
+			ProcessNS:          res.Stats.Process.Nanoseconds(),
+			MergeNS:            res.Stats.Merge.Nanoseconds(),
+			TotalNS:            res.Stats.Total.Nanoseconds(),
+			RowsScanned:        res.Stats.RowsScanned,
+			RowsSelected:       res.Stats.RowsSelected,
+			Segments:           res.Stats.Segments,
+			SegmentsBuilt:      res.Stats.SegmentsBuilt,
+			SegmentParallelism: res.Stats.SegmentParallelism,
+			RowsDropped:        res.Stats.RowsDropped,
 		},
 	}
 	for _, d := range res.Degradations {

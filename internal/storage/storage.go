@@ -14,6 +14,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Kind describes the logical type of a column.
@@ -138,6 +139,11 @@ type Table struct {
 	// (zonemap.go). Appends build a new Table, so the cache can never go
 	// stale for a given table version.
 	zone zoneMapCache
+	// segs is the segment list (segment.go): explicit for tables built by
+	// the segmented constructors, synthesized as one whole-table segment on
+	// first Segments() call otherwise. segOnce guards the lazy synthesis.
+	segs    []*Segment
+	segOnce sync.Once
 }
 
 // NewTable assembles a table from columns. All columns must have equal

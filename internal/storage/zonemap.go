@@ -19,8 +19,13 @@ import "sync"
 // a grown table never serves a stale summary.
 type ZoneMap struct {
 	zoneSize int
-	rows     int
-	byName   map[string]zoneCol
+	// base is the absolute row the summary starts at: zone i covers rows
+	// [base+i*zoneSize, base+(i+1)*zoneSize). Whole-table maps have base 0;
+	// per-segment maps (segment.go) are based at the segment's first row so
+	// Bounds keeps taking absolute coordinates either way.
+	base   int
+	rows   int
+	byName map[string]zoneCol
 }
 
 // zoneCol is the per-column summary: mins[i]/maxs[i] bound the values of
@@ -52,11 +57,11 @@ func (z *ZoneMap) Column(name string) bool {
 // evaluating the range.
 func (z *ZoneMap) Bounds(name string, start, end int) (lo, hi int64, ok bool) {
 	c, found := z.byName[name]
-	if !found || start >= end || start < 0 || end > z.rows {
+	if !found || start >= end || start < z.base || end > z.base+z.rows {
 		return 0, 0, false
 	}
-	z0 := start / z.zoneSize
-	z1 := (end - 1) / z.zoneSize
+	z0 := (start - z.base) / z.zoneSize
+	z1 := (end - 1 - z.base) / z.zoneSize
 	lo, hi = c.mins[z0], c.maxs[z0]
 	for i := z0 + 1; i <= z1; i++ {
 		if c.mins[i] < lo {
@@ -74,19 +79,27 @@ func (z *ZoneMap) Bounds(name string, start, end int) (lo, hi int64, ok bool) {
 // version (Table.ZoneMap memoizes) and amortized across every scan that
 // prunes with it.
 func buildZoneMap(t *Table, zoneSize int) *ZoneMap {
+	return buildZoneMapRange(t, 0, t.NumRows(), zoneSize)
+}
+
+// buildZoneMapRange computes the per-zone min/max of every column over the
+// row range [base, base+rows). Segment builds summarize only their own rows,
+// which is what lets sealed segments carry their maps across appends while
+// the open segment alone re-summarizes.
+func buildZoneMapRange(t *Table, base, rows, zoneSize int) *ZoneMap {
 	if zoneSize <= 0 {
 		zoneSize = DefaultMorselSize
 	}
-	rows := t.NumRows()
 	zones := (rows + zoneSize - 1) / zoneSize
 	z := &ZoneMap{
 		zoneSize: zoneSize,
+		base:     base,
 		rows:     rows,
 		byName:   make(map[string]zoneCol, len(t.columns)),
 	}
 	for _, col := range t.columns {
 		zc := zoneCol{mins: make([]int64, zones), maxs: make([]int64, zones)}
-		vec := col.Ints
+		vec := col.Ints[base : base+rows]
 		for zi := 0; zi < zones; zi++ {
 			start := zi * zoneSize
 			end := start + zoneSize

@@ -22,14 +22,14 @@ import (
 // is versioned and self-contained: predicates, schemas, stratum keys,
 // weights, and tuple payloads.
 //
-// Format v2 ("LAQYSTO2", written by Save) frames every entry with a length
-// prefix and a CRC32-C of its payload, and ends with a checksummed footer,
-// so torn writes, truncations and bit flips are detected per entry — and
+// Format v3 ("LAQYSTO3", written by Save) keeps v2's framing — every entry
+// length-prefixed with a CRC32-C of its payload, a checksummed footer — so
+// torn writes, truncations and bit flips are detected per entry and
 // salvage can skip exactly the damaged entries (see Salvage). Layout (all
 // integers little-endian; varints are unsigned LEB128 via
 // encoding/binary's Uvarint; CRCs are CRC32-C / Castagnoli):
 //
-//	magic "LAQYSTO2"
+//	magic "LAQYSTO3"
 //	uvarint entryCount
 //	frame*:
 //	  uvarint payloadLen
@@ -41,7 +41,7 @@ import (
 //	  uint32  crc32c(payload₀ ‖ payload₁ ‖ …)   (whole-store digest)
 //	  uint32  crc32c(footer magic ‖ count ‖ digest)
 //
-// Entry encoding (identical to format v1's, which had no framing):
+// Entry encoding (v1's core, plus the v3 per-segment provenance block):
 //
 //	string input
 //	predicate:  uvarint #cols { string name; uvarint #ivs { int64 lo, hi } }
@@ -50,12 +50,17 @@ import (
 //	sample:     uvarint #strata
 //	  stratum*: int64 key[MaxQCS]; float64 weight;
 //	            uvarint resK, width, tupleCount; int64 data[count*width]
+//	segments:   uvarint #marks { uvarint id; uvarint version; uvarint rows }
+//	            (v3 only — per-segment high-water marks, docs/SHARDING.md)
 //
-// Format v1 ("LAQYSTO1": magic, uvarint entryCount, back-to-back entry
-// encodings) is still loaded, read-only; Save always writes v2.
+// Format v2 ("LAQYSTO2": same framing, entries end at the sample block) and
+// format v1 ("LAQYSTO1": magic, uvarint entryCount, back-to-back unframed
+// entry encodings) are still loaded, read-only, with empty watermark lists;
+// Save always writes v3.
 const (
 	persistMagicV1 = "LAQYSTO1"
 	persistMagicV2 = "LAQYSTO2"
+	persistMagicV3 = "LAQYSTO3"
 	footerMagic    = "LAQYFTR2"
 )
 
@@ -84,6 +89,8 @@ const (
 	maxStrata = 1 << 26
 	// maxReservoirK bounds the persisted reservoir capacity fields.
 	maxReservoirK = 1 << 30
+	// maxSegmentMarks bounds the per-entry segment watermark count.
+	maxSegmentMarks = 1 << 20
 )
 
 // castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
@@ -146,7 +153,7 @@ type binWriter interface {
 	io.StringWriter
 }
 
-// Save serializes the store's entries to w in format v2. The LRU clock is
+// Save serializes the store's entries to w in format v3. The LRU clock is
 // not persisted; loaded entries start fresh.
 func (s *Store) Save(w io.Writer) error {
 	err := s.save(w)
@@ -162,7 +169,7 @@ func (s *Store) save(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.WriteString(persistMagicV2); err != nil {
+	if _, err := bw.WriteString(persistMagicV3); err != nil {
 		return err
 	}
 	writeUvarint(bw, uint64(len(s.entries)))
@@ -309,7 +316,10 @@ func (s *Store) loadInner(r io.Reader, seed uint64, salvage bool, path string) e
 		return fmt.Errorf("store: reading magic: %w", err)
 	}
 	legacy := false
+	withSegments := false
 	switch string(magic) {
+	case persistMagicV3:
+		withSegments = true
 	case persistMagicV2:
 	case persistMagicV1:
 		legacy = true
@@ -329,7 +339,7 @@ func (s *Store) loadInner(r io.Reader, seed uint64, salvage bool, path string) e
 	if legacy {
 		loaded, err = readAllV1(br, count, gen, salvage, corrupt)
 	} else {
-		loaded, err = readAllV2(br, count, gen, salvage, corrupt)
+		loaded, err = readAllFramed(br, count, gen, salvage, corrupt, withSegments)
 	}
 	if err != nil {
 		return err
@@ -378,11 +388,12 @@ func readAllV1(br *bufio.Reader, count uint64, gen *rng.Lehmer64, salvage bool, 
 	return loaded, nil
 }
 
-// readAllV2 decodes a framed v2 stream: every entry is length-prefixed
-// and CRC-checked, so salvage skips exactly the damaged frames and keeps
-// going. A corrupted length prefix desyncs the frame stream; the
-// remaining entries are then reported dropped.
-func readAllV2(br *bufio.Reader, count uint64, gen *rng.Lehmer64, salvage bool, corrupt *CorruptStoreError) ([]*Entry, error) {
+// readAllFramed decodes a framed v2/v3 stream: every entry is
+// length-prefixed and CRC-checked, so salvage skips exactly the damaged
+// frames and keeps going. A corrupted length prefix desyncs the frame
+// stream; the remaining entries are then reported dropped. withSegments
+// selects the v3 entry encoding (trailing per-segment watermark block).
+func readAllFramed(br *bufio.Reader, count uint64, gen *rng.Lehmer64, salvage bool, corrupt *CorruptStoreError, withSegments bool) ([]*Entry, error) {
 	var loaded []*Entry
 	digest := crc32.New(castagnoli)
 	for i := uint64(0); i < count; i++ {
@@ -435,7 +446,7 @@ func readAllV2(br *bufio.Reader, count uint64, gen *rng.Lehmer64, salvage bool, 
 			})
 			continue // framing preserved: skip just this entry
 		}
-		e, err := decodeEntryPayload(payload, gen.Split(i))
+		e, err := decodeEntryPayload(payload, gen.Split(i), withSegments)
 		if err != nil {
 			if !salvage {
 				return nil, fmt.Errorf("store: entry %d: %w", i, err)
@@ -493,12 +504,17 @@ func checkFooter(br *bufio.Reader, count uint64, digest uint32, entriesDropped b
 	return nil
 }
 
-// decodeEntryPayload parses one CRC-validated v2 entry payload.
-func decodeEntryPayload(payload []byte, gen *rng.Lehmer64) (*Entry, error) {
+// decodeEntryPayload parses one CRC-validated v2/v3 entry payload.
+func decodeEntryPayload(payload []byte, gen *rng.Lehmer64, withSegments bool) (*Entry, error) {
 	br := bufio.NewReader(bytes.NewReader(payload))
 	e, err := readEntry(br, gen)
 	if err != nil {
 		return nil, err
+	}
+	if withSegments {
+		if e.Segments, err = readSegmentMarks(br); err != nil {
+			return nil, err
+		}
 	}
 	if _, err := br.ReadByte(); err != io.EOF {
 		return nil, fmt.Errorf("trailing bytes after entry payload")
@@ -506,9 +522,57 @@ func decodeEntryPayload(payload []byte, gen *rng.Lehmer64) (*Entry, error) {
 	return e, nil
 }
 
-// writeEntryPayload encodes one entry. Writing into a bytes.Buffer cannot
-// fail; bufio destinations surface errors on the caller's Flush.
+// readSegmentMarks decodes the v3 per-segment provenance block.
+func readSegmentMarks(r *bufio.Reader) ([]SegmentWatermark, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("reading segment mark count: %w", err)
+	}
+	if n > maxSegmentMarks {
+		return nil, fmt.Errorf("implausible segment mark count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	marks := make([]SegmentWatermark, n)
+	for i := range marks {
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		version, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if id > maxSegmentMarks || rows > math.MaxInt32 {
+			return nil, fmt.Errorf("implausible segment mark %d/%d", id, rows)
+		}
+		marks[i] = SegmentWatermark{ID: int(id), Version: version, Rows: int(rows)}
+	}
+	return marks, nil
+}
+
+// writeEntryPayload encodes one v3 entry: the v1/v2-compatible core
+// followed by the per-segment provenance block. Writing into a
+// bytes.Buffer cannot fail; bufio destinations surface errors on the
+// caller's Flush.
 func writeEntryPayload(w binWriter, e *Entry) {
+	writeEntryCore(w, e)
+	writeUvarint(w, uint64(len(e.Segments)))
+	for _, m := range e.Segments {
+		writeUvarint(w, uint64(m.ID))
+		writeUvarint(w, m.Version)
+		writeUvarint(w, uint64(m.Rows))
+	}
+}
+
+// writeEntryCore encodes the entry fields shared by every format version
+// (byte-identical to the v1 entry encoding; the v1 compat tests reuse it).
+func writeEntryCore(w binWriter, e *Entry) {
 	writeString(w, e.Input)
 	// Predicate.
 	cols := e.Predicate.Columns()

@@ -12,16 +12,15 @@ import (
 	"laqy/internal/sample"
 )
 
-// saveV1 renders a store in the legacy unframed v1 format (the v2 entry
-// payload encoding is byte-identical to v1's entry encoding, so the
-// read-only v1 loader stays testable without keeping a v1 writer in the
-// library).
+// saveV1 renders a store in the legacy unframed v1 format (the entry core
+// encoding is byte-identical to v1's entry encoding, so the read-only v1
+// loader stays testable without keeping a v1 writer in the library).
 func saveV1(s *Store) []byte {
 	var buf bytes.Buffer
 	buf.WriteString(persistMagicV1)
 	writeUvarint(&buf, uint64(len(s.entries)))
 	for _, e := range s.entries {
-		writeEntryPayload(&buf, e)
+		writeEntryCore(&buf, e)
 	}
 	return buf.Bytes()
 }
@@ -65,17 +64,17 @@ func framePayloads(t *testing.T, data []byte) (payloads [][2]int, footerStart in
 	return payloads, pos
 }
 
-func TestSaveWritesV2Magic(t *testing.T) {
+func TestSaveWritesV3Magic(t *testing.T) {
 	s := populatedStore(t)
 	var buf bytes.Buffer
 	if err := s.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.HasPrefix(buf.Bytes(), []byte(persistMagicV2)) {
+	if !bytes.HasPrefix(buf.Bytes(), []byte(persistMagicV3)) {
 		t.Fatalf("Save wrote magic %q", buf.Bytes()[:8])
 	}
 	if !bytes.Contains(buf.Bytes(), []byte(footerMagic)) {
-		t.Fatal("v2 stream is missing its footer")
+		t.Fatal("v3 stream is missing its footer")
 	}
 }
 
@@ -93,13 +92,13 @@ func TestLoadV1ReadOnlyCompat(t *testing.T) {
 	if m == nil || m.Reuse != algebra.ReuseFull {
 		t.Fatalf("lookup after v1 load: %+v", m)
 	}
-	// A v1 store re-saved comes out as v2.
+	// A v1 store re-saved comes out in the current format.
 	var buf bytes.Buffer
 	if err := loaded.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.HasPrefix(buf.Bytes(), []byte(persistMagicV2)) {
-		t.Fatal("re-save of a v1 store must write v2")
+	if !bytes.HasPrefix(buf.Bytes(), []byte(persistMagicV3)) {
+		t.Fatal("re-save of a v1 store must write v3")
 	}
 }
 

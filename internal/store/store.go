@@ -21,6 +21,23 @@ import (
 	"laqy/internal/sample"
 )
 
+// SegmentWatermark is per-segment sample provenance: the sample has
+// absorbed the first Rows rows of segment ID, whose content was at
+// Version when they were scanned. Δ-maintenance compares these marks
+// against the live table's segment list: an unchanged sealed segment
+// (same version, same rows) is provably covered and skipped without a
+// scan; a grown open segment rescans only [Rows, End); a segment whose
+// version moved under the mark (a partial rebuild) invalidates only
+// itself, not the whole sample.
+type SegmentWatermark struct {
+	// ID is the segment's position in the input table's segment list.
+	ID int
+	// Version is the segment's content version at scan time.
+	Version uint64
+	// Rows is how many of the segment's rows the sample has absorbed.
+	Rows int
+}
+
 // Meta describes a sample's logical sampler: where in the plan it samples
 // (Input), under which predicate it was built, and which columns it
 // captures (QCS first, then QVS).
@@ -39,6 +56,11 @@ type Meta struct {
 	QCSWidth int
 	// K is the per-stratum reservoir capacity.
 	K int
+	// Segments records per-segment high-water marks over the input's fact
+	// table, replacing the old single table offset. Empty for samples
+	// built before segmentation (or loaded from pre-v3 store files):
+	// maintenance then falls back to the whole-table offset it is handed.
+	Segments []SegmentWatermark
 }
 
 // QCS returns the stratification columns.
@@ -261,12 +283,17 @@ func (s *Store) Put(meta Meta, sam *sample.Stratified) (*Entry, error) {
 }
 
 // Update replaces an entry's sample and predicate after a Δ-merge expanded
-// its coverage, keeping the entry's LRU position fresh.
-func (s *Store) Update(e *Entry, sam *sample.Stratified, pred algebra.Predicate) {
+// its coverage, keeping the entry's LRU position fresh. segs, when non-nil,
+// replaces the entry's per-segment watermarks (the provenance of the merged
+// sample); nil keeps the existing marks.
+func (s *Store) Update(e *Entry, sam *sample.Stratified, pred algebra.Predicate, segs []SegmentWatermark) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e.Sample = sam
 	e.Predicate = pred
+	if segs != nil {
+		e.Segments = segs
+	}
 	s.clock++
 	e.lastUsed = s.clock
 	s.met.updates.Inc()

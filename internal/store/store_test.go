@@ -146,7 +146,7 @@ func TestUpdateExpandsPredicate(t *testing.T) {
 	s := New(0)
 	e, _ := s.Put(meta(algebra.NewPredicate().WithRange("key", 0, 50)), makeSample(10, testSchema, 1, 10, 100))
 	bigger := makeSample(11, testSchema, 1, 10, 200)
-	s.Update(e, bigger, algebra.NewPredicate().WithRange("key", 0, 100))
+	s.Update(e, bigger, algebra.NewPredicate().WithRange("key", 0, 100), nil)
 	m := s.Lookup("lineorder", testSchema, 1, 10, algebra.NewPredicate().WithRange("key", 60, 90))
 	if m == nil || m.Reuse != algebra.ReuseFull {
 		t.Fatalf("updated entry should now fully cover; got %+v", m)

@@ -61,6 +61,13 @@ type Config struct {
 	StoreBudgetBytes int64
 	// Seed makes sampling reproducible across identical query sequences.
 	Seed uint64
+	// SegmentRows is the target rows per storage segment. Registered and
+	// appended tables are laid out in segments of this size; sample builds
+	// fan out per segment and merge N-way (see docs/SHARDING.md). 0 uses
+	// storage.DefaultSegmentRows (1 Mi rows); values below the morsel size
+	// are raised to it. Tables smaller than one segment keep a single
+	// segment, preserving the pre-segmentation layout.
+	SegmentRows int
 	// MinSupport, when > 0, enables the conservative per-stratum support
 	// check when reusing tightened samples: reuse falls back to online
 	// sampling if any stratum would back an estimate with fewer tuples.
@@ -77,8 +84,10 @@ type Config struct {
 	// stores salvaged on LoadSamples).
 	//
 	// Deprecated: set Logger instead; Warnf remains as a compatibility
-	// shim receiving LogWarn and LogError messages. When neither is set
-	// the standard logger is used.
+	// shim receiving LogWarn and LogError messages (Open adapts it onto
+	// the Logger interface). When neither is set the standard logger is
+	// used. The shim will be removed in the release after next; see the
+	// deprecation window in the README.
 	Warnf func(format string, args ...any)
 	// DisableMetrics turns off the metrics registry: all instruments
 	// become no-ops and Metrics()/Handler() report nothing. Tracing
@@ -126,6 +135,11 @@ type DB struct {
 // Open creates an empty DB.
 func Open(cfg Config) *DB {
 	cfg = cfg.withDefaults()
+	// Fold the deprecated Warnf shim into the leveled logger once, here,
+	// so every internal diagnostic goes through Config.Logger.
+	if cfg.Logger == nil && cfg.Warnf != nil {
+		cfg.Logger = warnfLogger(cfg.Warnf)
+	}
 	reg := obs.NewRegistry()
 	if cfg.DisableMetrics {
 		reg = obs.Disabled
@@ -193,12 +207,17 @@ func (b *TableBuilder) String(name string, values []string) *TableBuilder {
 	return b
 }
 
-// Register finalizes a built table into the DB's catalog.
+// Register finalizes a built table into the DB's catalog, laid out in
+// segments of Config.SegmentRows rows.
 func (db *DB) Register(b *TableBuilder) error {
 	if b.err != nil {
 		return b.err
 	}
 	t, err := storage.NewTable(b.name, b.cols...)
+	if err != nil {
+		return err
+	}
+	t, err = storage.Resegment(t, db.cfg.SegmentRows)
 	if err != nil {
 		return err
 	}
@@ -215,6 +234,10 @@ func (db *DB) LoadSSB(lineorderRows int, seed uint64) error {
 		return err
 	}
 	for _, t := range []*storage.Table{data.Lineorder, data.Date, data.Supplier, data.Part, data.Customer} {
+		t, err = storage.Resegment(t, db.cfg.SegmentRows)
+		if err != nil {
+			return err
+		}
 		if err := db.catalog.Register(t); err != nil {
 			return err
 		}
@@ -357,9 +380,9 @@ func (db *DB) LoadSamplesFS(fsys iofault.FS, path string) error {
 	return err
 }
 
-// logf routes a diagnostic to the configured sink: Config.Logger first,
-// then the deprecated Config.Warnf (LogWarn and above only), then the
-// standard logger (LogWarn and above only).
+// logf routes a diagnostic to the leveled logger (Open folds the
+// deprecated Config.Warnf into one), falling back to the standard logger
+// (LogWarn and above only) when none is configured.
 func (db *DB) logf(level LogLevel, format string, args ...any) {
 	if db.cfg.Name != "" {
 		format = "[" + db.cfg.Name + "] " + format
@@ -371,11 +394,19 @@ func (db *DB) logf(level LogLevel, format string, args ...any) {
 	if level < LogWarn {
 		return
 	}
-	if db.cfg.Warnf != nil {
-		db.cfg.Warnf(format, args...)
-		return
-	}
 	log.Printf(format, args...)
+}
+
+// warnfLogger adapts the deprecated Config.Warnf callback to the Logger
+// interface: LogWarn and above forward, lower levels are dropped —
+// preserving the shim's historical contract while every internal call site
+// speaks only the leveled interface.
+type warnfLogger func(format string, args ...any)
+
+func (f warnfLogger) Logf(level LogLevel, format string, args ...any) {
+	if level >= LogWarn {
+		f(format, args...)
+	}
 }
 
 // SampleInfo describes one cached sample for observability.

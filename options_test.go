@@ -1,0 +1,148 @@
+package laqy
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// openSegmented builds a DB whose lone table spans several storage
+// segments: SegmentRows is pinned to the morsel-size floor (64 Ki rows)
+// and the table holds ~2.2 segments' worth of rows.
+func openSegmented(t *testing.T) (*DB, int) {
+	t.Helper()
+	const n = 150000
+	db := Open(Config{Workers: 2, DefaultK: 256, Seed: 9, SegmentRows: 1})
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	grp := make([]string, n)
+	names := []string{"red", "green", "blue"}
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = int64(i % 1000)
+		grp[i] = names[i%3]
+	}
+	if err := db.Register(NewTable("t").Int64("key", keys).Int64("v", vals).String("g", grp)); err != nil {
+		t.Fatal(err)
+	}
+	return db, n
+}
+
+func TestQuerySpansSegments(t *testing.T) {
+	db, n := openSegmented(t)
+	res, err := db.Query(`SELECT g, SUM(v) FROM t WHERE key BETWEEN 0 AND 149999 GROUP BY g APPROX WITH K 400`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Segments < 2 {
+		t.Fatalf("Segments = %d, want the build fanned out over >1 segment", res.Stats.Segments)
+	}
+	if res.Stats.SegmentsBuilt != res.Stats.Segments {
+		t.Fatalf("built %d of %d segments with no pressure", res.Stats.SegmentsBuilt, res.Stats.Segments)
+	}
+	if res.Stats.RowsDropped != 0 {
+		t.Fatalf("RowsDropped = %d without pressure", res.Stats.RowsDropped)
+	}
+	if res.Stats.RowsScanned != int64(n) {
+		t.Fatalf("RowsScanned = %d, want %d", res.Stats.RowsScanned, n)
+	}
+}
+
+func TestWithSegmentParallelismMonolithic(t *testing.T) {
+	db, _ := openSegmented(t)
+	// Negative parallelism forces the single-reservoir reference path; the
+	// stats then report no segmentation at all.
+	res, err := db.Query(`SELECT g, SUM(v) FROM t WHERE key BETWEEN 0 AND 149999 GROUP BY g APPROX WITH K 400`,
+		WithSegmentParallelism(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Segments != 0 || res.Stats.SegmentsBuilt != 0 {
+		t.Fatalf("monolithic path reported segments %d/%d", res.Stats.SegmentsBuilt, res.Stats.Segments)
+	}
+	// Serialized segment builds still cover every segment.
+	db.ClearSamples()
+	res, err = db.Query(`SELECT g, SUM(v) FROM t WHERE key BETWEEN 10 AND 149999 GROUP BY g APPROX WITH K 400`,
+		WithSegmentParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Segments < 2 || res.Stats.SegmentParallelism != 1 {
+		t.Fatalf("serialized build = %d segments at parallelism %d", res.Stats.Segments, res.Stats.SegmentParallelism)
+	}
+}
+
+func TestWithZoneMapsDisabled(t *testing.T) {
+	db, _ := openSegmented(t)
+	// A selective predicate prunes morsels with zone maps on; disabling
+	// them must still return the same answer.
+	const q = `SELECT g, SUM(v) FROM t WHERE key BETWEEN 1000 AND 1999 GROUP BY g`
+	pruned, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.Query(q, WithZoneMapsDisabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Rows) != len(full.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(pruned.Rows), len(full.Rows))
+	}
+	for i := range pruned.Rows {
+		if pruned.Rows[i].Aggs[0].Value != full.Rows[i].Aggs[0].Value {
+			t.Fatalf("row %d: %v vs %v", i, pruned.Rows[i].Aggs[0].Value, full.Rows[i].Aggs[0].Value)
+		}
+	}
+}
+
+func TestWithErrorBoundOption(t *testing.T) {
+	db := openSSB(t, 40000)
+	// Same contract as the SQL ERROR clause: an unmeetable bound falls
+	// back to exact execution.
+	strict, err := db.Query(`SELECT d_year, SUM(lo_revenue) FROM lineorder, date
+		WHERE lo_orderdate = d_datekey
+		GROUP BY d_year APPROX WITH K 16`, WithErrorBound(0.001, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Mode != ModeExactFallback {
+		t.Fatalf("mode = %q, want exact_fallback", strict.Mode)
+	}
+	// A bound written in the SQL wins over the option: ERROR 20 is loose
+	// enough that the K-4000 sample answers online even though the option
+	// asks for the impossible.
+	db.ClearSamples()
+	loose, err := db.Query(`SELECT d_year, SUM(lo_revenue) FROM lineorder, date
+		WHERE lo_orderdate = d_datekey
+		GROUP BY d_year APPROX WITH K 4000 ERROR 20`, WithErrorBound(0.001, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Mode != ModeOnline {
+		t.Fatalf("mode = %q, want online (SQL clause wins)", loose.Mode)
+	}
+}
+
+func TestWithTimeoutOption(t *testing.T) {
+	db, _ := openSegmented(t)
+	// An already-expired per-query timeout surfaces as a deadline error
+	// (nothing built → nothing to degrade to).
+	_, err := db.Query(`SELECT g, SUM(v) FROM t GROUP BY g APPROX WITH K 400`,
+		WithTimeout(time.Nanosecond))
+	if err == nil {
+		t.Fatal("nanosecond timeout must fail or degrade; got full success with no error")
+	}
+	// An earlier context deadline still wins over a generous option.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, `SELECT g, SUM(v) FROM t GROUP BY g`, WithTimeout(time.Hour)); err == nil {
+		t.Fatal("canceled context must fail despite WithTimeout")
+	}
+}
+
+func TestNilOptionIsIgnored(t *testing.T) {
+	db, _ := openSegmented(t)
+	if _, err := db.Query(`SELECT COUNT(*) FROM t`, nil, WithSegmentParallelism(0)); err != nil {
+		t.Fatal(err)
+	}
+}

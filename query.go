@@ -74,6 +74,16 @@ type ExecStats struct {
 	Total time.Duration
 	// RowsScanned and RowsSelected count fact rows considered/qualified.
 	RowsScanned, RowsSelected int64
+	// Segments and SegmentsBuilt count the storage segments a segmented
+	// sample build planned and completed; they differ when the governor
+	// dropped trailing segments under pressure (see docs/SHARDING.md).
+	// Both are zero for non-segmented executions.
+	Segments, SegmentsBuilt int
+	// SegmentParallelism is the concurrent segment-build fan-out used.
+	SegmentParallelism int
+	// RowsDropped counts fact rows in dropped segments (never scanned;
+	// extensive aggregates were extrapolated over them).
+	RowsDropped int64
 }
 
 // Result is a query's answer.
@@ -118,14 +128,15 @@ func (r *Result) ModeString() string { return r.Mode.String() }
 
 // Query parses, plans, and executes a SQL statement. Aggregation queries
 // are supported; the APPROX clause selects sampling-based execution with
-// LAQy's lazy sample reuse.
-func (db *DB) Query(text string) (*Result, error) {
-	return db.QueryContext(context.Background(), text)
+// LAQy's lazy sample reuse. Options tune this execution only (timeout,
+// segment parallelism, zone maps, error contract); see QueryOptions.
+func (db *DB) Query(text string, opts ...QueryOption) (*Result, error) {
+	return db.QueryContext(context.Background(), text, opts...)
 }
 
 // QueryContext is Query with cancellation: scans abort at the next morsel
 // boundary once ctx is done, returning the context's error.
-func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
+func (db *DB) QueryContext(ctx context.Context, text string, opts ...QueryOption) (*Result, error) {
 	parseStart := obs.Clock()
 	stmt, err := sql.Parse(text)
 	db.met.parse.Inc()
@@ -144,7 +155,7 @@ func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
 	if plan.Explain {
 		return &Result{Explain: plan.Describe()}, nil
 	}
-	return db.execute(ctx, plan, parseStart, parseEnd, planEnd)
+	return db.execute(ctx, plan, applyOptions(opts), parseStart, parseEnd, planEnd)
 }
 
 // execute runs a planned statement with the observability and governance
@@ -153,13 +164,30 @@ func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
 // by QueryContext are recorded retroactively on the trace; and the query
 // passes the resource governor — default deadline, admission control,
 // memory budget, and (under deadline pressure) the degradation ladder.
-func (db *DB) execute(ctx context.Context, plan *sql.Plan, parseStart, parseEnd, planEnd time.Time) (*Result, error) {
+func (db *DB) execute(ctx context.Context, plan *sql.Plan, opt QueryOptions, parseStart, parseEnd, planEnd time.Time) (*Result, error) {
 	start := obs.Clock()
 	db.met.queries.Inc()
 
-	// Default deadline: queries that arrive without one inherit the
-	// configured budget, so the degradation ladder has a target to honor.
-	if db.cfg.DefaultQueryTimeout > 0 {
+	// Per-query knobs: the option surface overrides the Config-wide
+	// defaults; clauses written in the SQL text win over options.
+	plan.Query.SegmentParallelism = opt.SegmentParallelism
+	plan.Query.DisableZoneMaps = plan.Query.DisableZoneMaps || opt.DisableZoneMaps
+	if opt.ErrorBound > 0 && plan.ErrorBound == 0 {
+		plan.ErrorBound = opt.ErrorBound
+		if opt.Confidence > 0 && plan.Confidence == 0 {
+			plan.Confidence = opt.Confidence
+		}
+	}
+
+	// Deadline: WithTimeout supersedes the configured default; queries
+	// that arrive with neither inherit Config.DefaultQueryTimeout, so the
+	// degradation ladder has a target to honor. An earlier deadline
+	// already on the context wins either way (nested WithTimeout).
+	if timeout := opt.Timeout; timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	} else if db.cfg.DefaultQueryTimeout > 0 {
 		if _, has := ctx.Deadline(); !has {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, db.cfg.DefaultQueryTimeout)
@@ -491,8 +519,11 @@ const approxRetryAttempts = 2
 // reported uncertainty discloses the unobserved range.
 func rowsFromSample(plan *sql.Plan, res *core.Result) []Row {
 	rideOnIdx := len(plan.GroupBy)
+	// Coverage accounting applies to stale serves and to builds that
+	// dropped trailing segments under pressure: either way the sample
+	// under-covers the predicate and Extrapolate/CIScale disclose it.
 	extrapolate, ciScale := 1.0, 1.0
-	if res.Stale {
+	if res.Stale || res.Extrapolate > 1 {
 		if res.Extrapolate > 0 {
 			extrapolate = res.Extrapolate
 		}
@@ -700,12 +731,16 @@ func newResult(plan *sql.Plan, approximate bool, mode Mode) *Result {
 
 func toExecStats(s engine.Stats, extraMerge time.Duration, total time.Duration) ExecStats {
 	return ExecStats{
-		Scan:         s.Scan,
-		Process:      s.Process,
-		Merge:        s.Merge + extraMerge,
-		Total:        total,
-		RowsScanned:  s.RowsScanned,
-		RowsSelected: s.RowsSelected,
+		Scan:               s.Scan,
+		Process:            s.Process,
+		Merge:              s.Merge + extraMerge,
+		Total:              total,
+		RowsScanned:        s.RowsScanned,
+		RowsSelected:       s.RowsSelected,
+		Segments:           s.Segments,
+		SegmentsBuilt:      s.SegmentsBuilt,
+		SegmentParallelism: s.SegmentParallelism,
+		RowsDropped:        s.RowsDropped,
 	}
 }
 

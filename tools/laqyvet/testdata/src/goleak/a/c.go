@@ -1,0 +1,61 @@
+// Golden input for the goleak analyzer: segment-coordinator spawn shapes —
+// a worker pool fanning out per-segment builds that the coordinator joins
+// on a WaitGroup, mirroring internal/engine's runStratifiedSegments. The
+// point under test: a pool whose workers drain an atomically-dispatched
+// work list and are all joined before the coordinator returns is provably
+// terminating even though the spawn sits inside a loop.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type segResult struct {
+	id  int
+	err error
+}
+
+func buildSegment(id int) segResult { return segResult{id: id} }
+
+// SegmentFanOutJoined: the coordinator spawns one goroutine per pool slot,
+// each draining segment indexes off a shared atomic counter, and waits for
+// the whole pool before merging — the engine's segment-build shape.
+func SegmentFanOutJoined(segments []int, par int) []segResult {
+	results := make([]segResult, len(segments))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(segments) {
+					return
+				}
+				results[i] = buildSegment(segments[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// SegmentFanOutNoJoin: the same pool without the join — the coordinator
+// returns while builds are still running, so results and the stopped flag
+// are torn. The analyzer must flag the spawn.
+func SegmentFanOutNoJoin(segments []int, par int) {
+	var next atomic.Int64
+	for w := 0; w < par; w++ {
+		go func() { // want `no provable termination`
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(segments) {
+					return
+				}
+				buildSegment(segments[i])
+			}
+		}()
+	}
+}
