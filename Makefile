@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test lint vet laqy-vet race stress servestress faults fuzz-smoke bench bench-smoke clean
+.PHONY: all build test lint vet laqy-vet race stress servestress shardchaos faults fuzz-smoke bench bench-smoke clean
 
 all: build lint test
 
@@ -64,6 +64,18 @@ stress:
 servestress:
 	CGO_ENABLED=1 LAQY_SERVESTRESS_METRICS_OUT=$(CURDIR)/servestress-metrics.json \
 		$(GO) test -race -count=1 -run 'TestConnectionChaos' -v ./internal/server
+
+# The distributed robustness gate (docs/SHARDING.md, "Distributed"): the
+# multi-process shard chaos harness — three real laqyd shard daemons in
+# child processes, one SIGKILLed and one SIGSTOPped while their builds are
+# in flight behind latency-injecting proxies. Asserts the 206 partial
+# answer with per-shard drop attribution, extrapolated estimates near
+# ground truth, widened confidence intervals, retries bounded by the
+# policy, and zero goroutine leaks. Writes the laqy_shard_* metrics
+# snapshot CI uploads as an artifact.
+shardchaos:
+	CGO_ENABLED=1 LAQY_SHARDCHAOS_METRICS_OUT=$(CURDIR)/shardchaos-metrics.json \
+		$(GO) test -race -count=1 -run 'TestShardChaos' -v ./internal/shard
 
 # The durability gate: the fault-injection filesystem model, the
 # crash-at-every-syscall replay of SaveFile, and the salvage/bit-flip

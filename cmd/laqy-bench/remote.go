@@ -26,7 +26,7 @@ type remoteResult struct {
 	status    int
 	latency   time.Duration
 	degraded  bool
-	retrySecs int // parsed Retry-After on 429/503 (0 when absent)
+	retrySecs int  // parsed Retry-After on 429/503 (0 when absent)
 	err       bool // transport failure
 }
 

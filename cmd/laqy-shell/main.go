@@ -10,8 +10,8 @@
 // "online" to "partial" (Δ-sample only) to "offline" (no scan at all).
 //
 // Meta commands: \tables, \stats, \samples, \metrics, \trace on|off,
-// \timeout <dur>, \governor, \serve <addr>|stop, \clear, \save, \load,
-// \help, \q.
+// \timeout <dur>, \governor, \serve <addr>|stop, \shards, \clear, \save,
+// \load, \help, \q.
 // EXPLAIN <query> prints the plan; EXPLAIN ANALYZE <query> executes it
 // and prints the annotated phase trace.
 package main
@@ -29,6 +29,7 @@ import (
 
 	"laqy"
 	"laqy/internal/server"
+	"laqy/internal/shard"
 )
 
 // queryTimeout is the session deadline set by \timeout; zero means none.
@@ -42,14 +43,28 @@ var queryTimeout time.Duration
 // prompt reuse the same sample store.
 var srv *server.Server
 
+// shardPool is the distributed-segments pool installed by -shards (nil
+// when the shell runs purely locally); \shards inspects it.
+var shardPool *shard.Pool
+
 func main() {
 	rows := flag.Int("rows", 1_000_000, "lineorder rows to generate")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	k := flag.Int("k", 1024, "default per-stratum reservoir capacity")
 	command := flag.String("c", "", "execute one statement and exit (non-interactive)")
+	shards := flag.String("shards", "", "comma-separated name=url shard nodes; fan APPROX builds out to them")
 	flag.Parse()
 
 	db := laqy.Open(laqy.Config{DefaultK: *k, Seed: *seed})
+	if *shards != "" {
+		nodes, err := server.ParseShards(*shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "laqy-shell:", err)
+			os.Exit(2)
+		}
+		shardPool = shard.NewPool(nodes, shard.Options{}, nil)
+		db.SetSegmentPlanner(shard.NewPlanner(shardPool))
+	}
 	if *command == "" {
 		fmt.Printf("loading SSB: %d lineorder rows...\n", *rows)
 	}
@@ -268,6 +283,27 @@ func meta(db *laqy.DB, line string) bool {
 		default:
 			fmt.Println(`  usage: \serve <addr>|stop   (e.g. \serve :8632)`)
 		}
+	case `\shards`:
+		if shardPool == nil {
+			fmt.Println("  no shard pool configured (start with -shards name=url,...).")
+			return true
+		}
+		if len(fields) == 2 && fields[1] == "probe" {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			shardPool.ProbeAll(ctx)
+			cancel()
+		}
+		healthy, total := shardPool.Healthy()
+		fmt.Printf("  %d/%d nodes healthy (distribution map v%d)\n", healthy, total, shardPool.MapVersion())
+		for _, ns := range shardPool.Status() {
+			ewma := "no history"
+			if ns.EWMA > 0 {
+				ewma = fmt.Sprintf("ewma %v", ns.EWMA.Round(time.Millisecond/10))
+			}
+			fmt.Printf("    %-12s %-28s breaker %-9s %s (consecutive failures: %d)\n",
+				ns.Name, ns.BaseURL, ns.State, ewma, ns.Failures)
+		}
+		fmt.Println(`  (\shards probe re-checks every node's /readyz now)`)
 	case `\clear`:
 		db.ClearSamples()
 		fmt.Println("  sample store cleared.")
@@ -301,6 +337,7 @@ func meta(db *laqy.DB, line string) bool {
 		fmt.Println(`  \timeout <dur>|off  per-query deadline (degrades under pressure)`)
 		fmt.Println(`  \governor  admission slots, queue, and memory budget status`)
 		fmt.Println(`  \serve <addr>|stop  serve the HTTP query API over this session's store`)
+		fmt.Println(`  \shards [probe]  shard node health and breaker states (with -shards)`)
 		fmt.Println(`  \save <path>  persist samples (durable)   \load <path>  restore samples`)
 		fmt.Println(`  EXPLAIN <query>          print the plan without executing`)
 		fmt.Println(`  EXPLAIN ANALYZE <query>  execute and print the annotated phase trace`)

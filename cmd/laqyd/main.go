@@ -8,6 +8,13 @@
 //	      [-rows 1000000] [-seed 1] [-k 1024]
 //	      [-slots 0] [-queue-depth 0] [-timeout 30s] [-drain 15s]
 //	      [-max-body 1048576] [-sample-dir <dir>] [-save-interval 30s]
+//	      [-shards name=url,...] [-shard-of i/n]
+//
+// -shards makes the daemon a distributed-segments coordinator: queries
+// fan per-segment builds out to the named shard laqyds with retries,
+// hedging, and partial-answer degradation when a shard is down.
+// -shard-of i/n restricts which segments this daemon will build for
+// remote coordinators (docs/SHARDING.md, "Distributed").
 //
 // Each named tenant is provisioned with an independent SSB dataset (the
 // demo workload; embedders compose internal/server with their own data).
@@ -31,6 +38,7 @@ import (
 
 	"laqy"
 	"laqy/internal/server"
+	"laqy/internal/shard"
 )
 
 // options is the parsed command line, separated from main for testing.
@@ -48,6 +56,9 @@ type options struct {
 	maxBody       int64
 	sampleDir     string
 	saveInterval  time.Duration
+	shards        []shard.NodeConfig
+	shardIndex    int
+	shardCount    int
 }
 
 // parseFlags parses args into options (no I/O; unit-tested).
@@ -68,8 +79,25 @@ func parseFlags(args []string) (options, error) {
 	fs.Int64Var(&o.maxBody, "max-body", 1<<20, "request body size limit in bytes")
 	fs.StringVar(&o.sampleDir, "sample-dir", "", "persist per-tenant sample stores in this directory")
 	fs.DurationVar(&o.saveInterval, "save-interval", 30*time.Second, "periodic sample-store save cadence")
+	var shards, shardOf string
+	fs.StringVar(&shards, "shards", "", "comma-separated name=url shard nodes; makes this daemon a distributed-segments coordinator")
+	fs.StringVar(&shardOf, "shard-of", "", "i/n: serve only segment builds owned by shard i of n (modulo distribution)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
+	}
+	if shards != "" {
+		parsed, err := server.ParseShards(shards)
+		if err != nil {
+			return options{}, err
+		}
+		o.shards = parsed
+	}
+	if shardOf != "" {
+		i, n, err := server.ParseShardOf(shardOf)
+		if err != nil {
+			return options{}, err
+		}
+		o.shardIndex, o.shardCount = i, n
 	}
 	for _, name := range strings.Split(tenants, ",") {
 		if name = strings.TrimSpace(name); name != "" {
@@ -97,6 +125,9 @@ func buildServer(o options, logf func(format string, args ...any)) (*server.Serv
 		MaxBodyBytes:   o.maxBody,
 		SampleDir:      o.sampleDir,
 		SaveInterval:   o.saveInterval,
+		Shards:         o.shards,
+		ShardIndex:     o.shardIndex,
+		ShardCount:     o.shardCount,
 		Logf:           logf,
 	}
 	for i, name := range o.tenants {

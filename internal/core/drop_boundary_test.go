@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"laqy/internal/engine"
+	"laqy/internal/governor"
+)
+
+func checkFinite(t *testing.T, res *Result) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"coverage": res.Coverage, "extrapolate": res.Extrapolate, "ciscale": res.CIScale,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s is not finite: %v (res %+v)", name, v, res)
+		}
+	}
+}
+
+// TestDropDegradationBoundaries pins the extrapolation arithmetic at its
+// edges: every combination of scanned/dropped rows must produce finite
+// Coverage/Extrapolate/CIScale and a drop_segments label whenever rows
+// were actually dropped — never NaN, never Inf, never a silent answer.
+func TestDropDegradationBoundaries(t *testing.T) {
+	cases := []struct {
+		name            string
+		scanned         int64
+		dropped         int64
+		wantLabel       bool
+		wantCoverage    float64
+		wantExtrapolate float64
+	}{
+		{"no drops", 1000, 0, false, 0, 0},
+		{"half dropped", 1000, 1000, true, 0.5, 2},
+		{"all segments dropped", 0, 1000, true, 0, 1},
+		{"zero-row open segment survived", 0, 500, true, 0, 1},
+		{"negative scan basis", -5, 100, true, 0, 1},
+		{"tiny survivor", 1, 1 << 40, true, 1 / (1 + float64(1<<40)), 1 + float64(1<<40)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stats := engine.Stats{
+				RowsScanned:   tc.scanned,
+				RowsDropped:   tc.dropped,
+				Segments:      4,
+				SegmentsBuilt: 2,
+			}
+			var res Result
+			dropDegradation(stats, &res)
+			checkFinite(t, &res)
+			if tc.wantLabel != (len(res.Degradations) == 1) {
+				t.Fatalf("degradations = %+v, want label %v", res.Degradations, tc.wantLabel)
+			}
+			if !tc.wantLabel {
+				return
+			}
+			if res.Degradations[0].Step != governor.DegradeDropSegments {
+				t.Fatalf("step = %v", res.Degradations[0].Step)
+			}
+			if math.Abs(res.Coverage-tc.wantCoverage) > 1e-12 {
+				t.Fatalf("coverage = %v, want %v", res.Coverage, tc.wantCoverage)
+			}
+			if math.Abs(res.Extrapolate-tc.wantExtrapolate) > 1e-3 {
+				t.Fatalf("extrapolate = %v, want %v", res.Extrapolate, tc.wantExtrapolate)
+			}
+			if res.CIScale != res.Extrapolate {
+				t.Fatalf("CI widening %v must match the extrapolation %v", res.CIScale, res.Extrapolate)
+			}
+		})
+	}
+}
+
+// TestDropAttributionNamesShards: drops from RPC shards carry the shard
+// name and failure into the degradation detail, pressure drops stay
+// anonymous, and mixed causes are distinguished in the reason.
+func TestDropAttributionNamesShards(t *testing.T) {
+	stats := engine.Stats{
+		RowsScanned: 100, RowsDropped: 200, Segments: 4, SegmentsBuilt: 2,
+		SegmentDrops: []engine.SegmentDrop{
+			{ID: 1, Rows: 100, Shard: "node-b", Reason: "connection refused"},
+			{ID: 3, Rows: 100, Reason: "pressure"},
+		},
+	}
+	reason, detail := dropAttribution(stats)
+	if reason != "deadline or memory pressure and shard unavailability" {
+		t.Fatalf("mixed reason = %q", reason)
+	}
+	for _, want := range []string{"seg 1 via node-b: connection refused", "seg 3: pressure", "2 of 4 segments built"} {
+		if !strings.Contains(detail, want) {
+			t.Fatalf("detail %q missing %q", detail, want)
+		}
+	}
+
+	// Shard-only drops get the operator-facing reason.
+	stats.SegmentDrops = stats.SegmentDrops[:1]
+	if reason, _ := dropAttribution(stats); reason != "shard unavailable" {
+		t.Fatalf("shard-only reason = %q", reason)
+	}
+	// No records at all (legacy accounting) defaults to pressure.
+	stats.SegmentDrops = nil
+	if reason, _ := dropAttribution(stats); reason != "deadline or memory pressure" {
+		t.Fatalf("default reason = %q", reason)
+	}
+}
+
+// TestDropAttributionCapsDetail: a mass outage (many dropped segments)
+// must not turn the degradation detail into an unbounded string.
+func TestDropAttributionCapsDetail(t *testing.T) {
+	stats := engine.Stats{RowsScanned: 1, RowsDropped: 100, Segments: 40, SegmentsBuilt: 0}
+	for i := 0; i < 40; i++ {
+		stats.SegmentDrops = append(stats.SegmentDrops,
+			engine.SegmentDrop{ID: i, Rows: 1, Shard: "s", Reason: "down"})
+	}
+	_, detail := dropAttribution(stats)
+	if !strings.Contains(detail, "… 32 more") {
+		t.Fatalf("detail not capped: %q", detail)
+	}
+	if strings.Count(detail, "seg ") != 8 {
+		t.Fatalf("detail lists %d segments, want 8", strings.Count(detail, "seg "))
+	}
+}

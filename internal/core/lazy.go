@@ -548,14 +548,17 @@ func (l *LazySampler) partial(req Request, input string, match *store.Match, sta
 	}
 	l.met.deltaBuilds.Inc()
 	if stats.RowsDropped > 0 {
-		// The Δ-build dropped trailing segments under pressure; a truncated
-		// Δ cannot be merged — it under-represents the missing range
-		// relative to the coverage the merged entry would claim. Serve the
-		// stored sample as-is with coverage accounting instead.
+		// The Δ-build dropped segments (pressure, or an unavailable
+		// shard); a truncated Δ cannot be merged — it under-represents the
+		// missing range relative to the coverage the merged entry would
+		// claim. Serve the stored sample as-is with coverage accounting
+		// instead: serveStored guarantees a finite 1/coverage scale, so a
+		// drop after a partial merge can never surface NaN/Inf estimates.
+		reason, detail := dropAttribution(stats)
 		return l.serveStored(req, match, start, governor.Degradation{
 			Step:   governor.DegradeDropSegments,
-			Reason: "deadline or memory pressure",
-			Detail: fmt.Sprintf("%d of %d Δ-segments built", stats.SegmentsBuilt, stats.Segments),
+			Reason: reason,
+			Detail: "Δ-build: " + detail,
 		})
 	}
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"laqy/internal/engine"
 	"laqy/internal/governor"
@@ -57,26 +58,77 @@ func watermarkFrom(t *storage.Table, marks []store.SegmentWatermark) map[int]int
 	return from
 }
 
-// dropDegradation converts the segment coordinator's dropped-trailing-
-// segments report into the query's governance record: the answer is labeled
-// with the drop_segments rung, and extensive estimates are extrapolated over
-// the unscanned suffix (with the CI widened by the same factor), mirroring
-// the stale-serve accounting of serveStored.
+// dropAttribution names why segments were dropped and which shards (for
+// remote sources) were at fault, from the coordinator's per-drop records.
+// The reason distinguishes local pressure from shard unavailability so a
+// 206 tells the client whether to shrink the query or page the operator;
+// the detail lists the dropped segments (capped) with shard attribution.
+func dropAttribution(stats engine.Stats) (reason, detail string) {
+	detail = fmt.Sprintf("%d of %d segments built; %d rows dropped",
+		stats.SegmentsBuilt, stats.Segments, stats.RowsDropped)
+	pressure, shard := 0, 0
+	for _, d := range stats.SegmentDrops {
+		if d.Shard != "" {
+			shard++
+		} else {
+			pressure++
+		}
+	}
+	switch {
+	case shard > 0 && pressure > 0:
+		reason = "deadline or memory pressure and shard unavailability"
+	case shard > 0:
+		reason = "shard unavailable"
+	default:
+		reason = "deadline or memory pressure"
+	}
+	for i, d := range stats.SegmentDrops {
+		if i == 8 {
+			detail += fmt.Sprintf("; … %d more", len(stats.SegmentDrops)-i)
+			break
+		}
+		if d.Shard != "" {
+			detail += fmt.Sprintf("; seg %d via %s: %s", d.ID, d.Shard, d.Reason)
+		} else {
+			detail += fmt.Sprintf("; seg %d: %s", d.ID, d.Reason)
+		}
+	}
+	return reason, detail
+}
+
+// dropDegradation converts the segment coordinator's dropped-segments
+// report into the query's governance record: the answer is labeled with
+// the drop_segments rung (attributing shard faults per segment), and
+// extensive estimates are extrapolated over the unscanned weight (with the
+// CI widened by the same factor), mirroring the stale-serve accounting of
+// serveStored.
+//
+// Boundary cases keep the scales finite: when nothing scanned survived
+// (every surviving segment was empty — e.g. a zero-row open segment — or
+// the drop report arrived with no scan basis at all) there is nothing to
+// extrapolate from, so the answer stays at face value with unit scales and
+// zero coverage, labeled; it is never scaled by Inf or NaN.
 func dropDegradation(stats engine.Stats, res *Result) {
 	if stats.RowsDropped <= 0 {
 		return
 	}
+	reason, detail := dropAttribution(stats)
 	res.Degradations = append(res.Degradations, governor.Degradation{
 		Step:   governor.DegradeDropSegments,
-		Reason: "deadline or memory pressure",
-		Detail: fmt.Sprintf("%d of %d segments built; %d rows dropped", stats.SegmentsBuilt, stats.Segments, stats.RowsDropped),
+		Reason: reason,
+		Detail: detail,
 	})
 	covered := float64(stats.RowsScanned)
 	total := covered + float64(stats.RowsDropped)
-	if covered <= 0 || total <= covered {
+	scale := total / covered
+	if covered <= 0 || !(scale > 1) || math.IsInf(scale, 0) {
+		// No finite extrapolation basis: label-only degradation.
+		res.Coverage = 0
+		res.Extrapolate = 1
+		res.CIScale = 1
 		return
 	}
 	res.Coverage = covered / total
-	res.Extrapolate = total / covered
-	res.CIScale = total / covered
+	res.Extrapolate = scale
+	res.CIScale = scale
 }

@@ -59,6 +59,10 @@ type Stats struct {
 	// sample does not represent; callers extrapolate estimates by the
 	// resulting coverage ratio.
 	RowsDropped int64
+	// SegmentDrops attributes each dropped segment (which segment, how
+	// much weight, which shard for remote sources, why) for degradation
+	// labeling and EXPLAIN ANALYZE.
+	SegmentDrops []SegmentDrop
 }
 
 // Add accumulates another query's stats (used for cumulative sequences).
@@ -74,6 +78,7 @@ func (s *Stats) Add(o Stats) {
 	s.Segments += o.Segments
 	s.SegmentsBuilt += o.SegmentsBuilt
 	s.RowsDropped += o.RowsDropped
+	s.SegmentDrops = append(s.SegmentDrops, o.SegmentDrops...)
 	if o.Workers > s.Workers {
 		s.Workers = o.Workers
 	}
@@ -352,7 +357,9 @@ func RunStratified(q *Query, schema sample.Schema, qcsWidth, k int, seed uint64,
 // reservoirs N-way at the coordinator (segment.go); otherwise it runs the
 // single morsel-parallel pipeline below.
 func RunStratifiedExprs(q *Query, exprs []ColumnExpr, qcsWidth, k int, seed uint64, workers int) (*sample.Stratified, Stats, error) {
-	if sources := localSegmentSources(q, exprs, qcsWidth, k, nil); len(sources) > 1 {
+	// A planner-rewritten plan of any size runs through the coordinator —
+	// a single remote segment still needs the drop/degradation path.
+	if sources := planSegments(q, exprs, qcsWidth, k, nil); len(sources) > 1 || (len(sources) == 1 && q.Planner != nil) {
 		return runStratifiedSegments(q, sources, seed, workers)
 	}
 	return runStratifiedSingle(q, exprs, qcsWidth, k, seed, workers)

@@ -71,6 +71,12 @@ type Query struct {
 	// run with a typed *governor.MemoryBudgetError at the next morsel
 	// boundary, failing only this query. The nil budget grants everything.
 	Budget *governor.QueryBudget
+	// Planner, when non-nil, rewrites the locally-planned segment sources
+	// before the coordinator dispatches them — the distributed seam: a
+	// shard planner wraps segments assigned to remote nodes in RPC-backed
+	// sources (internal/shard) while keeping local geometry for planning
+	// and admission. Nil keeps every segment in-process.
+	Planner SegmentPlanner
 	// DisableZoneMaps turns off zone-map morsel pruning and the
 	// full-morsel fast path, forcing per-row filter evaluation on every
 	// morsel. This is the reference path: the pruning equivalence tests

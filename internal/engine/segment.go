@@ -16,6 +16,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,58 @@ type SegmentSource interface {
 	Build(workers int, seed uint64) (*sample.Stratified, Stats, error)
 }
 
+// ErrSegmentUnavailable marks a segment whose source could not produce a
+// partial sample for reasons that are the segment's alone — a shard node
+// down, retries and hedges exhausted, a corrupt frame. The coordinator
+// treats a Build error wrapping it as a per-segment drop (the segment's
+// Rows() weight joins RowsDropped and the answer degrades to a labeled
+// extrapolation) instead of a whole-query failure. When every segment is
+// unavailable there is nothing to extrapolate from, and the run fails
+// with an error wrapping this sentinel.
+var ErrSegmentUnavailable = errors.New("engine: segment unavailable")
+
+// SegmentPlanner rewrites the locally-planned segment sources before
+// dispatch. exprs/qcsWidth/k are the build parameters the sources were
+// planned with, so a distributed planner can serialize an equivalent
+// remote build spec; each local source also implements PlannedSegment for
+// its scan geometry. Implementations must return sources covering the
+// same segments (same IDs and Rows) or the coverage accounting breaks.
+type SegmentPlanner interface {
+	PlanSegments(q *Query, exprs []ColumnExpr, qcsWidth, k int, local []SegmentSource) []SegmentSource
+}
+
+// PlannedSegment is the planning view of a locally-planned source: the
+// clipped scan range a remote build must mirror exactly for the
+// reservoir to be byte-identical with the local build.
+type PlannedSegment interface {
+	SegmentSource
+	// ScanRange returns the absolute fact-row range [from, to) this
+	// source will scan.
+	ScanRange() (from, to int)
+}
+
+// ShardedSource is implemented by sources that execute on a named remote
+// shard; the coordinator uses it for span and degradation attribution.
+type ShardedSource interface {
+	// Shard names the node that served (or last failed) the build; ""
+	// before any attempt.
+	Shard() string
+}
+
+// SegmentDrop attributes one dropped segment: which segment, how much
+// weight, which shard (for remote sources), and why. It feeds
+// Result.Degradations detail and the EXPLAIN ANALYZE segment span.
+type SegmentDrop struct {
+	// ID is the dropped segment's ID.
+	ID int
+	// Rows is the scan weight the merged sample no longer represents.
+	Rows int64
+	// Shard names the remote node at fault ("" for local pressure drops).
+	Shard string
+	// Reason is a short cause ("pressure", or the unavailability error).
+	Reason string
+}
+
 // localSegment is the in-process SegmentSource: a segment-scoped copy of
 // the query run through the monolithic pipeline.
 type localSegment struct {
@@ -83,6 +136,9 @@ func (s *localSegment) Build(workers int, seed uint64) (*sample.Stratified, Stat
 	q := s.q
 	return runStratifiedSingle(&q, s.exprs, s.qcsWidth, s.k, seed, workers)
 }
+
+// ScanRange implements PlannedSegment.
+func (s *localSegment) ScanRange() (from, to int) { return s.q.ScanFrom, s.q.ScanTo }
 
 // localSegmentSources plans the per-segment builds for q: one source per
 // segment overlapping the scan range, each clipped to [from, to) — where
@@ -122,6 +178,17 @@ func localSegmentSources(q *Query, exprs []ColumnExpr, qcsWidth, k int, fromBySe
 	return out
 }
 
+// planSegments produces the dispatch-ready segment sources: the local
+// plan, rewritten by q.Planner when one is installed (the distributed
+// path — internal/shard wraps assigned segments in RPC clients).
+func planSegments(q *Query, exprs []ColumnExpr, qcsWidth, k int, fromBySeg map[int]int) []SegmentSource {
+	local := localSegmentSources(q, exprs, qcsWidth, k, fromBySeg)
+	if q.Planner == nil || len(local) == 0 {
+		return local
+	}
+	return q.Planner.PlanSegments(q, exprs, qcsWidth, k, local)
+}
+
 // RunStratifiedSegmentsFrom builds a stratified sample over a segmented
 // fact table scanning each segment from its own high-water mark (absolute
 // row; segments absent from the map scan in full). This is the
@@ -129,21 +196,23 @@ func localSegmentSources(q *Query, exprs []ColumnExpr, qcsWidth, k int, fromBySe
 // table offset, so an append touching only the open segment rescans only
 // that segment's tail.
 func RunStratifiedSegmentsFrom(q *Query, exprs []ColumnExpr, qcsWidth, k int, seed uint64, workers int, fromBySeg map[int]int) (*sample.Stratified, Stats, error) {
-	sources := localSegmentSources(q, exprs, qcsWidth, k, fromBySeg)
-	switch len(sources) {
-	case 0:
+	sources := planSegments(q, exprs, qcsWidth, k, fromBySeg)
+	switch {
+	case len(sources) == 0:
 		// Every segment is already covered: an empty delta. Build over the
 		// empty range so the caller still gets a well-formed sample.
 		empty := *q
 		empty.ScanFrom, empty.ScanTo = q.Fact.NumRows(), q.Fact.NumRows()
 		return runStratifiedSingle(&empty, exprs, qcsWidth, k, seed, workers)
-	case 1:
+	case len(sources) == 1 && q.Planner == nil:
 		sam, st, err := sources[0].Build(workers, seed)
 		if err == nil {
 			st.Segments, st.SegmentsBuilt, st.SegmentParallelism = 1, 1, 1
 		}
 		return sam, st, err
 	default:
+		// Planner-rewritten plans always run through the coordinator, even
+		// for one segment: a remote source needs its drop/degradation path.
 		return runStratifiedSegments(q, sources, seed, workers)
 	}
 }
@@ -235,6 +304,7 @@ func runStratifiedSegments(q *Query, sources []SegmentSource, seed uint64, worke
 					}
 				}
 				segSeed := seed ^ (uint64(sources[i].ID())+1)*0x9E3779B97F4A7C15
+				buildStart := time.Now()
 				sam, st, err := sources[i].Build(perSeg, segSeed)
 				if q.Budget != nil {
 					q.Budget.Release(est)
@@ -245,10 +315,19 @@ func runStratifiedSegments(q *Query, sources []SegmentSource, seed uint64, worke
 						segErrs[i] = errSegmentsStopped //laqy:allow mergesync index i is claimed by exactly one worker via next.Add
 						continue
 					}
+					if errors.Is(err, ErrSegmentUnavailable) {
+						// A per-segment failure (shard down, retries
+						// exhausted): drop just this segment's weight and
+						// keep dispatching the rest — other shards may be
+						// healthy.
+						segErrs[i] = err //laqy:allow mergesync index i is claimed by exactly one worker via next.Add
+						continue
+					}
 					segErrs[i] = err //laqy:allow mergesync index i is claimed by exactly one worker via next.Add
 					return
 				}
 				partials[i] = sam //laqy:allow mergesync index i is claimed by exactly one worker via next.Add
+				recordSegmentSpan(q, sources[i], buildStart)
 				statsMu.Lock()
 				stats.Add(st)
 				stats.SegmentsBuilt++
@@ -260,15 +339,29 @@ func runStratifiedSegments(q *Query, sources []SegmentSource, seed uint64, worke
 
 	built := make([]*sample.Stratified, 0, len(partials))
 	var rowsDropped int64
-	var pressure error
+	var pressure, unavailable error
 	for i, p := range partials {
 		switch {
 		case p != nil:
 			built = append(built, p)
 		case errors.Is(segErrs[i], errSegmentsStopped):
 			rowsDropped += int64(sources[i].Rows())
+			stats.SegmentDrops = append(stats.SegmentDrops, SegmentDrop{
+				ID: sources[i].ID(), Rows: int64(sources[i].Rows()), Reason: "pressure",
+			})
 			if pressure == nil {
 				pressure = pressureCause(q)
+			}
+		case errors.Is(segErrs[i], ErrSegmentUnavailable):
+			rowsDropped += int64(sources[i].Rows())
+			stats.SegmentDrops = append(stats.SegmentDrops, SegmentDrop{
+				ID:     sources[i].ID(),
+				Rows:   int64(sources[i].Rows()),
+				Shard:  shardOf(sources[i]),
+				Reason: segErrs[i].Error(),
+			})
+			if unavailable == nil {
+				unavailable = segErrs[i]
 			}
 		case segErrs[i] != nil:
 			return nil, stats, segErrs[i]
@@ -277,13 +370,21 @@ func runStratifiedSegments(q *Query, sources []SegmentSource, seed uint64, worke
 			// a hard error that we would have returned above), or the
 			// counter raced past it after stop: count it dropped.
 			rowsDropped += int64(sources[i].Rows())
+			stats.SegmentDrops = append(stats.SegmentDrops, SegmentDrop{
+				ID: sources[i].ID(), Rows: int64(sources[i].Rows()), Reason: "pressure",
+			})
 		}
 	}
 	if len(built) == 0 {
 		// Nothing survived: this is a whole-query failure, reported as the
-		// pressure that caused it.
+		// pressure that caused it — or, when every shard was unreachable,
+		// as a typed unavailability so the serving layer can say so.
 		if pressure != nil {
 			return nil, stats, pressure
+		}
+		if unavailable != nil {
+			return nil, stats, fmt.Errorf("engine: all %d segments unavailable (first: %v): %w",
+				len(sources), unavailable, ErrSegmentUnavailable)
 		}
 		return nil, stats, context.DeadlineExceeded
 	}
@@ -303,6 +404,30 @@ func runStratifiedSegments(q *Query, sources []SegmentSource, seed uint64, worke
 	stats.Wall = time.Since(start)
 	finishSegments(q, &stats, start, time.Now(), mergeDur)
 	return merged, stats, nil
+}
+
+// shardOf names the shard behind a source, "" for local ones.
+func shardOf(s SegmentSource) string {
+	if ss, ok := s.(ShardedSource); ok {
+		return ss.Shard()
+	}
+	return ""
+}
+
+// recordSegmentSpan attaches one per-segment child span for sources that
+// ran on a remote shard, carrying the shard= attribute EXPLAIN ANALYZE
+// surfaces. Local builds stay un-spanned: the aggregate segments span
+// already covers them, and S spans per local query would be noise.
+func recordSegmentSpan(q *Query, s SegmentSource, start time.Time) {
+	shard := shardOf(s)
+	if shard == "" {
+		return
+	}
+	if sp := obs.SpanFrom(q.Ctx); sp != nil {
+		p := sp.Record("segment", start, time.Now())
+		p.SetAttrInt("id", int64(s.ID()))
+		p.SetAttr("shard", shard)
+	}
 }
 
 // pressureCause names the pressure that stopped dispatch, for the
@@ -332,5 +457,14 @@ func finishSegments(q *Query, st *Stats, start, end time.Time, merge time.Durati
 		p.SetAttrInt("parallelism", int64(st.SegmentParallelism))
 		p.SetAttrInt("merge_ns", merge.Nanoseconds())
 		p.SetAttrInt("rows_dropped", st.RowsDropped)
+		for _, d := range st.SegmentDrops {
+			c := p.Record("segment_dropped", end, end)
+			c.SetAttrInt("id", int64(d.ID))
+			c.SetAttrInt("rows", d.Rows)
+			if d.Shard != "" {
+				c.SetAttr("shard", d.Shard)
+			}
+			c.SetAttr("reason", d.Reason)
+		}
 	}
 }

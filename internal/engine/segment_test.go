@@ -252,11 +252,11 @@ type fakeSegment struct {
 	fail       error
 }
 
-func (f *fakeSegment) ID() int                  { return f.id }
-func (f *fakeSegment) Version() uint64          { return 1 }
-func (f *fakeSegment) Rows() int                { return f.hi - f.lo }
-func (f *fakeSegment) Morsels() int             { return 1 }
-func (f *fakeSegment) MemEstimate(int) int64    { return f.est }
+func (f *fakeSegment) ID() int               { return f.id }
+func (f *fakeSegment) Version() uint64       { return 1 }
+func (f *fakeSegment) Rows() int             { return f.hi - f.lo }
+func (f *fakeSegment) Morsels() int          { return 1 }
+func (f *fakeSegment) MemEstimate(int) int64 { return f.est }
 func (f *fakeSegment) Build(workers int, seed uint64) (*sample.Stratified, Stats, error) {
 	if f.fail != nil {
 		return nil, Stats{}, f.fail

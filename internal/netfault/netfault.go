@@ -1,0 +1,403 @@
+// Package netfault injects network faults between a shard coordinator
+// and its shard laqyds, for the distributed-segments chaos harness
+// (docs/SHARDING.md, "Distributed"). Two seams, matching the two places
+// a network fails:
+//
+//   - Proxy: a TCP forwarder carrying real bytes between real sockets,
+//     with switchable fault modes — added latency, connection resets,
+//     a partition that blackholes new and existing connections, and a
+//     slow-drip mode that trickles the response one byte at a time.
+//     Faults here exercise the transport-level failure ladder: attempt
+//     timeouts, retries, hedges, breaker trips.
+//
+//   - Transport: an http.RoundTripper wrapper that corrupts or truncates
+//     response *bodies* after transport success — the byzantine shard
+//     whose TCP works fine but whose reservoir frames are damaged.
+//     Faults here exercise the codec hardening: CRC mismatches and
+//     truncated frames must read as attempt failures, never as partial
+//     reservoirs.
+//
+// All knobs are safe for concurrent use and flippable mid-connection, so
+// a test can stall a healthy shard exactly while a build is in flight.
+package netfault
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is a proxy's current fault posture.
+type Mode int32
+
+const (
+	// Pass forwards bytes untouched.
+	Pass Mode = iota
+	// Latency delays each accepted connection's first forwarded bytes by
+	// the configured duration, then forwards normally (a slow node, not a
+	// dead one: the hedging trigger).
+	Latency
+	// Reset accepts connections and immediately closes them with RST
+	// (SO_LINGER 0), and resets existing ones (a crashing daemon).
+	Reset
+	// Blackhole accepts connections and forwards nothing, forever, and
+	// stalls existing ones (a partition; only timeouts recover).
+	Blackhole
+	// SlowDrip forwards upstream→client bytes one at a time with a delay
+	// between each (a dying NIC or an overloaded peer; defeats naive
+	// "progress means healthy" logic).
+	SlowDrip
+)
+
+// Proxy is a controllable TCP forwarder: clients dial Addr(), bytes flow
+// to and from the upstream address, and the current Mode decides how
+// faithfully. The zero Mode is Pass.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+
+	mode  atomic.Int32
+	delay atomic.Int64 // nanoseconds, for Latency and SlowDrip
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // live accepted conns, for Reset/Blackhole/Close
+	closed bool
+
+	done chan struct{} // closed by Close; cuts latency sleeps short
+	wg   sync.WaitGroup
+}
+
+// NewProxy starts a proxy in front of upstream (host:port), listening on
+// an ephemeral local port.
+func NewProxy(upstream string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{upstream: upstream, ln: ln, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	p.delay.Store(int64(100 * time.Millisecond))
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the upstream.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetMode switches the fault posture; existing connections are reset or
+// stalled when the new mode calls for it.
+func (p *Proxy) SetMode(m Mode) {
+	p.mode.Store(int32(m))
+	if m == Reset {
+		p.resetLive()
+	}
+}
+
+// Mode reports the current posture.
+func (p *Proxy) Mode() Mode { return Mode(p.mode.Load()) }
+
+// SetDelay tunes the Latency/SlowDrip delay (default 100ms).
+func (p *Proxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+// Close stops the listener and severs every live connection; it returns
+// after the forwarding goroutines exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	alreadyClosed := p.closed
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	if !alreadyClosed {
+		close(p.done)
+	}
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close() //laqy:allow errchecklite teardown close
+	}
+	p.wg.Wait()
+	return err
+}
+
+// resetLive abruptly closes every live connection (RST where the platform
+// honors SO_LINGER 0).
+func (p *Proxy) resetLive() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetLinger(0) //laqy:allow errchecklite best-effort RST
+		}
+		c.Close() //laqy:allow errchecklite fault injection close
+	}
+}
+
+// track registers a live connection; returns false when the proxy is
+// already closed (the caller must drop the conn).
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !p.track(client) {
+			client.Close() //laqy:allow errchecklite raced with Close
+			return
+		}
+		p.wg.Add(1)
+		go p.serve(client)
+	}
+}
+
+// serve handles one accepted connection under the mode sampled at entry
+// plus live re-checks: a Blackhole flip mid-stream stalls the relay loops
+// (they block on a conn the mode handler never writes to) until the test
+// resets or closes.
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	defer client.Close() //laqy:allow errchecklite relay teardown
+
+	switch p.Mode() {
+	case Reset:
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.SetLinger(0) //laqy:allow errchecklite best-effort RST
+		}
+		return
+	case Blackhole:
+		// Forward nothing; hold the socket open until reset/close. The
+		// client's attempt timeout is the only way out.
+		p.hold(client)
+		return
+	case Latency:
+		if !p.sleep(time.Duration(p.delay.Load())) {
+			return
+		}
+	}
+
+	up, err := net.DialTimeout("tcp", p.upstream, 5*time.Second)
+	if err != nil {
+		return
+	}
+	if !p.track(up) {
+		up.Close() //laqy:allow errchecklite raced with Close
+		return
+	}
+	defer p.untrack(up)
+	defer up.Close() //laqy:allow errchecklite relay teardown
+
+	var relay sync.WaitGroup
+	relay.Add(2)
+	go func() { // client → upstream
+		defer relay.Done()
+		io.Copy(up, client) //laqy:allow errchecklite relay copy; errors end the stream
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite() //laqy:allow errchecklite half-close signal
+		}
+	}()
+	go func() { // upstream → client, possibly dripped
+		defer relay.Done()
+		p.copyDown(client, up)
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.CloseWrite() //laqy:allow errchecklite half-close signal
+		}
+	}()
+	relay.Wait()
+}
+
+// copyDown relays upstream→client honoring SlowDrip flips mid-stream.
+func (p *Proxy) copyDown(dst, src net.Conn) {
+	buf := make([]byte, 32*1024)
+	for {
+		if p.Mode() == SlowDrip {
+			one := buf[:1]
+			n, err := src.Read(one)
+			if n > 0 {
+				if _, werr := dst.Write(one[:n]); werr != nil {
+					return
+				}
+				if !p.sleep(time.Duration(p.delay.Load())) {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+			continue
+		}
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// sleep waits d but returns early (false) when the proxy closes — a
+// latency fault must not outlive the proxy.
+func (p *Proxy) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// hold parks a blackholed connection until it is closed (by resetLive,
+// Close, or the client giving up).
+func (p *Proxy) hold(c net.Conn) {
+	var b [1]byte
+	for {
+		c.SetReadDeadline(time.Now().Add(time.Hour)) //laqy:allow errchecklite blackhole park
+		if _, err := c.Read(b[:]); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		// Bytes from the client are swallowed: that is the point.
+	}
+}
+
+// BodyFault corrupts a response body after transport success — the
+// byzantine-shard seam.
+type BodyFault int32
+
+const (
+	// BodyClean leaves responses alone.
+	BodyClean BodyFault = iota
+	// BodyTruncate cuts the body off after TruncateAt bytes (a half-sent
+	// reservoir frame; the CRC must catch it).
+	BodyTruncate
+	// BodyFlip flips one bit in the byte at TruncateAt (silent
+	// corruption; the CRC must catch it).
+	BodyFlip
+)
+
+// Transport wraps an http.RoundTripper with switchable response-body
+// faults. The zero value of its knobs is clean passthrough.
+type Transport struct {
+	// Base performs the real round trip; nil uses http.DefaultTransport.
+	Base http.RoundTripper
+
+	fault      atomic.Int32
+	truncateAt atomic.Int64
+	remaining  atomic.Int64 // number of responses left to damage; -1 = all
+}
+
+// SetFault arms (or with BodyClean, disarms) a body fault: the next
+// `count` responses are damaged at byte offset `at` (count < 0 damages
+// every response until disarmed).
+func (t *Transport) SetFault(f BodyFault, at int64, count int64) {
+	t.truncateAt.Store(at)
+	t.remaining.Store(count)
+	t.fault.Store(int32(f))
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || resp == nil || resp.Body == nil {
+		return resp, err
+	}
+	f := BodyFault(t.fault.Load())
+	if f == BodyClean {
+		return resp, nil
+	}
+	for {
+		left := t.remaining.Load()
+		if left == 0 {
+			return resp, nil
+		}
+		if left < 0 || t.remaining.CompareAndSwap(left, left-1) {
+			break
+		}
+	}
+	resp.Body = &damagedBody{inner: resp.Body, fault: f, at: t.truncateAt.Load()}
+	resp.ContentLength = -1
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+// damagedBody applies one body fault while streaming.
+type damagedBody struct {
+	inner io.ReadCloser
+	fault BodyFault
+	at    int64
+	seen  int64
+}
+
+func (d *damagedBody) Read(p []byte) (int, error) {
+	if d.fault == BodyTruncate && d.seen >= d.at {
+		return 0, io.EOF // the rest of the frame never arrives
+	}
+	n, err := d.inner.Read(p)
+	if n > 0 {
+		if d.fault == BodyTruncate && d.seen+int64(n) > d.at {
+			n = int(d.at - d.seen)
+			d.seen = d.at
+			return n, io.EOF
+		}
+		if d.fault == BodyFlip && d.seen <= d.at && d.at < d.seen+int64(n) {
+			p[d.at-d.seen] ^= 0x40
+		}
+		d.seen += int64(n)
+	}
+	return n, err
+}
+
+func (d *damagedBody) Close() error { return d.inner.Close() }
+
+// Dialer returns a net.Dialer-compatible DialContext that routes every
+// connection through addrMap (real address → proxy address), so a single
+// http.Transport can interpose a different Proxy per shard node.
+func Dialer(addrMap map[string]string) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		if via, ok := addrMap[addr]; ok {
+			addr = via
+		}
+		return d.DialContext(ctx, network, addr)
+	}
+}

@@ -1,0 +1,222 @@
+package netfault
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+const payload = "shard frame payload 0123456789 abcdefghijklmnopqrstuvwxyz"
+
+// upstream serves a fixed payload; returns the httptest server.
+func upstream(t *testing.T) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload) //laqy:allow errchecklite test handler write
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// viaProxy builds a proxy in front of hs and an http.Client that dials it.
+func viaProxy(t *testing.T, hs *httptest.Server) (*Proxy, *http.Client) {
+	t.Helper()
+	u, err := url.Parse(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProxy(u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() }) //laqy:allow errchecklite test teardown
+	client := &http.Client{
+		// A fresh connection per request so mode flips apply to the next
+		// request, not a pooled stream.
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+	return p, client
+}
+
+func get(t *testing.T, client *http.Client, addr string) (string, error) {
+	t.Helper()
+	resp, err := client.Get("http://" + addr + "/")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+func TestProxyPassAndLatency(t *testing.T) {
+	p, client := viaProxy(t, upstream(t))
+
+	body, err := get(t, client, p.Addr())
+	if err != nil || body != payload {
+		t.Fatalf("pass-through: %q, %v", body, err)
+	}
+
+	p.SetDelay(150 * time.Millisecond)
+	p.SetMode(Latency)
+	start := time.Now()
+	body, err = get(t, client, p.Addr())
+	if err != nil || body != payload {
+		t.Fatalf("latency mode broke the stream: %q, %v", body, err)
+	}
+	if elapsed := time.Since(start); elapsed < 140*time.Millisecond {
+		t.Fatalf("latency fault not applied: %v", elapsed)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	p, client := viaProxy(t, upstream(t))
+	p.SetMode(Reset)
+	if body, err := get(t, client, p.Addr()); err == nil {
+		t.Fatalf("reset proxy answered: %q", body)
+	}
+	// Recovery: flipping back to Pass serves again — the breaker-probe
+	// path in the pool depends on this.
+	p.SetMode(Pass)
+	if body, err := get(t, client, p.Addr()); err != nil || body != payload {
+		t.Fatalf("after reset→pass: %q, %v", body, err)
+	}
+}
+
+func TestProxyBlackholeTimesOut(t *testing.T) {
+	p, _ := viaProxy(t, upstream(t))
+	p.SetMode(Blackhole)
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	start := time.Now()
+	_, err := get(t, client, p.Addr())
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "Timeout") &&
+		!strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("want a timeout, got: %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took too long: the client deadline, not the proxy, must bound it")
+	}
+}
+
+func TestProxySlowDripPreservesBytes(t *testing.T) {
+	p, client := viaProxy(t, upstream(t))
+	p.SetDelay(time.Millisecond)
+	p.SetMode(SlowDrip)
+	body, err := get(t, client, p.Addr())
+	if err != nil || body != payload {
+		t.Fatalf("slow drip corrupted the stream: %q, %v", body, err)
+	}
+}
+
+func TestProxyCloseSeversInFlight(t *testing.T) {
+	p, _ := viaProxy(t, upstream(t))
+	p.SetMode(Blackhole)
+	errc := make(chan error, 1)
+	go func() {
+		client := &http.Client{Timeout: time.Minute}
+		_, err := get(t, client, p.Addr())
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request park in the blackhole
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("request survived proxy close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight request not severed by Close")
+	}
+}
+
+func TestTransportBodyFaults(t *testing.T) {
+	hs := upstream(t)
+	tr := &Transport{}
+	client := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+
+	fetch := func() string {
+		t.Helper()
+		resp, err := client.Get(hs.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body) //laqy:allow errchecklite truncation is expected here
+		return string(body)
+	}
+
+	if got := fetch(); got != payload {
+		t.Fatalf("clean transport: %q", got)
+	}
+
+	// Truncate one response at byte 10, then go clean again.
+	tr.SetFault(BodyTruncate, 10, 1)
+	if got := fetch(); got != payload[:10] {
+		t.Fatalf("truncated body = %q (len %d), want first 10 bytes", got, len(got))
+	}
+	if got := fetch(); got != payload {
+		t.Fatalf("fault count not consumed: %q", got)
+	}
+
+	// Flip one bit in byte 3 of every response until disarmed.
+	tr.SetFault(BodyFlip, 3, -1)
+	got := fetch()
+	if len(got) != len(payload) || got == payload {
+		t.Fatalf("flip changed length or nothing: %q", got)
+	}
+	if got[3] != payload[3]^0x40 {
+		t.Fatalf("byte 3 = %q, want %q flipped", got[3], payload[3])
+	}
+	if got[:3] != payload[:3] || got[4:] != payload[4:] {
+		t.Fatalf("flip damaged more than one byte: %q", got)
+	}
+	tr.SetFault(BodyClean, 0, 0)
+	if got := fetch(); got != payload {
+		t.Fatalf("disarm failed: %q", got)
+	}
+}
+
+// TestDialerReroutes: the addrMap dialer sends mapped addresses through
+// the proxy and leaves unmapped ones direct.
+func TestDialerReroutes(t *testing.T) {
+	hs := upstream(t)
+	u, err := url.Parse(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProxy(u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //laqy:allow errchecklite test teardown
+
+	// Pretend the shard lives at a fake address; the dialer reroutes it
+	// to the proxy, which forwards to the real upstream.
+	const fakeAddr = "10.255.255.1:9999"
+	client := &http.Client{
+		Transport: &http.Transport{
+			DialContext:       Dialer(map[string]string{fakeAddr: p.Addr()}),
+			DisableKeepAlives: true,
+		},
+		Timeout: 5 * time.Second,
+	}
+	resp, err := client.Get("http://" + fakeAddr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || string(body) != payload {
+		t.Fatalf("rerouted fetch: %q, %v", body, err)
+	}
+}

@@ -88,4 +88,20 @@ const (
 	MSrvRequestSeconds = "laqy_server_request_seconds"
 	MSrvSaves          = "laqy_server_sample_saves_total"
 	MSrvSaveErrors     = "laqy_server_sample_save_errors_total"
+	// Segment-build endpoint (/v1/segment/build) on a shard node.
+	MSrvSegmentBuilds     = "laqy_server_segment_builds_total"
+	MSrvSegmentBuildFails = "laqy_server_segment_build_errors_total"
+
+	// Distributed shard client (internal/shard). See docs/SHARDING.md and
+	// docs/OBSERVABILITY.md.
+	MShardAttempts     = "laqy_shard_attempts_total"      // RPC build attempts (incl. retries/hedges)
+	MShardRetries      = "laqy_shard_retries_total"       // attempts after the first, same node
+	MShardHedges       = "laqy_shard_hedges_total"        // hedged requests launched to a follower
+	MShardHedgeWins    = "laqy_shard_hedge_wins_total"    // hedges that answered first
+	MShardFailures     = "laqy_shard_failures_total"      // attempts that returned an error
+	MShardDropped      = "laqy_shard_dropped_total"       // segments dropped after exhausting retries+hedges
+	MShardStale        = "laqy_shard_stale_total"         // 409 version-mismatch rejections observed
+	MShardBreakerOpens = "laqy_shard_breaker_opens_total" // circuit-breaker trips
+	MShardBreakersOpen = "laqy_shard_breakers_open"       // gauge: nodes currently open/half-open
+	MShardBuildSeconds = "laqy_shard_build_seconds"       // end-to-end remote build latency
 )

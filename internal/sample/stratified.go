@@ -17,6 +17,22 @@ const MaxQCS = 4
 // trailing slots are zero; the per-sample QCS width disambiguates.
 type StratumKey [MaxQCS]int64
 
+// splitIndex hashes the key into an RNG-substream index. Merges split the
+// merge generator per stratum by this value — a function of the key, not
+// of map iteration order — so an N-way merge is a deterministic function
+// of its inputs and seed. That determinism is what lets a coordinator
+// check remote partial reservoirs byte-identical against local builds.
+func (k StratumKey) splitIndex() uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range k {
+		h ^= uint64(v)
+		h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+		h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}
+
 // Stratified is a stratified reservoir sample: one reservoir per distinct
 // QCS value combination, implemented — as in the paper's engine
 // integration (§6.2) — as a group-by whose aggregation function is
@@ -227,14 +243,12 @@ func MergeStratified(a, b *Stratified, gen *rng.Lehmer64) (*Stratified, error) {
 	if len(b.strata) > len(a.strata) {
 		dst, src = b, a
 	}
-	i := uint64(0)
 	for k, r := range src.strata {
 		if existing, ok := dst.strata[k]; ok {
-			dst.strata[k] = Merge(existing, r, gen.Split(i))
+			dst.strata[k] = Merge(existing, r, gen.Split(k.splitIndex()))
 		} else {
 			dst.strata[k] = r
 		}
-		i++
 	}
 	dst.weight = a.weight + b.weight
 	return dst, nil

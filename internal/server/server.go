@@ -35,6 +35,7 @@ import (
 	"laqy/internal/iofault"
 	"laqy/internal/obs"
 	"laqy/internal/rng"
+	"laqy/internal/shard"
 )
 
 // Config configures a daemon.
@@ -66,42 +67,65 @@ type Config struct {
 	// FS is the filesystem seam for persistence (fault injection in the
 	// chaos harness). Nil defaults to the real OS.
 	FS iofault.FS
+	// Shards, when non-empty, makes this daemon a distributed-segments
+	// coordinator: New builds a health-tracked shard.Pool over these
+	// nodes (metrics land on the daemon registry), installs the pool's
+	// planner on every tenant DB, adds a "shards" dependency probe to
+	// /readyz, and feeds the node breakers from a periodic probe loop.
+	Shards []shard.NodeConfig
+	// ShardOptions tunes the pool's failure ladder (retry budget,
+	// attempt timeouts, hedging delay, breaker thresholds). The zero
+	// value gets the pool defaults.
+	ShardOptions shard.Options
+	// ShardProbeInterval is the cadence of the shard health-probe loop.
+	// 0 defaults to 5s. Only used when Shards is set.
+	ShardProbeInterval time.Duration
+	// ShardIndex/ShardCount restrict which segments this daemon will
+	// build for remote coordinators (the -shard-of i/n flag): with
+	// ShardCount > 1 only segments with ID % ShardCount == ShardIndex are
+	// served; others get 421 wrong_shard. ShardCount 0 serves everything.
+	ShardIndex int
+	ShardCount int
 	// Logf receives operational log lines. Nil discards.
 	Logf func(format string, args ...any)
 }
 
 // serverMetrics caches the daemon's obs instruments.
 type serverMetrics struct {
-	requests      *obs.Counter
-	resp2xx       *obs.Counter
-	resp4xx       *obs.Counter
-	resp5xx       *obs.Counter
-	degraded      *obs.Counter
-	panics        *obs.Counter
-	streamAborts  *obs.Counter
-	drainRejected *obs.Counter
-	saves         *obs.Counter
-	saveErrors    *obs.Counter
-	inflight      *obs.Gauge
-	draining      *obs.Gauge
-	seconds       *obs.Histogram
+	requests          *obs.Counter
+	resp2xx           *obs.Counter
+	resp4xx           *obs.Counter
+	resp5xx           *obs.Counter
+	degraded          *obs.Counter
+	panics            *obs.Counter
+	streamAborts      *obs.Counter
+	drainRejected     *obs.Counter
+	saves             *obs.Counter
+	saveErrors        *obs.Counter
+	segmentBuilds     *obs.Counter
+	segmentBuildFails *obs.Counter
+	inflight          *obs.Gauge
+	draining          *obs.Gauge
+	seconds           *obs.Histogram
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
 	return serverMetrics{
-		requests:      reg.Counter(obs.MSrvRequests),
-		resp2xx:       reg.Counter(obs.MSrvResponses2xx),
-		resp4xx:       reg.Counter(obs.MSrvResponses4xx),
-		resp5xx:       reg.Counter(obs.MSrvResponses5xx),
-		degraded:      reg.Counter(obs.MSrvDegraded),
-		panics:        reg.Counter(obs.MSrvPanics),
-		streamAborts:  reg.Counter(obs.MSrvStreamAborts),
-		drainRejected: reg.Counter(obs.MSrvDrainRejected),
-		saves:         reg.Counter(obs.MSrvSaves),
-		saveErrors:    reg.Counter(obs.MSrvSaveErrors),
-		inflight:      reg.Gauge(obs.MSrvInflight),
-		draining:      reg.Gauge(obs.MSrvDraining),
-		seconds:       reg.Histogram(obs.MSrvRequestSeconds),
+		requests:          reg.Counter(obs.MSrvRequests),
+		resp2xx:           reg.Counter(obs.MSrvResponses2xx),
+		resp4xx:           reg.Counter(obs.MSrvResponses4xx),
+		resp5xx:           reg.Counter(obs.MSrvResponses5xx),
+		degraded:          reg.Counter(obs.MSrvDegraded),
+		panics:            reg.Counter(obs.MSrvPanics),
+		streamAborts:      reg.Counter(obs.MSrvStreamAborts),
+		drainRejected:     reg.Counter(obs.MSrvDrainRejected),
+		saves:             reg.Counter(obs.MSrvSaves),
+		saveErrors:        reg.Counter(obs.MSrvSaveErrors),
+		segmentBuilds:     reg.Counter(obs.MSrvSegmentBuilds),
+		segmentBuildFails: reg.Counter(obs.MSrvSegmentBuildFails),
+		inflight:          reg.Gauge(obs.MSrvInflight),
+		draining:          reg.Gauge(obs.MSrvDraining),
+		seconds:           reg.Histogram(obs.MSrvRequestSeconds),
 	}
 }
 
@@ -114,17 +138,19 @@ type Server struct {
 	reg     *obs.Registry
 	met     serverMetrics
 	idBase  string
+	pool    *shard.Pool // nil unless cfg.Shards is set
 
 	mu       sync.Mutex
 	nextID   uint64
 	inflight map[uint64]context.CancelFunc
 	draining bool
 
-	httpSrv   *http.Server
-	serveDone chan error    // buffered; Serve's return value
-	saverStop chan struct{} // closed to stop the periodic saver
-	saverDone chan struct{} // closed when the saver goroutine exits
-	down      chan struct{} // closed at Shutdown entry; unblocks DrainOnSignal
+	httpSrv    *http.Server
+	serveDone  chan error    // buffered; Serve's return value
+	saverStop  chan struct{} // closed to stop the periodic saver
+	saverDone  chan struct{} // closed when the saver goroutine exits
+	proberDone chan struct{} // closed when the shard probe loop exits
+	down       chan struct{} // closed at Shutdown entry; unblocks DrainOnSignal
 
 	shutOnce sync.Once
 	shutDone chan struct{}
@@ -154,6 +180,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.SaveInterval <= 0 {
 		cfg.SaveInterval = 30 * time.Second
+	}
+	if cfg.ShardProbeInterval <= 0 {
+		cfg.ShardProbeInterval = 5 * time.Second
 	}
 	if cfg.FS == nil {
 		cfg.FS = iofault.OS
@@ -206,8 +235,20 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: default tenant %q not provisioned", cfg.DefaultTenant)
 		}
 	}
+	if len(cfg.Shards) > 0 {
+		s.pool = shard.NewPool(cfg.Shards, cfg.ShardOptions, s.reg)
+		planner := shard.NewPlanner(s.pool)
+		for _, name := range s.order {
+			s.tenants[name].db.SetSegmentPlanner(planner)
+		}
+	}
 	return s, nil
 }
+
+// ShardPool returns the coordinator's shard pool (nil when this daemon
+// is not configured with Shards). The shell's \shards view and tests
+// read node health through it.
+func (s *Server) ShardPool() *shard.Pool { return s.pool }
 
 // validTenantName keeps tenant names safe for paths and URLs.
 func validTenantName(name string) bool {
@@ -231,6 +272,8 @@ func (s *Server) logf(format string, args ...any) {
 // Start (httptest servers mount it directly).
 //
 //	POST /v1/query                 the query API (docs/SERVING.md)
+//	POST /v1/segment/build         remote per-segment builds
+//	                               (docs/SHARDING.md, "Distributed")
 //	GET  /healthz                  liveness (process is up)
 //	GET  /readyz                   readiness (dependency probes; 503 on drain)
 //	GET  /metrics                  daemon metrics, Prometheus text format
@@ -240,6 +283,7 @@ func (s *Server) logf(format string, args ...any) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc(shard.BuildPath, s.handleSegmentBuild)
 	mux.HandleFunc("/healthz", s.readOnly("text/plain; charset=utf-8", s.handleHealthz))
 	mux.HandleFunc("/readyz", s.readOnly("application/json", s.handleReadyz))
 	mux.HandleFunc("/metrics", s.readOnly("text/plain; version=0.0.4; charset=utf-8",
@@ -432,6 +476,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		}
 		probes = append(probes, gov)
 	}
+	if s.pool != nil {
+		probes = append(probes, s.shardsProbe())
+	}
 	ready := true
 	for _, p := range probes {
 		ready = ready && p.OK
@@ -445,6 +492,44 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		Ready  bool         `json:"ready"`
 		Probes []readyProbe `json:"probes"`
 	}{ready, probes})
+}
+
+// shardsProbe summarizes the shard pool's health as one /readyz line.
+// The coordinator stays ready while ANY node is healthy — losing a shard
+// degrades answers (206 with drop_segments attribution), it does not take
+// the coordinator out of rotation; only an all-nodes-down pool flips the
+// probe, because then every distributed query would come back empty.
+func (s *Server) shardsProbe() readyProbe {
+	healthy, total := s.pool.Healthy()
+	p := readyProbe{Name: "shards", OK: total == 0 || healthy > 0}
+	detail := fmt.Sprintf("healthy=%d/%d map=v%d", healthy, total, s.pool.MapVersion())
+	for _, ns := range s.pool.Status() {
+		detail += fmt.Sprintf(" %s=%s", ns.Name, ns.State)
+	}
+	if !p.OK {
+		detail += " (all shards unavailable)"
+	}
+	p.Detail = detail
+	return p
+}
+
+// probeLoop feeds the shard pool's breakers on a timer until shutdown:
+// an open node that answers /readyz closes again without risking a live
+// build on it.
+func (s *Server) probeLoop() {
+	defer close(s.proberDone)
+	ticker := time.NewTicker(s.cfg.ShardProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.down:
+			return
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShardProbeInterval)
+			s.pool.ProbeAll(ctx)
+			cancel()
+		}
+	}
 }
 
 // Start listens on addr and serves in the background, also starting the
@@ -468,6 +553,10 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 		s.saverStop = make(chan struct{})
 		s.saverDone = make(chan struct{})
 		go s.saveLoop()
+	}
+	if s.pool != nil {
+		s.proberDone = make(chan struct{})
+		go s.probeLoop()
 	}
 	s.logf("laqyd listening on %s (%d tenants)", ln.Addr(), len(s.order))
 	return ln.Addr(), nil
@@ -523,6 +612,9 @@ func (s *Server) doShutdown(ctx context.Context) error {
 	if s.saverStop != nil {
 		close(s.saverStop)
 		<-s.saverDone
+	}
+	if s.proberDone != nil {
+		<-s.proberDone // probeLoop exits on s.down, closed above
 	}
 	_ = s.saveAll() // final persistence pass; failures logged, drain continues
 

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"laqy/internal/rng"
+	"laqy/internal/sample"
+)
+
+func testSample(seed uint64, qcsWidth, k int, n int64) *sample.Stratified {
+	s := sample.NewStratified(sample.Schema{"g", "key", "val"}, qcsWidth, k, rng.NewLehmer64(seed))
+	tuple := make([]int64, 3)
+	for v := int64(0); v < n; v++ {
+		tuple[0] = v % 5
+		tuple[1] = v
+		tuple[2] = v * 3
+		s.Consider(tuple)
+	}
+	return s
+}
+
+func testStats() BuildStats {
+	return BuildStats{
+		RowsScanned:   12345,
+		RowsSelected:  678,
+		MorselsPruned: 9,
+		MorselsFull:   10,
+		Scan:          11 * time.Millisecond,
+		Process:       12 * time.Millisecond,
+		Merge:         13 * time.Microsecond,
+		Wall:          14 * time.Millisecond,
+	}
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	for _, n := range []int64{0, 1, 100, 5000} {
+		orig := testSample(42, 1, 16, n)
+		st := testStats()
+		frame := EncodeFrame(orig, st)
+		dec, got, err := DecodeFrame(frame, 42)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if got != st {
+			t.Fatalf("n=%d: stats changed: %+v vs %+v", n, got, st)
+		}
+		if dec.NumStrata() != orig.NumStrata() || dec.TotalWeight() != orig.TotalWeight() {
+			t.Fatalf("n=%d: sample changed: strata %d→%d weight %v→%v",
+				n, orig.NumStrata(), dec.NumStrata(), orig.TotalWeight(), dec.TotalWeight())
+		}
+		// Encoding is deterministic: same sample + stats → same bytes.
+		if !bytes.Equal(frame, EncodeFrame(dec, got)) {
+			t.Fatalf("n=%d: re-encode not byte-identical", n)
+		}
+	}
+}
+
+func TestFrameStatsRoundtripToEngine(t *testing.T) {
+	st := testStats()
+	es := st.ToEngine()
+	if es.RowsScanned != st.RowsScanned || es.Wall != st.Wall {
+		t.Fatalf("ToEngine lost fields: %+v", es)
+	}
+	if FromEngine(es) != st {
+		t.Fatalf("FromEngine(ToEngine()) != identity")
+	}
+	// Negative stats (should never happen, but a hostile peer could try
+	// crafting them) clamp to zero on encode rather than wrapping around
+	// the uvarint into garbage.
+	neg := BuildStats{RowsScanned: -5, Scan: -time.Second}
+	frame := EncodeFrame(testSample(1, 1, 4, 10), neg)
+	_, got, err := DecodeFrame(frame, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RowsScanned != 0 || got.Scan != 0 {
+		t.Fatalf("negative stats not clamped: %+v", got)
+	}
+}
+
+// TestFrameCorruption drives every byzantine-shard failure the decoder
+// must refuse: wrong magic, every truncation prefix, bit damage anywhere
+// in the frame, trailing bytes, and an oversized length claim.
+func TestFrameCorruption(t *testing.T) {
+	frame := EncodeFrame(testSample(7, 1, 8, 300), testStats())
+
+	if _, _, err := DecodeFrame(nil, 7); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] ^= 0xFF
+	if _, _, err := DecodeFrame(bad, 7); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := DecodeFrame(frame[:cut], 7); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(frame))
+		}
+	}
+	for i := len(frameMagic); i < len(frame); i++ {
+		flip := append([]byte(nil), frame...)
+		flip[i] ^= 0x10
+		if _, _, err := DecodeFrame(flip, 7); err == nil {
+			// A flip inside the payload must break the CRC; a flip in the
+			// length or CRC must break framing. Nothing may pass.
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+	if _, _, err := DecodeFrame(append(append([]byte(nil), frame...), 0x00), 7); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// A length field claiming more than the cap must be refused before
+	// any allocation happens.
+	huge := []byte(frameMagic)
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // uvarint ≫ maxFramePayload
+	if _, _, err := DecodeFrame(huge, 7); err == nil {
+		t.Fatal("oversized length claim accepted")
+	}
+}
+
+// FuzzReservoirDecode hammers the frame decoder with mutated inputs: the
+// invariant is "no panic, and any successful decode re-encodes to the
+// same bytes" — a decoder that accepts two spellings of one reservoir
+// would break the coordinator's byte-identity checks.
+func FuzzReservoirDecode(f *testing.F) {
+	f.Add(EncodeFrame(testSample(1, 1, 8, 100), testStats()), uint64(1))
+	f.Add(EncodeFrame(testSample(2, 2, 4, 0), BuildStats{}), uint64(2))
+	f.Add(EncodeFrame(testSample(3, 0, 1, 5000), testStats()), uint64(3))
+	f.Add([]byte(frameMagic), uint64(0))
+	f.Add([]byte("LAQYRSV2junk"), uint64(0))
+	f.Add([]byte{}, uint64(9))
+	corrupt := EncodeFrame(testSample(4, 1, 16, 1000), testStats())
+	corrupt[len(corrupt)/2] ^= 0x01
+	f.Add(corrupt, uint64(4))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		sam, st, err := DecodeFrame(data, seed)
+		if err != nil {
+			return
+		}
+		re := EncodeFrame(sam, st)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode accepted non-canonical frame: %d bytes in, %d bytes re-encoded", len(data), len(re))
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker position of one shard node.
+type BreakerState int
+
+const (
+	// BreakerClosed: healthy, requests flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: tripped by consecutive failures; requests are refused
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; one probe (a /readyz check or a
+	// single build) is let through to decide between Closed and Open.
+	BreakerHalfOpen
+)
+
+// String renders the state for /readyz detail and the shell \shards view.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// health tracks one node's observed behaviour: an EWMA of attempt latency
+// (feeding the hedging delay) and a consecutive-failure circuit breaker.
+// All methods are safe for concurrent use; the zero value is a closed
+// breaker with no latency history.
+type health struct {
+	mu sync.Mutex
+	// ewmaNS is the exponentially-weighted moving average of successful
+	// attempt latency in nanoseconds (0 until the first success).
+	ewmaNS float64
+	// fails counts consecutive failures; a success resets it.
+	fails int
+	state BreakerState
+	// openedUntil is when an open breaker transitions to half-open.
+	openedUntil time.Time
+	// probing marks an in-flight half-open probe so only one request at a
+	// time tests a recovering node.
+	probing bool
+
+	// failThreshold trips the breaker; openFor is the open cooldown.
+	failThreshold int
+	openFor       time.Duration
+	// ewmaAlpha is the smoothing factor for latency observations.
+	ewmaAlpha float64
+}
+
+// allow reports whether a request may be sent now. In the half-open state
+// exactly one caller gets true (the probe); it must report the outcome via
+// observe or the breaker stays half-open until the next allow.
+func (h *health) allow(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Before(h.openedUntil) {
+			return false
+		}
+		h.state = BreakerHalfOpen
+		h.probing = true
+		return true
+	case BreakerHalfOpen:
+		if h.probing {
+			return false
+		}
+		h.probing = true
+		return true
+	}
+	return false
+}
+
+// allowPeek reports whether a request would be allowed now, without
+// consuming the half-open probe slot or transitioning state — the pool's
+// routing uses it to order candidates.
+func (h *health) allowPeek(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return !now.Before(h.openedUntil)
+	case BreakerHalfOpen:
+		return !h.probing
+	}
+	return false
+}
+
+// observe records one attempt's outcome; onOpen (may be nil) fires when
+// this observation trips the breaker closed→open or half-open→open, so
+// the pool can count trips without polling. A non-positive latency (e.g.
+// a /readyz probe) updates the breaker but not the latency EWMA —
+// probes are cheaper than builds and would drag the hedging delay down.
+func (h *health) observe(latency time.Duration, ok bool, now time.Time, onOpen func()) {
+	h.mu.Lock()
+	tripped := false
+	if ok {
+		h.fails = 0
+		h.probing = false
+		h.state = BreakerClosed
+		alpha := h.ewmaAlpha
+		if alpha <= 0 || alpha > 1 {
+			alpha = 0.3
+		}
+		if latency > 0 {
+			if h.ewmaNS == 0 {
+				h.ewmaNS = float64(latency.Nanoseconds())
+			} else {
+				h.ewmaNS = (1-alpha)*h.ewmaNS + alpha*float64(latency.Nanoseconds())
+			}
+		}
+	} else {
+		h.fails++
+		h.probing = false
+		threshold := h.failThreshold
+		if threshold <= 0 {
+			threshold = 3
+		}
+		if h.state == BreakerHalfOpen || h.fails >= threshold {
+			if h.state != BreakerOpen {
+				tripped = true
+			}
+			h.state = BreakerOpen
+			openFor := h.openFor
+			if openFor <= 0 {
+				openFor = 2 * time.Second
+			}
+			h.openedUntil = now.Add(openFor)
+		}
+	}
+	h.mu.Unlock()
+	if tripped && onOpen != nil {
+		onOpen()
+	}
+}
+
+// snapshot returns the current state for status reporting.
+func (h *health) snapshot() (BreakerState, time.Duration, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state, time.Duration(h.ewmaNS), h.fails
+}
+
+// ewma returns the smoothed successful-attempt latency (0 = no history).
+func (h *health) ewma() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.ewmaNS)
+}

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	h := &health{failThreshold: 3, openFor: time.Second}
+	now := time.Unix(1000, 0)
+
+	if !h.allow(now) {
+		t.Fatal("fresh breaker must allow")
+	}
+	// Two failures: still closed (threshold 3).
+	h.observe(0, false, now, nil)
+	h.observe(0, false, now, nil)
+	if st, _, fails := h.snapshot(); st != BreakerClosed || fails != 2 {
+		t.Fatalf("after 2 failures: state %v fails %d", st, fails)
+	}
+	// Third failure trips it; onOpen fires exactly once.
+	opens := 0
+	h.observe(0, false, now, func() { opens++ })
+	if st, _, _ := h.snapshot(); st != BreakerOpen || opens != 1 {
+		t.Fatalf("after 3 failures: state %v opens %d", st, opens)
+	}
+	if h.allow(now) || h.allowPeek(now) {
+		t.Fatal("open breaker must refuse inside the cooldown")
+	}
+	// Further failures while open do not re-fire onOpen.
+	h.observe(0, false, now, func() { opens++ })
+	if opens != 1 {
+		t.Fatalf("onOpen re-fired: %d", opens)
+	}
+
+	// Cooldown elapses → half-open with a single probe slot.
+	later := now.Add(2 * time.Second)
+	if !h.allowPeek(later) {
+		t.Fatal("peek must report allowable after cooldown")
+	}
+	if !h.allow(later) {
+		t.Fatal("first caller after cooldown gets the probe")
+	}
+	if h.allow(later) {
+		t.Fatal("second caller must be refused while the probe is in flight")
+	}
+	// Probe fails → re-open (one consecutive failure suffices half-open).
+	h.observe(0, false, later, func() { opens++ })
+	if st, _, _ := h.snapshot(); st != BreakerOpen || opens != 2 {
+		t.Fatalf("failed probe: state %v opens %d", st, opens)
+	}
+
+	// Next cooldown, successful probe → closed, failures reset.
+	again := later.Add(2 * time.Second)
+	if !h.allow(again) {
+		t.Fatal("probe after second cooldown")
+	}
+	h.observe(5*time.Millisecond, true, again, nil)
+	if st, ewma, fails := h.snapshot(); st != BreakerClosed || fails != 0 || ewma != 5*time.Millisecond {
+		t.Fatalf("after recovery: state %v fails %d ewma %v", st, fails, ewma)
+	}
+}
+
+func TestHealthEWMA(t *testing.T) {
+	h := &health{ewmaAlpha: 0.5}
+	now := time.Now()
+	h.observe(100*time.Millisecond, true, now, nil)
+	if got := h.ewma(); got != 100*time.Millisecond {
+		t.Fatalf("first observation seeds the EWMA: %v", got)
+	}
+	h.observe(200*time.Millisecond, true, now, nil)
+	if got := h.ewma(); got != 150*time.Millisecond {
+		t.Fatalf("alpha 0.5 blend: %v", got)
+	}
+	// Probe observations (latency 0) feed the breaker but not the EWMA.
+	h.observe(0, true, now, nil)
+	if got := h.ewma(); got != 150*time.Millisecond {
+		t.Fatalf("zero-latency observation moved the EWMA: %v", got)
+	}
+	// Failures do not pollute the latency estimate either.
+	h.observe(30*time.Second, false, now, nil)
+	if got := h.ewma(); got != 150*time.Millisecond {
+		t.Fatalf("failure latency moved the EWMA: %v", got)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d: %q", st, st.String())
+		}
+	}
+}

@@ -587,16 +587,23 @@ func writeEntryCore(w binWriter, e *Entry) {
 			writeInt64(w, iv.Hi)
 		}
 	}
-	// Schema + parameters.
-	writeUvarint(w, uint64(len(e.Schema)))
-	for _, c := range e.Schema {
+	// Schema + parameters + sample payload (the shared stratified block,
+	// also the unit of the shard wire codec — internal/shard).
+	writeStratifiedBlock(w, e.Schema, e.QCSWidth, e.K, e.Sample)
+}
+
+// writeStratifiedBlock encodes the schema/qcsWidth/k header and the
+// per-stratum reservoir payload — the sample portion of the entry
+// encoding, byte-identical across every format version.
+func writeStratifiedBlock(w binWriter, schema sample.Schema, qcsWidth, k int, sam *sample.Stratified) {
+	writeUvarint(w, uint64(len(schema)))
+	for _, c := range schema {
 		writeString(w, c)
 	}
-	writeUvarint(w, uint64(e.QCSWidth))
-	writeUvarint(w, uint64(e.K))
-	// Sample payload.
-	writeUvarint(w, uint64(e.Sample.NumStrata()))
-	e.Sample.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
+	writeUvarint(w, uint64(qcsWidth))
+	writeUvarint(w, uint64(k))
+	writeUvarint(w, uint64(sam.NumStrata()))
+	sam.ForEach(func(key sample.StratumKey, r *sample.Reservoir) {
 		for _, v := range key {
 			writeInt64(w, v)
 		}
@@ -610,6 +617,34 @@ func writeEntryCore(w binWriter, e *Entry) {
 			}
 		}
 	})
+}
+
+// EncodeStratified serializes one stratified sample as the store's
+// stratified block (schema, QCS width, capacity, strata) — the payload the
+// shard RPC moves between a segment daemon and its coordinator. The bytes
+// are exactly the sample portion of a store entry, so store-format
+// hardening (caps, overflow checks) covers the wire too.
+func EncodeStratified(sam *sample.Stratified) []byte {
+	var buf bytes.Buffer
+	writeStratifiedBlock(&buf, sam.Schema(), sam.QCSWidth(), sam.K(), sam)
+	return buf.Bytes()
+}
+
+// DecodeStratified restores a stratified sample encoded by
+// EncodeStratified. seed derives the restored reservoirs' RNG substreams
+// (matching the Load contract); trailing bytes after the block are an
+// error, so a truncated or padded frame cannot decode silently.
+func DecodeStratified(data []byte, seed uint64) (*sample.Stratified, error) {
+	br := bufio.NewReader(bytes.NewReader(data))
+	gen := rng.NewLehmer64(seed ^ 0x570E)
+	_, _, _, sam, err := readStratifiedBlock(br, gen)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trailing bytes after stratified block")
+	}
+	return sam, nil
 }
 
 func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
@@ -651,73 +686,93 @@ func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
 		}
 		pred = pred.With(name, set)
 	}
-	nSchema, err := binary.ReadUvarint(r)
+	schema, qcsWidth, k, sam, err := readStratifiedBlock(r, gen)
 	if err != nil {
 		return nil, err
 	}
+	return &Entry{
+		Meta: Meta{
+			Input:     input,
+			Predicate: pred,
+			Schema:    schema,
+			QCSWidth:  qcsWidth,
+			K:         k,
+		},
+		Sample: sam,
+	}, nil
+}
+
+// readStratifiedBlock mirrors writeStratifiedBlock: schema, QCS width,
+// capacity, then the per-stratum reservoirs, with every decoded length
+// validated against the format caps before allocation.
+func readStratifiedBlock(r *bufio.Reader, gen *rng.Lehmer64) (sample.Schema, int, int, *sample.Stratified, error) {
+	nSchema, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
 	if nSchema == 0 || nSchema > maxSchemaCols {
-		return nil, fmt.Errorf("implausible schema size %d", nSchema)
+		return nil, 0, 0, nil, fmt.Errorf("implausible schema size %d", nSchema)
 	}
 	schema := make(sample.Schema, nSchema)
 	for i := range schema {
 		if schema[i], err = readString(r); err != nil {
-			return nil, err
+			return nil, 0, 0, nil, err
 		}
 	}
 	qcsWidth, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, nil, err
 	}
 	k, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, nil, err
 	}
 	if int(qcsWidth) > len(schema) || qcsWidth > sample.MaxQCS {
-		return nil, fmt.Errorf("invalid QCS width %d for %d columns", qcsWidth, len(schema))
+		return nil, 0, 0, nil, fmt.Errorf("invalid QCS width %d for %d columns", qcsWidth, len(schema))
 	}
 	if k == 0 || k > maxReservoirK {
-		return nil, fmt.Errorf("invalid reservoir capacity %d", k)
+		return nil, 0, 0, nil, fmt.Errorf("invalid reservoir capacity %d", k)
 	}
 
 	sam := sample.NewStratified(schema, int(qcsWidth), int(k), gen.Split(0))
 	nStrata, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, nil, err
 	}
 	if nStrata > maxStrata {
-		return nil, fmt.Errorf("implausible strata count %d", nStrata)
+		return nil, 0, 0, nil, fmt.Errorf("implausible strata count %d", nStrata)
 	}
 	for i := uint64(0); i < nStrata; i++ {
 		var key sample.StratumKey
 		for c := range key {
 			if key[c], err = readInt64(r); err != nil {
-				return nil, err
+				return nil, 0, 0, nil, err
 			}
 		}
 		weight, err := readFloat64(r)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, nil, err
 		}
 		resK, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, nil, err
 		}
 		width, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, nil, err
 		}
 		count, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, nil, err
 		}
 		if width != uint64(len(schema)) {
-			return nil, fmt.Errorf("stratum width %d does not match schema of %d columns", width, len(schema))
+			return nil, 0, 0, nil, fmt.Errorf("stratum width %d does not match schema of %d columns", width, len(schema))
 		}
 		if resK == 0 || resK > maxReservoirK {
-			return nil, fmt.Errorf("invalid stratum capacity %d", resK)
+			return nil, 0, 0, nil, fmt.Errorf("invalid stratum capacity %d", resK)
 		}
 		if count > resK {
-			return nil, fmt.Errorf("stratum holds %d tuples above capacity %d", count, resK)
+			return nil, 0, 0, nil, fmt.Errorf("stratum holds %d tuples above capacity %d", count, resK)
 		}
 		// Overflow-checked, capped allocation: width ≤ maxSchemaCols and
 		// count ≤ resK ≤ maxReservoirK, so the uint64 products cannot
@@ -726,10 +781,10 @@ func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
 		// are checked against the hard cap before any allocation happens,
 		// closing the corrupt-file OOM vector.
 		if resK*width > maxStratumInts {
-			return nil, fmt.Errorf("stratum capacity %d×%d exceeds the %d-int cap", resK, width, maxStratumInts)
+			return nil, 0, 0, nil, fmt.Errorf("stratum capacity %d×%d exceeds the %d-int cap", resK, width, maxStratumInts)
 		}
 		if count*width > maxStratumInts {
-			return nil, fmt.Errorf("stratum payload %d×%d exceeds the %d-int cap", count, width, maxStratumInts)
+			return nil, 0, 0, nil, fmt.Errorf("stratum payload %d×%d exceeds the %d-int cap", count, width, maxStratumInts)
 		}
 		// Bounded incremental allocation: start small and append as tuples
 		// actually decode, so a truncated stream claiming a huge (but
@@ -743,28 +798,19 @@ func readEntry(r *bufio.Reader, gen *rng.Lehmer64) (*Entry, error) {
 		for j := uint64(0); j < total; j++ {
 			v, err := readInt64(r)
 			if err != nil {
-				return nil, err
+				return nil, 0, 0, nil, err
 			}
 			data = append(data, v)
 		}
 		res, err := sample.RestoreReservoir(int(resK), int(width), weight, data, gen.Split(i+1))
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, nil, err
 		}
 		if err := sam.Restore(key, res); err != nil {
-			return nil, err
+			return nil, 0, 0, nil, err
 		}
 	}
-	return &Entry{
-		Meta: Meta{
-			Input:     input,
-			Predicate: pred,
-			Schema:    schema,
-			QCSWidth:  int(qcsWidth),
-			K:         int(k),
-		},
-		Sample: sam,
-	}, nil
+	return schema, int(qcsWidth), int(k), sam, nil
 }
 
 func writeUvarint(w binWriter, v uint64) {

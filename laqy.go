@@ -130,6 +130,11 @@ type DB struct {
 
 	mu         sync.Mutex
 	queryCount uint64
+
+	// plannerMu guards planner, the installed segment planner (nil when
+	// every segment builds in-process) — see SetSegmentPlanner.
+	plannerMu sync.RWMutex
+	planner   engine.SegmentPlanner
 }
 
 // Open creates an empty DB.

@@ -241,6 +241,9 @@ func (db *DB) execute(ctx context.Context, plan *sql.Plan, opt QueryOptions, par
 	budget := db.gov.NewQueryBudget()
 	defer budget.ReleaseAll()
 	plan.Query.Budget = budget
+	// Distributed seam: route segment builds through the installed shard
+	// planner, when one is configured (cmd/laqyd -shards).
+	plan.Query.Planner = db.segmentPlanner()
 
 	var res *Result
 	var err error

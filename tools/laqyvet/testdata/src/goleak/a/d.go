@@ -1,0 +1,49 @@
+// Golden input for the goleak analyzer: hedged-request fan-out — the
+// shard pool's primary/hedge pair racing to a results channel, mirroring
+// internal/shard's attemptHedged. The subtlety the analyzer must accept:
+// the channel is buffered for every sender, and the spawner joins both
+// attempts before returning, so the losing attempt is waited out rather
+// than abandoned mid-dial.
+package a
+
+import "sync"
+
+type attempt struct {
+	node string
+	err  error
+}
+
+func dial(node string) attempt { return attempt{node: node} }
+
+// HedgedAttemptJoined: primary and hedge race into a channel buffered for
+// both; the spawner consumes the winner and joins the loser on the
+// WaitGroup before returning. Provably terminating — no diagnostic.
+func HedgedAttemptJoined(primary, hedge string) attempt {
+	results := make(chan attempt, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		results <- dial(primary)
+	}()
+	go func() {
+		defer wg.Done()
+		results <- dial(hedge)
+	}()
+	defer wg.Wait()
+	return <-results
+}
+
+// HedgedAttemptAbandonedLoser: the spawner returns after the winner, with
+// the losing attempt still dialing — no join, no signal. Both spawns must
+// be flagged: neither has a provable termination path visible here.
+func HedgedAttemptAbandonedLoser(primary, hedge string) attempt {
+	results := make(chan attempt, 2)
+	go func() { // want `no provable termination`
+		results <- dial(primary)
+	}()
+	go func() { // want `no provable termination`
+		results <- dial(hedge)
+	}()
+	return <-results
+}
