@@ -92,6 +92,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzPlan -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sql
 	$(GO) test -fuzz=FuzzSetAlgebra -fuzztime=$(FUZZTIME) -run '^$$' ./internal/algebra
 	$(GO) test -fuzz=FuzzStoreLoad -fuzztime=$(FUZZTIME) -run '^$$' ./internal/store
+	$(GO) test -fuzz=FuzzEncodedColumn -fuzztime=$(FUZZTIME) -run '^$$' ./internal/expr
 
 # Full benchmark pass: the paper-figure benches in the root package plus
 # the hot-path microbenches (selection kernels, reservoir admission,
@@ -105,6 +106,11 @@ BENCHPKGS = . ./internal/expr ./internal/sample ./internal/engine
 # committed snapshot (BENCH_PR8.json) is the acceptance artifact for the
 # segment-sharding work and needs stable per-layout numbers.
 SEGBENCHTIME ?= 10x
+# The encoded-storage benches likewise: BENCH_PR10.json snapshots the
+# encoded selection kernels and the fused aggregate against their plain
+# references (clustered/shuffled/const), and is the acceptance artifact
+# for the encoded-columnar work (docs/PERFORMANCE.md, "Encoded storage").
+ENCBENCHTIME ?= 20x
 
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run '^$$' $(BENCHPKGS) > bench-raw.txt
@@ -114,6 +120,10 @@ bench:
 		-run '^$$' ./internal/engine > bench-segments-raw.txt
 	@cat bench-segments-raw.txt
 	$(GO) run ./cmd/benchjson -in bench-segments-raw.txt -out BENCH_PR8.json
+	$(GO) test -bench='BenchmarkEncodedScan|BenchmarkFusedAggregate' -benchtime=$(ENCBENCHTIME) \
+		-run '^$$' ./internal/engine > bench-encoded-raw.txt
+	@cat bench-encoded-raw.txt
+	$(GO) run ./cmd/benchjson -in bench-encoded-raw.txt -out BENCH_PR10.json
 
 clean:
 	$(GO) clean ./...

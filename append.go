@@ -93,6 +93,9 @@ func (db *DB) Append(table string, b *TableBuilder) error {
 	if err := db.catalog.Replace(newTable); err != nil {
 		return err
 	}
+	// Appends can seal a full open segment (newly eligible for encoding)
+	// and always grow the logical footprint; republish the storage gauges.
+	db.updateStorageGauges()
 
 	// Maintain scan-level samples over the grown table; invalidate
 	// join-level samples involving it.

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"laqy/internal/expr"
+)
+
+// scanEncodings is the per-query compilation of the scan filter against the
+// fact table's sealed-segment encodings: one expr.EncodedFilter per sealed
+// segment that (a) overlaps the scan range and (b) encodes at least one
+// filter column. Built once in the scan prologue — which also triggers the
+// segments' lazy one-off encoding builds — so the per-morsel lookup is a
+// bounds walk over a handful of segments with no allocation.
+//
+// Morsels that straddle a segment boundary (possible when ScanFrom is not
+// segment-aligned, e.g. Δ-scans) and morsels over the open segment resolve
+// to nil and take the plain kernels; answers are identical either way.
+type scanEncodings struct {
+	starts []int
+	ends   []int
+	efs    []*expr.EncodedFilter
+}
+
+// newScanEncodings returns nil when encoding cannot help: disabled by the
+// query, a trivial filter (full morsels range-fill anyway), or no sealed
+// overlapping segment encoding any filter column.
+func newScanEncodings(q *Query, filter *expr.Filter) *scanEncodings {
+	if q.DisableEncoding || filter.Trivial() {
+		return nil
+	}
+	from, to := q.scanBounds()
+	var se *scanEncodings
+	for _, seg := range q.Fact.Segments() {
+		if seg.End() <= from || seg.Start() >= to {
+			continue
+		}
+		ef := filter.BindEncoded(seg.Encoding(), seg.Start())
+		if ef == nil {
+			continue
+		}
+		if se == nil {
+			se = &scanEncodings{}
+		}
+		se.starts = append(se.starts, seg.Start())
+		se.ends = append(se.ends, seg.End())
+		se.efs = append(se.efs, ef)
+	}
+	return se
+}
+
+// find returns the encoded filter of the segment fully containing
+// [start, end), or nil.
+//
+//laqy:hot per-morsel encoded-segment lookup
+func (se *scanEncodings) find(start, end int) *expr.EncodedFilter {
+	for i, s := range se.starts { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+		if start >= s && end <= se.ends[i] {
+			return se.efs[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package engine
+
+//laqy:allow rngsource bench data shaping; determinism comes from fixed seeds, not laqy/internal/rng
+
+import (
+	"math/rand"
+	"testing"
+
+	"laqy/internal/algebra"
+	"laqy/internal/storage"
+)
+
+// encBenchMorsels sizes the encoded benchmarks: 16 morsels ≈ 1M rows, large
+// enough that the fact spills L2 and the byte-traffic difference between
+// packed and plain columns is visible.
+const encBenchMorsels = 16
+
+// buildEncBenchFact builds the sealed fact the encoded benchmarks share.
+// One column per encoding case: eb_date is date-clustered (~400 long runs,
+// RLE), eb_flag is a shuffled narrow domain (6-bit FOR), eb_one is
+// constant, eb_val is a narrow shuffled payload (10-bit FOR), and eb_rev
+// is the full-width revenue-shaped payload the heuristic declines — the
+// realistic aggregation target, plain in every segment.
+func buildEncBenchFact(b *testing.B) *storage.Table {
+	n := encBenchMorsels * storage.DefaultMorselSize
+	rnd := rand.New(rand.NewSource(10))
+	date := make([]int64, n)
+	flag := make([]int64, n)
+	one := make([]int64, n)
+	val := make([]int64, n)
+	rev := make([]int64, n)
+	for i := 0; i < n; i++ {
+		date[i] = 20070000 + int64(i*400/n)
+		flag[i] = rnd.Int63n(50)
+		one[i] = 1
+		val[i] = rnd.Int63n(1000)
+		rev[i] = int64(rnd.Uint64() >> 1)
+	}
+	tab := storage.MustNewTable("encbench",
+		&storage.Column{Name: "eb_date", Kind: storage.KindInt64, Ints: date},
+		&storage.Column{Name: "eb_flag", Kind: storage.KindInt64, Ints: flag},
+		&storage.Column{Name: "eb_one", Kind: storage.KindInt64, Ints: one},
+		&storage.Column{Name: "eb_val", Kind: storage.KindInt64, Ints: val},
+		&storage.Column{Name: "eb_rev", Kind: storage.KindInt64, Ints: rev},
+	)
+	tab, err := storage.Resegment(tab, storage.DefaultMorselSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err = storage.Seal(tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Build the encodings outside the timed loops, as a warm server would.
+	tab.EncodedSizes()
+	return tab
+}
+
+// seasonalDates is the clustered-scan predicate: eight short date intervals
+// spread across the history (the SSB Q1.2/Q1.3 shape — a slice of every
+// year). The zone map skips morsels between intervals but can never prove a
+// morsel full, so the surviving morsels all hit the selection kernels —
+// run-granular on the encoded path, row-at-a-time on the plain one.
+func seasonalDates() algebra.Set {
+	var ivs []algebra.Interval
+	for y := int64(0); y < 400; y += 50 {
+		ivs = append(ivs, algebra.Interval{Lo: 20070000 + y, Hi: 20070011 + y})
+	}
+	return algebra.NewSet(ivs...)
+}
+
+// BenchmarkEncodedScan measures the selection kernels over encoded sealed
+// segments against the plain-path reference (DisableEncoding) on the same
+// fact and predicates. Cases, one per encoding:
+//
+//   - clustered: multi-interval date predicate over the RLE column — one
+//     predicate test per run plus compare-free fills, versus a per-row
+//     interval-set test;
+//   - shuffled: range predicate over the 6-bit FOR column — branchless
+//     packed compares over ~1/10 the bytes, versus plain int64 loads;
+//   - const: constant conjunct stacked on the date predicate — an O(1)
+//     morsel fill refined run-granularly, versus two per-row tests.
+//
+// SetBytes counts the logical bytes of the touched columns, so MB/s is
+// comparable within a case and the encoded/plain ratio is the kernel
+// speedup (BENCH_PR10.json tracks it; acceptance wants ≥1.5× on clustered).
+func BenchmarkEncodedScan(b *testing.B) {
+	fact := buildEncBenchFact(b)
+	phys, logical := fact.EncodedSizes()
+
+	cases := []struct {
+		name string
+		pred algebra.Predicate
+		cols int // touched columns: filter conjuncts + the aggregated payload
+	}{
+		{"clustered", algebra.NewPredicate().With("eb_date", seasonalDates()), 2},
+		{"shuffled", algebra.NewPredicate().WithRange("eb_flag", 5, 20), 2},
+		{"const", algebra.NewPredicate().WithRange("eb_one", 1, 1).With("eb_date", seasonalDates()), 3},
+	}
+	for _, tc := range cases {
+		run := func(b *testing.B, disable bool) Stats {
+			var last Stats
+			b.SetBytes(int64(fact.NumRows()) * int64(tc.cols) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := &Query{Fact: fact, Filter: tc.pred, DisableEncoding: disable}
+				_, st, err := RunScan(q, "eb_val", 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = st
+			}
+			return last
+		}
+		b.Run(tc.name+"/encoded", func(b *testing.B) {
+			st := run(b, false)
+			if st.MorselsEncoded == 0 {
+				b.Fatalf("no encoded morsels: %+v", st)
+			}
+			b.ReportMetric(float64(phys)/float64(logical), "phys-frac")
+		})
+		b.Run(tc.name+"/plain", func(b *testing.B) {
+			st := run(b, true)
+			if st.MorselsEncoded != 0 {
+				b.Fatalf("plain reference took the encoded path: %+v", st)
+			}
+		})
+	}
+}
+
+// BenchmarkFusedAggregate measures the fused scan→filter→aggregate path
+// (RunAggregate over encoded segments) against materialize-then-aggregate —
+// the plain pipeline that fills a selection vector and feeds it to a sink
+// (RunScan with DisableEncoding, the exact path before fusion). Cases:
+//
+//   - clustered: a contiguous one-half date range over the plain
+//     revenue-shaped payload, so inner morsels are zone-map-full and fold
+//     in a single straight sum — no selection vector, no gather;
+//   - shuffled: a flag range no zone map can decide, over the 10-bit FOR
+//     payload — the fused path still skips materialization (encoded
+//     select + direct-index fold);
+//   - const: SUM over the constant column under the date range — full
+//     morsels fold in O(1) run arithmetic.
+//
+// The acceptance floor is ≥2× on the clustered case (BENCH_PR10.json).
+func BenchmarkFusedAggregate(b *testing.B) {
+	fact := buildEncBenchFact(b)
+	halfDates := algebra.NewPredicate().WithRange("eb_date", 20070100, 20070299)
+
+	cases := []struct {
+		name  string
+		pred  algebra.Predicate
+		agg   string
+		cols  int
+		fuses bool // FOR conjuncts don't decompose over runs: encoded select only
+	}{
+		{"clustered", halfDates, "eb_rev", 2, true},
+		{"shuffled", algebra.NewPredicate().WithRange("eb_flag", 5, 20), "eb_val", 2, false},
+		{"const", halfDates, "eb_one", 2, true},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name+"/fused", func(b *testing.B) {
+			var last Stats
+			b.SetBytes(int64(fact.NumRows()) * int64(tc.cols) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := &Query{Fact: fact, Filter: tc.pred}
+				aggs, st, err := RunAggregate(q, ExprsFromNames([]string{tc.agg}), 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(aggs) != 1 {
+					b.Fatalf("got %d aggregates", len(aggs))
+				}
+				last = st
+			}
+			b.StopTimer()
+			if tc.fuses && last.MorselsFused == 0 {
+				b.Fatalf("nothing fused: %+v", last)
+			}
+			if !tc.fuses && last.MorselsEncoded == 0 {
+				b.Fatalf("no encoded morsels: %+v", last)
+			}
+			b.ReportMetric(float64(last.MorselsFused), "fused-morsels")
+		})
+		b.Run(tc.name+"/materialize", func(b *testing.B) {
+			b.SetBytes(int64(fact.NumRows()) * int64(tc.cols) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := &Query{Fact: fact, Filter: tc.pred, DisableEncoding: true}
+				if _, _, err := RunScan(q, tc.agg, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -46,6 +46,14 @@ type Stats struct {
 	// zone map proved every row matches, so the selection vector was
 	// range-filled with no per-row compares.
 	MorselsFull int64
+	// MorselsEncoded counts morsels whose filter evaluated directly over a
+	// sealed segment's encoded columns (const/RLE/FOR kernels) instead of
+	// the plain vectors.
+	MorselsEncoded int64
+	// MorselsFused counts morsels the fused aggregate path folded straight
+	// into partial accumulators — pruned-full morsels and all-pass
+	// RLE/const runs — without producing a selection vector.
+	MorselsFused int64
 	// Segments is the number of segment-scoped builds the coordinator
 	// planned (0 for monolithic runs).
 	Segments int
@@ -75,6 +83,8 @@ func (s *Stats) Add(o Stats) {
 	s.RowsSelected += o.RowsSelected
 	s.MorselsPruned += o.MorselsPruned
 	s.MorselsFull += o.MorselsFull
+	s.MorselsEncoded += o.MorselsEncoded
+	s.MorselsFused += o.MorselsFused
 	s.Segments += o.Segments
 	s.SegmentsBuilt += o.SegmentsBuilt
 	s.RowsDropped += o.RowsDropped
@@ -187,9 +197,10 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 		workers = len(morsels)
 	}
 	pruner := newMorselPruner(q.Fact, filter, q.DisableZoneMaps, scanFrom, scanTo)
+	encs := newScanEncodings(q, filter)
 	var next atomic.Int64
 	var scanNanos, processNanos, selected atomic.Int64
-	var prunedMorsels, fullMorsels atomic.Int64
+	var prunedMorsels, fullMorsels, encodedMorsels atomic.Int64
 	var canceled, aborted atomic.Bool
 	start := time.Now()
 
@@ -220,7 +231,7 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 				morselScratchPool.Put(sc) //laqy:allow hotalloc pointer into interface, once per worker retirement (not per morsel)
 			}()
 			var localScan, localProcess, localSelected int64
-			var localPruned, localFull int64
+			var localPruned, localFull, localEncoded int64
 			for {
 				m := int(next.Add(1)) - 1
 				if m >= len(morsels) {
@@ -260,7 +271,19 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 					localFull++
 					sel = expr.FillRange(sel[:0], mo.Start, mo.End)
 				default:
-					sel = filter.SelectInto(mo.Start, mo.End, sel[:0])
+					// Kernel dispatch: a morsel inside a sealed, encoded
+					// segment evaluates the filter over the encoded columns;
+					// everything else takes the plain vector kernels.
+					var ef *expr.EncodedFilter
+					if encs != nil {
+						ef = encs.find(mo.Start, mo.End)
+					}
+					if ef != nil {
+						localEncoded++
+						sel = ef.SelectInto(mo.Start, mo.End, sel[:0])
+					} else {
+						sel = filter.SelectInto(mo.Start, mo.End, sel[:0])
+					}
 				}
 				t1 := time.Now()
 				localScan += t1.Sub(t0).Nanoseconds()
@@ -291,6 +314,7 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 			selected.Add(localSelected)
 			prunedMorsels.Add(localPruned)
 			fullMorsels.Add(localFull)
+			encodedMorsels.Add(localEncoded)
 		}(w)
 	}
 	wg.Wait()
@@ -310,14 +334,15 @@ func runPipeline(q *Query, exprs []ColumnExpr, workers int, sinks []rowSink) (St
 	}
 	end := time.Now()
 	stats := Stats{
-		Scan:          time.Duration(scanNanos.Load() / divisor),
-		Process:       time.Duration(processNanos.Load() / divisor),
-		Wall:          end.Sub(start),
-		RowsScanned:   rowsScanned,
-		RowsSelected:  selected.Load(),
-		Workers:       workers,
-		MorselsPruned: prunedMorsels.Load(),
-		MorselsFull:   fullMorsels.Load(),
+		Scan:           time.Duration(scanNanos.Load() / divisor),
+		Process:        time.Duration(processNanos.Load() / divisor),
+		Wall:           end.Sub(start),
+		RowsScanned:    rowsScanned,
+		RowsSelected:   selected.Load(),
+		Workers:        workers,
+		MorselsPruned:  prunedMorsels.Load(),
+		MorselsFull:    fullMorsels.Load(),
+		MorselsEncoded: encodedMorsels.Load(),
 	}
 	finishPipeline(q, &stats, len(morsels), start, end)
 	return stats, nil

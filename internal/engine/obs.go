@@ -21,6 +21,8 @@ func finishPipeline(q *Query, st *Stats, morsels int, start, end time.Time) {
 		reg.Counter(obs.MEngineMorsels).Add(int64(morsels))
 		reg.Counter(obs.MEngineMorselsPruned).Add(st.MorselsPruned)
 		reg.Counter(obs.MEngineMorselsFull).Add(st.MorselsFull)
+		reg.Counter(obs.MEngineMorselsEncoded).Add(st.MorselsEncoded)
+		reg.Counter(obs.MEngineMorselsFused).Add(st.MorselsFused)
 		reg.Counter(obs.MEngineRowsScanned).Add(st.RowsScanned)
 		reg.Counter(obs.MEngineRowsSelected).Add(st.RowsSelected)
 		reg.Histogram(obs.MEngineWallSeconds).Observe(st.Wall)
@@ -32,6 +34,10 @@ func finishPipeline(q *Query, st *Stats, morsels int, start, end time.Time) {
 		p.SetAttrInt("morsels", int64(morsels))
 		p.SetAttrInt("pruned", st.MorselsPruned)
 		p.SetAttrInt("full", st.MorselsFull)
+		p.SetAttrInt("encoded", st.MorselsEncoded)
+		if st.MorselsFused > 0 {
+			p.SetAttrInt("fused", st.MorselsFused)
+		}
 		p.SetAttrInt("rows_scanned", st.RowsScanned)
 		p.SetAttrInt("rows_selected", st.RowsSelected)
 	}

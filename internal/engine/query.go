@@ -83,6 +83,12 @@ type Query struct {
 	// and the ablation benchmarks compare against it. Production queries
 	// leave it false — pruning is exact, never statistical.
 	DisableZoneMaps bool
+	// DisableEncoding turns off the encoded selection and fused-aggregate
+	// kernels for this query, forcing every morsel through the plain
+	// []int64 kernels. This is the reference path the encoding equivalence
+	// suite pins bitwise-identical answers against; like zone maps,
+	// encoded evaluation is exact, never statistical.
+	DisableEncoding bool
 }
 
 // scanBounds resolves the effective scan range [from, to): ScanFrom

@@ -146,44 +146,57 @@ func (f *Filter) SelectInto(start, end int, sel []int32) []int32 {
 	// First conjunct scans the range directly; the rest refine sel.
 	base := len(sel)
 	sel = growSel(sel, end-start)
-	first := &f.cols[0]
-	if first.single {
-		buf := sel[:base+end-start]
-		n := base
-		vec, lo := first.vec, first.lo
-		width := uint64(first.hi - first.lo)
+	sel = producePlain(&f.cols[0], start, end, sel)
+	for ci := 1; ci < len(f.cols); ci++ {
+		sel = sel[:base+refinePlain(&f.cols[ci], sel[base:])]
+	}
+	return sel
+}
+
+// producePlain appends the rows of [start, end) accepted by cc to sel,
+// whose capacity the caller has already grown by end-start.
+//
+//laqy:hot branchless selection producer
+func producePlain(cc *compiledCol, start, end int, sel []int32) []int32 {
+	if cc.single {
+		n := len(sel)
+		buf := sel[:n+end-start]
+		vec, lo := cc.vec, cc.lo
+		width := uint64(cc.hi - cc.lo)
 		for i := start; i < end; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
 			buf[n] = int32(i)
 			n += b2i(uint64(vec[i]-lo) <= width)
 		}
-		sel = buf[:n]
-	} else {
-		for i := start; i < end; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
-			if first.set.Contains(first.vec[i]) {
-				sel = append(sel, int32(i))
-			}
-		}
+		return buf[:n]
 	}
-	for ci := 1; ci < len(f.cols); ci++ {
-		cc := &f.cols[ci]
-		live := sel[base:]
-		n := 0
-		if cc.single {
-			vec, lo := cc.vec, cc.lo
-			width := uint64(cc.hi - cc.lo)
-			for _, idx := range live { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
-				live[n] = idx
-				n += b2i(uint64(vec[idx]-lo) <= width)
-			}
-		} else {
-			for _, idx := range live { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
-				live[n] = idx
-				n += b2i(cc.set.Contains(cc.vec[idx]))
-			}
+	for i := start; i < end; i++ { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+		if cc.set.Contains(cc.vec[i]) {
+			sel = append(sel, int32(i))
 		}
-		sel = sel[:base+n]
 	}
 	return sel
+}
+
+// refinePlain compacts live in place to the rows accepted by cc, returning
+// the surviving count (the branchless cursor-compaction kernel).
+//
+//laqy:hot branchless selection refiner
+func refinePlain(cc *compiledCol, live []int32) int {
+	n := 0
+	if cc.single {
+		vec, lo := cc.vec, cc.lo
+		width := uint64(cc.hi - cc.lo)
+		for _, idx := range live { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+			live[n] = idx
+			n += b2i(uint64(vec[idx]-lo) <= width)
+		}
+		return n
+	}
+	for _, idx := range live { //laqy:allow ctxpoll leaf kernel; the morsel driver polls per morsel
+		live[n] = idx
+		n += b2i(cc.set.Contains(cc.vec[idx]))
+	}
+	return n
 }
 
 // Matches evaluates the filter for a single row index (used off the hot

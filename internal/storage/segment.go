@@ -32,6 +32,9 @@ type Segment struct {
 	version uint64
 	t       *Table
 	zone    *zoneMapCache
+	// enc memoizes the sealed segment's column encodings (encode.go),
+	// shared across table versions exactly like zone.
+	enc *encodingCache
 }
 
 // ID is the segment's position in the table's segment list (dense, 0-based).
@@ -75,7 +78,7 @@ func (s *Segment) ZoneMap() *ZoneMap {
 func (t *Table) Segments() []*Segment {
 	t.segOnce.Do(func() {
 		if t.segs == nil {
-			t.segs = []*Segment{{start: 0, end: t.rows, version: 1, t: t, zone: &t.zone}}
+			t.segs = []*Segment{{start: 0, end: t.rows, version: 1, t: t, zone: &t.zone, enc: &encodingCache{}}}
 		}
 	})
 	return t.segs
@@ -120,6 +123,9 @@ func (t *Table) setSegments(segs []*Segment) {
 		s.t = t
 		if s.zone == nil {
 			s.zone = &zoneMapCache{}
+		}
+		if s.enc == nil {
+			s.enc = &encodingCache{}
 		}
 	}
 	t.segs = segs
@@ -200,7 +206,7 @@ func AppendColumns(old *Table, grown []*Column, segmentRows int) (*Table, error)
 	oldSegs := old.Segments()
 	segs := make([]*Segment, 0, len(oldSegs)+1+(nt.rows-old.rows)/segRows)
 	for _, s := range oldSegs[:len(oldSegs)-1] {
-		segs = append(segs, &Segment{start: s.start, end: s.end, version: s.version, zone: s.zone})
+		segs = append(segs, &Segment{start: s.start, end: s.end, version: s.version, zone: s.zone, enc: s.enc})
 	}
 	open := oldSegs[len(oldSegs)-1]
 	pending := nt.rows - old.rows
@@ -208,7 +214,7 @@ func AppendColumns(old *Table, grown []*Column, segmentRows int) (*Table, error)
 	if capacity := segRows - open.Rows(); capacity <= 0 || pending == 0 {
 		// The open segment is already at (or past) capacity, or nothing was
 		// appended: it seals as-is and keeps its summary.
-		segs = append(segs, &Segment{start: open.start, end: open.end, version: open.version, zone: open.zone})
+		segs = append(segs, &Segment{start: open.start, end: open.end, version: open.version, zone: open.zone, enc: open.enc})
 		row = open.end
 	} else {
 		take := capacity

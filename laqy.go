@@ -68,6 +68,13 @@ type Config struct {
 	// are raised to it. Tables smaller than one segment keep a single
 	// segment, preserving the pre-segmentation layout.
 	SegmentRows int
+	// DisableEncoding keeps sealed segments un-encoded and routes every
+	// query through the plain []int64 kernels — the reference path the
+	// encoding equivalence suite pins bitwise-identical answers against.
+	// Production DBs leave it false: encoded evaluation is exact, never
+	// statistical, and sealed segments typically shrink well below their
+	// plain footprint (docs/PERFORMANCE.md, "Encoded storage").
+	DisableEncoding bool
 	// MinSupport, when > 0, enables the conservative per-stratum support
 	// check when reusing tightened samples: reuse falls back to online
 	// sampling if any stratum would back an estimate with fewer tuples.
@@ -226,7 +233,20 @@ func (db *DB) Register(b *TableBuilder) error {
 	if err != nil {
 		return err
 	}
-	return db.catalog.Register(t)
+	if !db.cfg.DisableEncoding {
+		// Seal the bulk-loaded rows so every data segment is eligible for
+		// the lazy per-segment encodings; appends land in the fresh open
+		// segment and stay plain until it seals in turn.
+		t, err = storage.Seal(t)
+		if err != nil {
+			return err
+		}
+	}
+	if err := db.catalog.Register(t); err != nil {
+		return err
+	}
+	db.updateStorageGauges()
+	return nil
 }
 
 // LoadSSB generates and registers the Star Schema Benchmark tables
@@ -243,10 +263,17 @@ func (db *DB) LoadSSB(lineorderRows int, seed uint64) error {
 		if err != nil {
 			return err
 		}
+		if !db.cfg.DisableEncoding {
+			t, err = storage.Seal(t)
+			if err != nil {
+				return err
+			}
+		}
 		if err := db.catalog.Register(t); err != nil {
 			return err
 		}
 	}
+	db.updateStorageGauges()
 	return nil
 }
 
@@ -291,6 +318,56 @@ func (db *DB) NumRows(table string) (int, error) {
 		return 0, err
 	}
 	return t.NumRows(), nil
+}
+
+// StorageStats reports the byte footprint of the registered tables.
+type StorageStats struct {
+	// PhysicalBytes is the resident columnar footprint: sealed segments at
+	// their encoded size, the open segment (and any un-encoded sealed
+	// segment) at rows×columns×8.
+	PhysicalBytes int64
+	// LogicalBytes is the un-encoded footprint, rows×columns×8 — the
+	// denominator of the encoding ratio.
+	LogicalBytes int64
+}
+
+// StorageStats returns the physical vs logical storage footprint across
+// all registered tables, forcing any pending lazy segment encodings so the
+// physical number reflects the steady state, and republishes the
+// laqy_storage_{encoded,logical}_bytes gauges.
+func (db *DB) StorageStats() StorageStats {
+	var st StorageStats
+	for _, name := range db.catalog.Names() {
+		t, err := db.catalog.Table(name)
+		if err != nil {
+			continue
+		}
+		p, l := t.EncodedSizes()
+		st.PhysicalBytes += p
+		st.LogicalBytes += l
+	}
+	db.reg.Gauge(obs.MStorageEncodedBytes).Set(st.PhysicalBytes)
+	db.reg.Gauge(obs.MStorageLogicalBytes).Set(st.LogicalBytes)
+	return st
+}
+
+// updateStorageGauges republishes the storage byte gauges from encodings
+// already built (queries trigger the lazy per-segment builds); segments not
+// yet encoded count at their plain size. StorageStats forces the builds
+// when an exact steady-state number is needed.
+func (db *DB) updateStorageGauges() {
+	var phys, logical int64
+	for _, name := range db.catalog.Names() {
+		t, err := db.catalog.Table(name)
+		if err != nil {
+			continue
+		}
+		p, l := t.EncodedSizesBuilt()
+		phys += p
+		logical += l
+	}
+	db.reg.Gauge(obs.MStorageEncodedBytes).Set(phys)
+	db.reg.Gauge(obs.MStorageLogicalBytes).Set(logical)
 }
 
 // SampleStoreStats reports sample-store reuse telemetry.

@@ -32,6 +32,11 @@ type QueryOptions struct {
 	// forcing every morsel through the selection kernels (measurement and
 	// debugging aid).
 	DisableZoneMaps bool
+	// DisableEncoding routes this query through the plain []int64 kernels,
+	// skipping the encoded selection and fused-aggregate paths (the
+	// reference for the encoding equivalence suite; also composes with
+	// Config.DisableEncoding, which keeps segments un-encoded DB-wide).
+	DisableEncoding bool
 	// ErrorBound, when > 0, applies an APPROX ERROR contract to the query:
 	// estimates must meet this relative error bound or the engine resizes
 	// and ultimately falls back to exact execution. A bound written in the
@@ -62,6 +67,13 @@ func WithSegmentParallelism(n int) QueryOption {
 // WithZoneMapsDisabled turns off zone-map morsel pruning for this query.
 func WithZoneMapsDisabled() QueryOption {
 	return func(o *QueryOptions) { o.DisableZoneMaps = true }
+}
+
+// WithEncodingDisabled forces this query onto the plain selection and
+// aggregation kernels, bypassing encoded-segment evaluation (measurement
+// and debugging aid; answers are identical either way).
+func WithEncodingDisabled() QueryOption {
+	return func(o *QueryOptions) { o.DisableEncoding = true }
 }
 
 // WithErrorBound applies an APPROX ERROR contract: relative error at most

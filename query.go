@@ -172,6 +172,7 @@ func (db *DB) execute(ctx context.Context, plan *sql.Plan, opt QueryOptions, par
 	// defaults; clauses written in the SQL text win over options.
 	plan.Query.SegmentParallelism = opt.SegmentParallelism
 	plan.Query.DisableZoneMaps = plan.Query.DisableZoneMaps || opt.DisableZoneMaps
+	plan.Query.DisableEncoding = db.cfg.DisableEncoding || opt.DisableEncoding
 	if opt.ErrorBound > 0 && plan.ErrorBound == 0 {
 		plan.ErrorBound = opt.ErrorBound
 		if opt.Confidence > 0 && plan.Confidence == 0 {
@@ -268,12 +269,26 @@ func (db *DB) execute(ctx context.Context, plan *sql.Plan, opt QueryOptions, par
 	}
 	db.met.querySeconds.Observe(obs.Since(start))
 	db.met.mode(res.Mode).Inc()
+	if plan.Query.Fact != nil && !plan.Query.DisableEncoding {
+		// The scan may have built segment encodings lazily; keep the storage
+		// gauges tracking what is actually resident (no forced builds).
+		db.updateStorageGauges()
+	}
 	if tr != nil {
 		root := tr.Root()
 		root.SetAttr("mode", res.Mode.String())
 		root.SetAttrInt("rows", int64(len(res.Rows)))
 		if len(res.Degradations) > 0 {
 			root.SetAttr("degraded", degradationsString(res.Degradations))
+		}
+		// Encoding ratio of the scanned fact table (physical/logical over
+		// segments whose lazy encodings have been built — this query's scan
+		// builds the ones it touched), so EXPLAIN ANALYZE shows what the
+		// encoded kernels were working with.
+		if f := plan.Query.Fact; f != nil && !plan.Query.DisableEncoding {
+			if phys, logical := f.EncodedSizesBuilt(); logical > 0 && phys < logical {
+				root.SetAttr("enc_ratio", fmt.Sprintf("%.2f", float64(phys)/float64(logical)))
+			}
 		}
 		root.End()
 		res.Trace = traceFromObs(tr)
@@ -371,6 +386,23 @@ func decodeGroups(plan *sql.Plan, key engine.GroupKey) []GroupValue {
 	return out
 }
 
+// fusedEligible reports whether the exact plan can run as one fused
+// scan→filter→aggregate pipeline: no grouping, no dimension joins, and
+// only SUM/COUNT/AVG aggregates (MIN/MAX need the per-row group-by sink).
+func fusedEligible(plan *sql.Plan) bool {
+	if len(plan.GroupBy) > 0 || len(plan.Query.Joins) > 0 {
+		return false
+	}
+	for _, a := range plan.Aggs {
+		switch a.Kind {
+		case approx.Sum, approx.Count, approx.Avg:
+		default:
+			return false
+		}
+	}
+	return len(plan.Aggs) > 0
+}
+
 func (db *DB) runExact(plan *sql.Plan) (*Result, error) {
 	start := obs.Clock()
 	// Each aggregate reads its own value column; COUNT(*) rides on the
@@ -383,6 +415,40 @@ func (db *DB) runExact(plan *sql.Plan) (*Result, error) {
 		} else {
 			aggCols[i] = a.Column
 		}
+	}
+	// Ungrouped SUM/COUNT/AVG queries over the bare fact table take the
+	// fused scan→filter→aggregate path: no group hash table, no gather, and
+	// encoded morsels fold by run arithmetic (engine.RunAggregate). Joins,
+	// GROUP BY, and MIN/MAX still need the materializing group-by sink.
+	if fusedEligible(plan) {
+		aggs, stats, err := engine.RunAggregate(plan.Query,
+			engine.ExprsFromNames(aggCols), db.engineWorkers())
+		if err != nil {
+			return nil, err
+		}
+		db.gov.ObserveScan(stats.RowsScanned, stats.Scan)
+		out := newResult(plan, false, ModeExact)
+		// Count == 0 means no qualifying rows: zero result rows, matching
+		// the group-by sink's empty hash table.
+		if aggs[0].Count > 0 {
+			row := Row{Groups: decodeGroups(plan, engine.GroupKey{}), Aggs: make([]AggValue, len(plan.Aggs))}
+			for i, a := range plan.Aggs {
+				var v float64
+				switch a.Kind {
+				case approx.Sum:
+					v = aggs[i].Sum
+				case approx.Count:
+					v = float64(aggs[i].Count)
+				default: // approx.Avg, per fusedEligible
+					v = aggs[i].Sum / float64(aggs[i].Count)
+				}
+				row.Aggs[i] = AggValue{Value: v, Exact: true}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+		out.Stats = toExecStats(stats, 0, obs.Since(start))
+		finishRows(plan, out)
+		return out, nil
 	}
 	res, stats, err := engine.RunGroupByExprs(plan.Query, plan.GroupBy,
 		engine.ExprsFromNames(aggCols), db.engineWorkers())

@@ -147,3 +147,51 @@ func SkipLoopUnpolled(ctx context.Context, vals []int64, skip int64) int64 {
 		i++
 	}
 }
+
+// RunWalkLeaf is the RLE run-loop leaf kernel shape: per-run work is a
+// compare-free fill, the morsel driver above it polls, so the loop carries
+// the allow.
+//
+//laqy:hot run-granular RLE leaf kernel
+func RunWalkLeaf(values []int64, starts []int32, rows int, want int64) int64 {
+	var total int64
+	for ri, v := range values { //laqy:allow ctxpoll leaf kernel; morsel driver polls
+		if v != want {
+			continue
+		}
+		end := rows
+		if ri+1 < len(starts) {
+			end = int(starts[ri+1])
+		}
+		total += v * int64(end-int(starts[ri]))
+	}
+	return total
+}
+
+// RunWalkUnpolled is the same run walk without the allow: a segment's run
+// list can be long, so an unexempted run loop must still poll.
+//
+//laqy:hot run walk without poll
+func RunWalkUnpolled(ctx context.Context, values []int64) int64 {
+	var total int64
+	for _, v := range values { // want `//laqy:hot loop never polls the context`
+		total += v
+	}
+	_ = ctx
+	return total
+}
+
+// BitUnpackLeaf is the bit-unpack kernel shape: fixed-width word reads per
+// row, exempted as a leaf with the driver polling per morsel.
+//
+//laqy:hot branchless bit-unpack leaf kernel
+func BitUnpackLeaf(words []uint64, width uint, n int) uint64 {
+	mask := uint64(1)<<width - 1
+	var acc uint64
+	for i := 0; i < n; i++ { //laqy:allow ctxpoll leaf kernel; morsel driver polls
+		bit := uint(i) * width
+		w, off := bit>>6, bit&63
+		acc += (words[w]>>off | words[w+1]<<(64-off)) & mask
+	}
+	return acc
+}

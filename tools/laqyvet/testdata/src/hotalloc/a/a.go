@@ -92,3 +92,57 @@ func KernelBatchSink(cols [][]int64, k, width int) []int64 {
 	}
 	return data
 }
+
+// KernelRunWalk is the run-granular RLE selection shape from the encoded
+// storage layer: the selection buffer is pre-grown by the caller and each
+// passing run fills through a cursor — no allocation per run. The unsized
+// per-run spill is still flagged.
+//
+//laqy:hot run-granular RLE producer
+func KernelRunWalk(values []int64, starts []int32, rows int, lo, hi int64, sel []int32) []int32 {
+	if len(sel) < rows {
+		// invariant: callers pre-grow sel to the segment's row count.
+		panic(fmt.Sprintf("hotalloc testdata: sel %d < rows %d", len(sel), rows))
+	}
+	var passed []int64 // unsized local
+	n := 0
+	width := uint64(hi - lo)
+	for ri, v := range values {
+		if uint64(v-lo) > width {
+			continue
+		}
+		passed = append(passed, v) // want `append to passed, a local slice with no pre-sized capacity`
+		end := rows
+		if ri+1 < len(starts) {
+			end = int(starts[ri+1])
+		}
+		for i := int(starts[ri]); i < end; i++ {
+			sel[n] = int32(i)
+			n++
+		}
+	}
+	return sel[:n]
+}
+
+// KernelBitUnpack is the frame-of-reference bit-unpack shape: two-word
+// reads, mask, one compare — register-only, nothing to flag.
+//
+//laqy:hot branchless bit-unpack kernel
+func KernelBitUnpack(words []uint64, width uint, n int, shift, span uint64, sel []int32) []int32 {
+	if len(sel) < n {
+		// invariant: callers pre-grow sel to the chunk size.
+		panic(fmt.Sprintf("hotalloc testdata: sel %d < n %d", len(sel), n))
+	}
+	mask := uint64(1)<<width - 1
+	k := 0
+	for i := 0; i < n; i++ {
+		bit := uint(i) * width
+		w, off := bit>>6, bit&63
+		u := (words[w]>>off | words[w+1]<<(64-off)) & mask
+		sel[k] = int32(i)
+		if u-shift <= span {
+			k++
+		}
+	}
+	return sel[:k]
+}
